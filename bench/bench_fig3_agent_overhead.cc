@@ -1,0 +1,131 @@
+// Figure 3 reproduction: CPU and memory overhead of the Pingmesh Agent.
+//
+// Paper setup: an agent actively probing ~2500 servers on a 16-core Xeon
+// E5-2450 with 128 GB RAM; measured average CPU 0.26%, average memory
+// footprint < 45 MB.
+//
+// This harness runs the real epoll-based probe library over loopback: one
+// process hosts both the prober and a set of responders (the agent acts as
+// client and server anyway). 2500 logical peers at the paper's 10-second
+// minimum per-peer interval means ~250 probes/s; we pace exactly that and
+// sample getrusage CPU time and VmRSS. Our numbers include the responder
+// side, so they upper-bound the agent alone.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/reactor.h"
+#include "net/tcp_probe.h"
+
+namespace {
+
+using namespace pingmesh;
+using namespace std::chrono_literals;
+
+double process_cpu_seconds() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + static_cast<double>(t.tv_usec) / 1e6;
+  };
+  return tv(usage.ru_utime) + tv(usage.ru_stime);
+}
+
+double rss_mb() {
+  std::ifstream statm("/proc/self/statm");
+  long total = 0, resident = 0;
+  statm >> total >> resident;
+  return static_cast<double>(resident) * static_cast<double>(sysconf(_SC_PAGESIZE)) /
+         (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 3: Pingmesh Agent CPU and memory overhead (real sockets)");
+
+  net::Reactor reactor;
+  // A pool of responders standing in for the ~2500 peers (loopback has one
+  // host; peers differ by port).
+  constexpr int kResponders = 32;
+  std::vector<std::unique_ptr<net::TcpProbeServer>> responders;
+  std::vector<net::SockAddr> targets;
+  for (int i = 0; i < kResponders; ++i) {
+    responders.push_back(
+        std::make_unique<net::TcpProbeServer>(reactor, net::SockAddr::loopback(0)));
+    targets.push_back(net::SockAddr::loopback(responders.back()->port()));
+  }
+  net::TcpProber prober(reactor);
+
+  constexpr int kPeers = 2500;
+  constexpr double kProbesPerSecond = kPeers / 10.0;  // 10s min per-peer interval
+  constexpr auto kRunTime = 8s;
+  constexpr auto kTickEvery = 20ms;
+  const int probes_per_tick =
+      static_cast<int>(kProbesPerSecond * 0.02 + 0.5);  // 5 per 20ms tick
+
+  std::uint64_t done = 0, ok = 0, launched = 0;
+  std::uint64_t peer_cursor = 0;
+  std::function<void()> tick = [&] {
+    for (int i = 0; i < probes_per_tick; ++i) {
+      const net::SockAddr& dst = targets[peer_cursor++ % targets.size()];
+      int payload = (peer_cursor % 4 == 0) ? 1000 : 0;  // payload every 4th probe
+      prober.probe(dst, payload, 2000ms, [&](const net::TcpProbeResult& r) {
+        ++done;
+        if (r.connected) ++ok;
+      });
+      ++launched;
+    }
+    reactor.add_timer_after(kTickEvery, tick);
+  };
+
+  double cpu_before = process_cpu_seconds();
+  auto wall_before = std::chrono::steady_clock::now();
+  reactor.add_timer_after(0ms, tick);
+
+  RunningStat rss;
+  auto deadline = wall_before + kRunTime;
+  while (std::chrono::steady_clock::now() < deadline) {
+    reactor.run_once(10ms);
+    rss.record(rss_mb());
+  }
+  // Drain in-flight probes.
+  reactor.run_until([&] { return done == launched; },
+                    std::chrono::steady_clock::now() + 3s);
+
+  double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              wall_before)
+                    .count();
+  double cpu = process_cpu_seconds() - cpu_before;
+  double cpu_pct = 100.0 * cpu / wall;
+  // The paper's 0.26% is of a 16-core box (i.e. ~4.2% of one core). Report
+  // both views.
+  double cpu_pct_16core = cpu_pct / 16.0;
+
+  std::printf("  probes launched: %lu, completed: %lu, connect-ok: %lu\n",
+              static_cast<unsigned long>(launched), static_cast<unsigned long>(done),
+              static_cast<unsigned long>(ok));
+  std::printf("  probe rate: %.0f/s over %.1fs (paper: ~2500 peers / 10s interval)\n",
+              static_cast<double>(launched) / wall, wall);
+  bench::compare_row("CPU (of one core, incl. responders)", "~4.2%",
+                     bench::pct(cpu_pct / 100.0));
+  bench::compare_row("CPU (normalized to a 16-core host)", "0.26%",
+                     bench::pct(cpu_pct_16core / 100.0));
+  char mem[64];
+  std::snprintf(mem, sizeof(mem), "%.1fMB avg / %.1fMB max", rss.mean(), rss.max());
+  bench::compare_row("memory footprint", "<45MB", mem);
+
+  bench::heading("shape checks");
+  bool cpu_ok = cpu_pct < 25.0;  // well under one core at paper probe rate
+  bool mem_ok = rss.max() < 45.0;
+  bool delivery_ok = done > 0 && ok > done * 95 / 100;
+  bench::note(std::string("CPU small at paper probe rate: ") + (cpu_ok ? "yes" : "NO"));
+  bench::note(std::string("memory under the paper's 45MB:  ") + (mem_ok ? "yes" : "NO"));
+  bench::note(std::string("probes overwhelmingly succeed:  ") + (delivery_ok ? "yes" : "NO"));
+  return (cpu_ok && mem_ok && delivery_ok) ? 0 : 1;
+}

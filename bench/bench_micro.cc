@@ -1,0 +1,216 @@
+// Library micro-benchmarks (google-benchmark): the per-operation costs that
+// make or break a production deployment — the agent's record/counter path,
+// the controller's pinglist generation, the simulator's probe cost (which
+// bounds experiment scale), and the DSA query verbs.
+#include <benchmark/benchmark.h>
+
+#include "agent/counters.h"
+#include "agent/record.h"
+#include "analysis/blackhole.h"
+#include "analysis/heatmap.h"
+#include "common/stats.h"
+#include "common/xml.h"
+#include "controller/generator.h"
+#include "core/fleet.h"
+#include "dsa/jobs.h"
+#include "dsa/scope.h"
+#include "netsim/simnet.h"
+#include "topology/topology.h"
+
+namespace {
+
+using namespace pingmesh;
+
+const topo::Topology& medium_topo() {
+  static topo::Topology topo =
+      topo::Topology::build({topo::medium_dc_spec("DC1", "US West")});
+  return topo;
+}
+
+controller::GeneratorConfig gen_cfg() {
+  controller::GeneratorConfig cfg;
+  cfg.enable_inter_dc = false;
+  return cfg;
+}
+
+void BM_TopologyBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto topo = topo::Topology::build({topo::medium_dc_spec("DC1", "US West")});
+    benchmark::DoNotOptimize(topo.server_count());
+  }
+}
+BENCHMARK(BM_TopologyBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PinglistGenerateOne(benchmark::State& state) {
+  controller::PinglistGenerator gen(medium_topo(), gen_cfg());
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    auto pl = gen.generate_for(ServerId{i++ % 800});
+    benchmark::DoNotOptimize(pl.targets.size());
+  }
+}
+BENCHMARK(BM_PinglistGenerateOne);
+
+void BM_PinglistXmlRoundTrip(benchmark::State& state) {
+  controller::PinglistGenerator gen(medium_topo(), gen_cfg());
+  controller::Pinglist pl = gen.generate_for(ServerId{0});
+  for (auto _ : state) {
+    std::string xml_doc = pl.to_xml();
+    auto parsed = controller::Pinglist::from_xml(xml_doc);
+    benchmark::DoNotOptimize(parsed.targets.size());
+  }
+}
+BENCHMARK(BM_PinglistXmlRoundTrip);
+
+void BM_EcmpResolve(benchmark::State& state) {
+  const topo::Topology& topo = medium_topo();
+  netsim::EcmpRouter router(topo);
+  ServerId a = topo.pods()[0].servers[0];
+  ServerId b = topo.pod(topo.podsets()[2].pods[0]).servers[0];
+  std::uint16_t port = 32768;
+  for (auto _ : state) {
+    FiveTuple t{topo.server(a).ip, topo.server(b).ip, port++, 33100, 6};
+    benchmark::DoNotOptimize(router.resolve(t).hops.size());
+  }
+}
+BENCHMARK(BM_EcmpResolve);
+
+void BM_SimTcpProbe(benchmark::State& state) {
+  const topo::Topology& topo = medium_topo();
+  netsim::SimNetwork net(topo, 1);
+  ServerId a = topo.pods()[0].servers[0];
+  ServerId b = topo.pod(topo.podsets()[2].pods[0]).servers[0];
+  std::uint16_t port = 32768;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.tcp_probe(a, b, port++, 33100, {}, 0).rtt);
+  }
+}
+BENCHMARK(BM_SimTcpProbe);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(7);
+  std::int64_t v = 250'000;
+  for (auto _ : state) {
+    hist.record(v);
+    v = static_cast<std::int64_t>(rng.uniform(10'000, 10'000'000));
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(8);
+  for (int i = 0; i < 1'000'000; ++i) {
+    hist.record(static_cast<std::int64_t>(rng.lognormal(12.5, 1.0)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(hist.p99());
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_RecordCsvEncode(benchmark::State& state) {
+  agent::LatencyRecord rec;
+  rec.src_ip = IpAddr(10, 0, 0, 1);
+  rec.dst_ip = IpAddr(10, 0, 1, 2);
+  rec.rtt = 268'000;
+  rec.success = true;
+  std::vector<agent::LatencyRecord> batch(100, rec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent::encode_batch(batch).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RecordCsvEncode);
+
+void BM_RecordCsvDecode(benchmark::State& state) {
+  agent::LatencyRecord rec;
+  rec.rtt = 268'000;
+  rec.success = true;
+  std::vector<agent::LatencyRecord> batch(100, rec);
+  std::string encoded = agent::encode_batch(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent::decode_batch(encoded).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RecordCsvDecode);
+
+void BM_PerfCountersRecord(benchmark::State& state) {
+  agent::PerfCounters counters(0);
+  for (auto _ : state) counters.record_probe(true, 268'000);
+  benchmark::DoNotOptimize(counters.peek(1).probes);
+}
+BENCHMARK(BM_PerfCountersRecord);
+
+void BM_ScopeAggregateByPod(benchmark::State& state) {
+  const topo::Topology& topo = medium_topo();
+  std::vector<agent::LatencyRecord> rows;
+  Rng rng(9);
+  for (int i = 0; i < 50'000; ++i) {
+    agent::LatencyRecord r;
+    r.src_ip = topo.servers()[rng.uniform_u32(800)].ip;
+    r.dst_ip = topo.servers()[rng.uniform_u32(800)].ip;
+    r.success = true;
+    r.rtt = static_cast<std::int64_t>(rng.lognormal(12.5, 0.6));
+    rows.push_back(r);
+  }
+  dsa::scope::DataSet<agent::LatencyRecord> data(rows);
+  for (auto _ : state) {
+    auto groups = data.aggregate_by<dsa::LatencyAggregator>(
+        [&](const agent::LatencyRecord& r) {
+          return topo.server(topo.server_by_ip(r.src_ip)).pod.value;
+        });
+    benchmark::DoNotOptimize(groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_ScopeAggregateByPod)->Unit(benchmark::kMillisecond);
+
+void BM_BlackholeDetect(benchmark::State& state) {
+  const topo::Topology& topo = medium_topo();
+  netsim::SimNetwork net(topo, 2);
+  net.faults().add_blackhole(topo.pods()[3].tor, netsim::BlackholeMode::kSrcDstPair, 0.05);
+  controller::PinglistGenerator gen(topo, gen_cfg());
+  core::FleetProbeDriver driver(topo, net, gen);
+  std::vector<agent::LatencyRecord> records;
+  driver.run_dense(0, 4, seconds(10), [&](const core::FleetProbe& p) {
+    agent::LatencyRecord r;
+    r.src_ip = topo.server(p.src).ip;
+    r.dst_ip = p.target->ip;
+    r.success = p.outcome.success;
+    r.rtt = p.outcome.rtt;
+    records.push_back(r);
+  });
+  analysis::BlackholeDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(records, topo).candidates.size());
+  }
+  state.counters["records"] = static_cast<double>(records.size());
+}
+BENCHMARK(BM_BlackholeDetect)->Unit(benchmark::kMillisecond);
+
+void BM_HeatmapLoadAndClassify(benchmark::State& state) {
+  const topo::Topology& topo = medium_topo();
+  std::vector<dsa::PodPairStatRow> rows;
+  for (const topo::Pod& a : topo.pods()) {
+    for (const topo::Pod& b : topo.pods()) {
+      dsa::PodPairStatRow r;
+      r.src_pod = a.id;
+      r.dst_pod = b.id;
+      r.probes = r.successes = 100;
+      r.p99_ns = millis(1);
+      rows.push_back(r);
+    }
+  }
+  analysis::Heatmap map(topo, DcId{0});
+  for (auto _ : state) {
+    map.load(rows);
+    benchmark::DoNotOptimize(analysis::classify_pattern(map).pattern);
+  }
+}
+BENCHMARK(BM_HeatmapLoadAndClassify)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

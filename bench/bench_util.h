@@ -1,0 +1,55 @@
+// Shared helpers for the experiment harnesses: record collection from the
+// fleet driver and uniform table printing (paper value vs measured value).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agent/record.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/fleet.h"
+#include "topology/topology.h"
+
+namespace pingmesh::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// "paper X, measured Y" row.
+inline void compare_row(const std::string& label, const std::string& paper,
+                        const std::string& measured) {
+  std::printf("  %-44s paper: %-14s measured: %s\n", label.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+/// Convert a fleet probe into the record shape the analyses consume.
+inline agent::LatencyRecord to_record(const topo::Topology& topo,
+                                      const core::FleetProbe& p) {
+  agent::LatencyRecord r;
+  r.timestamp = p.time;
+  r.src_ip = topo.server(p.src).ip;
+  r.dst_ip = p.target->ip;
+  r.src_port = p.src_port;
+  r.dst_port = p.target->port;
+  r.kind = p.target->kind;
+  r.qos = p.target->qos;
+  r.success = p.outcome.success;
+  r.rtt = p.outcome.rtt;
+  r.payload_success = p.outcome.payload_success;
+  r.payload_rtt = p.outcome.payload_rtt;
+  r.payload_bytes = p.target->payload_bytes;
+  return r;
+}
+
+inline std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", v * 100.0);
+  return buf;
+}
+
+}  // namespace pingmesh::bench

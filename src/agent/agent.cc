@@ -1,0 +1,160 @@
+#include "agent/agent.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace pingmesh::agent {
+
+PingmeshAgent::PingmeshAgent(std::string server_name, IpAddr server_ip,
+                             AgentConfig config, Uploader& uploader)
+    : name_(std::move(server_name)),
+      ip_(server_ip),
+      config_(std::move(config)),
+      uploader_(&uploader),
+      local_log_(config_.local_log_path, config_.local_log_max_bytes),
+      counters_(0) {}
+
+std::uint16_t PingmeshAgent::next_src_port() {
+  // Ephemeral range sweep; a fresh port per probe re-rolls every ECMP choice.
+  if (ephemeral_port_ < 32768 || ephemeral_port_ >= 60999) ephemeral_port_ = 32768;
+  return ephemeral_port_++;
+}
+
+void PingmeshAgent::adopt_pinglist(const controller::Pinglist& pl, SimTime now) {
+  pinglist_version_ = pl.version;
+  targets_.clear();
+  targets_.reserve(pl.targets.size());
+  for (controller::PingTarget t : pl.targets) {
+    // Safety clamps — enforced here regardless of what the controller says.
+    t.interval = std::max({t.interval, pl.min_probe_interval, kHardMinProbeInterval});
+    t.payload_bytes = std::min(t.payload_bytes, kHardMaxPayloadBytes);
+    TargetState ts;
+    ts.target = t;
+    // Stagger first probes across the interval so a fleet restart does not
+    // synchronize its probe bursts.
+    std::uint64_t h = mix64((static_cast<std::uint64_t>(t.ip.v) << 16) ^ t.port ^ ip_.v);
+    ts.next_due = now + static_cast<SimTime>(h % static_cast<std::uint64_t>(t.interval));
+    targets_.push_back(ts);
+  }
+  probing_active_ = true;
+}
+
+void PingmeshAgent::fail_closed() {
+  // "the Pingmesh Agent will remove all its existing ping peers and stop
+  // all its ping activities. (It will still react to pings though.)"
+  targets_.clear();
+  probing_active_ = false;
+}
+
+PingmeshAgent::TickActions PingmeshAgent::tick(SimTime now) {
+  TickActions actions;
+
+  if (!fetch_outstanding_ && now >= next_fetch_) {
+    actions.fetch_pinglist = true;
+    fetch_outstanding_ = true;
+  }
+
+  if (probing_active_) {
+    for (TargetState& ts : targets_) {
+      if (now < ts.next_due) continue;
+      ProbeRequest req;
+      req.target = ts.target;
+      req.src_port = next_src_port();
+      actions.probes.push_back(req);
+      ++probes_launched_;
+      ts.next_due = now + ts.target.interval;
+    }
+  }
+
+  maybe_upload(now, /*force=*/false);
+  return actions;
+}
+
+void PingmeshAgent::on_pinglist(const controller::FetchResult& result, SimTime now) {
+  fetch_outstanding_ = false;
+  next_fetch_ = now + config_.pinglist_refresh;
+  switch (result.status) {
+    case controller::FetchStatus::kOk:
+      fetch_failures_ = 0;
+      if (result.pinglist) {
+        adopt_pinglist(*result.pinglist, now);
+      } else {
+        fail_closed();  // protocol violation: treat as no pinglist
+      }
+      return;
+    case controller::FetchStatus::kNoPinglist:
+      // Controller is up but serves no file: stop immediately. This is the
+      // operator's remote kill switch.
+      fetch_failures_ = 0;
+      fail_closed();
+      return;
+    case controller::FetchStatus::kUnreachable:
+      if (++fetch_failures_ >= config_.controller_failure_threshold) fail_closed();
+      return;
+  }
+}
+
+void PingmeshAgent::on_probe_result(const ProbeRequest& request, const ProbeResult& result,
+                                    SimTime now) {
+  LatencyRecord rec;
+  rec.timestamp = now;
+  rec.src_ip = ip_;
+  rec.dst_ip = request.target.ip;
+  rec.src_port = request.src_port;
+  rec.dst_port = request.target.port;
+  rec.kind = request.target.kind;
+  rec.qos = request.target.qos;
+  rec.success = result.success;
+  rec.rtt = result.rtt;
+  rec.payload_success = result.payload_success;
+  rec.payload_rtt = result.payload_rtt;
+  rec.payload_bytes = request.target.payload_bytes;
+
+  counters_.record_probe(result.success, result.rtt);
+
+  if (buffer_.size() >= config_.max_buffered_records) {
+    // Bounded memory: shed the oldest record rather than grow.
+    buffer_.pop_front();
+    ++records_discarded_;
+  }
+  buffer_.push_back(rec);
+  maybe_upload(now, /*force=*/false);
+}
+
+void PingmeshAgent::maybe_upload(SimTime now, bool force) {
+  if (!upload_timer_armed_) {
+    next_upload_ = now + config_.upload_interval;
+    upload_timer_armed_ = true;
+  }
+  bool batch_full = buffer_.size() >= config_.upload_batch_records;
+  bool timer_due = now >= next_upload_ && !buffer_.empty();
+  if (!force && !batch_full && !timer_due) return;
+  if (buffer_.empty()) {
+    next_upload_ = now + config_.upload_interval;
+    return;
+  }
+
+  std::vector<LatencyRecord> batch(buffer_.begin(), buffer_.end());
+  local_log_.append(encode_batch(batch));
+
+  if (uploader_->upload(batch)) {
+    buffer_.clear();
+    upload_failures_ = 0;
+    ++uploads_ok_;
+  } else {
+    ++uploads_failed_;
+    if (++upload_failures_ > config_.upload_max_retries) {
+      // "After that it will stop trying and discard the in-memory data.
+      // This is to ensure the Pingmesh Agent uses bounded memory resource."
+      records_discarded_ += buffer_.size();
+      buffer_.clear();
+      upload_failures_ = 0;
+    }
+  }
+  next_upload_ = now + config_.upload_interval;
+}
+
+void PingmeshAgent::flush(SimTime now) { maybe_upload(now, /*force=*/true); }
+
+}  // namespace pingmesh::agent

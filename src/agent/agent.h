@@ -1,0 +1,162 @@
+// PingmeshAgent — the per-server measurement engine (paper §3.4).
+//
+// "Its task is simple: downloads pinglist from the Pingmesh Controller;
+// pings the servers in the pinglist; then uploads the ping result to DSA."
+// Simple task, hardest component: it runs on *every* server, so it must be
+// fail-closed. The safety features of §3.4.2 are implemented here:
+//
+//  - hard-coded floors/caps (minimum 10 s per-peer probe interval, 64 KB
+//    max payload) that clamp whatever the pinglist asks for;
+//  - fail-closed on controller loss: after 3 consecutive failed pinglist
+//    fetches, or a fetch that finds no pinglist, the agent drops all its
+//    ping peers and stops probing (it still responds to pings — responding
+//    is the transport driver's job and never stops);
+//  - bounded memory: the record buffer is capped; when an upload has failed
+//    too many times the buffered data is discarded, never accumulated;
+//  - a size-capped local log of the latency data.
+//
+// The class is a passive, transport-agnostic state machine: a driver calls
+// tick() to learn what to do (fetch the pinglist / launch probes) and feeds
+// results back. That makes the exact same logic testable on virtual time,
+// runnable against the flow simulator, and runnable against real sockets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/counters.h"
+#include "agent/record.h"
+#include "agent/rotating_log.h"
+#include "common/types.h"
+#include "controller/pinglist.h"
+#include "controller/service.h"
+
+namespace pingmesh::agent {
+
+/// Transport-agnostic probe outcome fed back into the agent.
+struct ProbeResult {
+  bool success = false;
+  SimTime rtt = 0;
+  bool payload_success = false;
+  SimTime payload_rtt = 0;
+};
+
+/// A probe the agent wants launched. The source port is fresh per probe
+/// ("every probing needs to be a new connection and uses a new TCP source
+/// port", §3.4.1).
+struct ProbeRequest {
+  controller::PingTarget target;
+  std::uint16_t src_port = 0;
+};
+
+/// Destination of uploaded record batches (Cosmos in production; the DSA
+/// module's store here; fakes in tests).
+class Uploader {
+ public:
+  virtual ~Uploader() = default;
+  virtual bool upload(const std::vector<LatencyRecord>& batch) = 0;
+};
+
+struct AgentConfig {
+  SimTime pinglist_refresh = minutes(10);
+  SimTime upload_interval = minutes(1);
+  std::size_t upload_batch_records = 2000;   ///< upload when buffer reaches this
+  int upload_max_retries = 3;                ///< then discard (bounded memory)
+  std::size_t max_buffered_records = 100'000;
+  int controller_failure_threshold = 3;      ///< fail-closed after N fetch failures
+  std::string local_log_path;                ///< empty = local log disabled
+  std::size_t local_log_max_bytes = 16 * 1024 * 1024;
+};
+
+/// Hard-coded safety limits (paper: "These limits are hard coded in the
+/// source code", bounding Pingmesh's worst-case traffic).
+constexpr SimTime kHardMinProbeInterval = seconds(10);
+constexpr std::uint32_t kHardMaxPayloadBytes = 64 * 1024;
+
+class PingmeshAgent {
+ public:
+  struct TickActions {
+    bool fetch_pinglist = false;
+    std::vector<ProbeRequest> probes;
+  };
+
+  PingmeshAgent(std::string server_name, IpAddr server_ip, AgentConfig config,
+                Uploader& uploader);
+
+  /// Advance to `now`; returns the work the driver should perform.
+  TickActions tick(SimTime now);
+
+  /// Deliver the outcome of a pinglist fetch the driver performed.
+  void on_pinglist(const controller::FetchResult& result, SimTime now);
+
+  /// Deliver one probe outcome.
+  void on_probe_result(const ProbeRequest& request, const ProbeResult& result,
+                       SimTime now);
+
+  /// Force an upload attempt of whatever is buffered (shutdown path).
+  void flush(SimTime now);
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] bool probing_active() const { return probing_active_; }
+  [[nodiscard]] std::size_t target_count() const { return targets_.size(); }
+  [[nodiscard]] std::size_t buffered_records() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buffer_.size() * LatencyRecord::kApproxBytes;
+  }
+  [[nodiscard]] std::uint64_t pinglist_version() const { return pinglist_version_; }
+  [[nodiscard]] std::uint64_t probes_launched() const { return probes_launched_; }
+  [[nodiscard]] std::uint64_t uploads_ok() const { return uploads_ok_; }
+  [[nodiscard]] std::uint64_t uploads_failed() const { return uploads_failed_; }
+  [[nodiscard]] std::uint64_t records_discarded() const { return records_discarded_; }
+  [[nodiscard]] int consecutive_fetch_failures() const { return fetch_failures_; }
+  [[nodiscard]] IpAddr ip() const { return ip_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// PA collection point: finish the current counter window.
+  CounterSnapshot collect_counters(SimTime now) { return counters_.collect(now); }
+  [[nodiscard]] CounterSnapshot peek_counters(SimTime now) const {
+    return counters_.peek(now);
+  }
+
+ private:
+  struct TargetState {
+    controller::PingTarget target;
+    SimTime next_due = 0;
+  };
+
+  void adopt_pinglist(const controller::Pinglist& pl, SimTime now);
+  void fail_closed();
+  void maybe_upload(SimTime now, bool force);
+  std::uint16_t next_src_port();
+
+  std::string name_;
+  IpAddr ip_;
+  AgentConfig config_;
+  Uploader* uploader_;
+  RotatingLog local_log_;
+
+  bool probing_active_ = false;
+  std::uint64_t pinglist_version_ = 0;
+  std::vector<TargetState> targets_;
+  SimTime next_fetch_ = 0;
+  int fetch_failures_ = 0;
+  bool fetch_outstanding_ = false;
+
+  std::deque<LatencyRecord> buffer_;
+  SimTime next_upload_ = 0;
+  bool upload_timer_armed_ = false;
+  int upload_failures_ = 0;
+
+  PerfCounters counters_;
+  std::uint16_t ephemeral_port_ = 32768;
+
+  std::uint64_t probes_launched_ = 0;
+  std::uint64_t uploads_ok_ = 0;
+  std::uint64_t uploads_failed_ = 0;
+  std::uint64_t records_discarded_ = 0;
+};
+
+}  // namespace pingmesh::agent

@@ -1,0 +1,47 @@
+#include "agent/counters.h"
+
+namespace pingmesh::agent {
+
+PerfCounters::PerfCounters(SimTime window_start)
+    : window_start_(window_start), hist_(/*min_value=*/1'000, /*octaves=*/32,
+                                         /*sub_buckets_per_octave=*/32) {
+  cur_.window_start = window_start;
+}
+
+void PerfCounters::record_probe(bool success, SimTime rtt) {
+  ++cur_.probes;
+  if (!success) {
+    ++cur_.failures;
+    return;
+  }
+  ++cur_.successes;
+  switch (syn_drop_signature(rtt)) {
+    case 1:
+      ++cur_.probes_3s;
+      return;
+    case 2:
+      ++cur_.probes_9s;
+      return;
+    default:
+      hist_.record(rtt);
+  }
+}
+
+CounterSnapshot PerfCounters::peek(SimTime now) const {
+  CounterSnapshot s = cur_;
+  s.window_end = now;
+  s.p50_ns = hist_.p50();
+  s.p99_ns = hist_.p99();
+  return s;
+}
+
+CounterSnapshot PerfCounters::collect(SimTime now) {
+  CounterSnapshot s = peek(now);
+  cur_ = CounterSnapshot{};
+  cur_.window_start = now;
+  hist_.clear();
+  window_start_ = now;
+  return s;
+}
+
+}  // namespace pingmesh::agent

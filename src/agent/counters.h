@@ -1,0 +1,67 @@
+// Agent-local performance counters (paper §3.5): "the Pingmesh Agent
+// performs local calculation on the latency data and produces a set of
+// performance counters including the packet drop rate, the network latency
+// at 50th the 99th percentile". These are the counters the Autopilot
+// Perfcounter Aggregator collects on its faster 5-minute pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pingmesh::agent {
+
+/// SYN-drop signature of a successful probe's connect RTT (paper §4.2):
+/// an RTT around 3 s means the first SYN was lost (initial RTO), around
+/// 9 s means two SYNs were lost (3 s + doubled 6 s). Returns 0, 1, or 2.
+[[nodiscard]] constexpr int syn_drop_signature(SimTime rtt) {
+  // Generous bands: the residual RTT after the retransmit wait is sub-second.
+  if (rtt >= seconds(2) + millis(500) && rtt < seconds(6)) return 1;
+  if (rtt >= seconds(8) && rtt < seconds(15)) return 2;
+  return 0;
+}
+
+struct CounterSnapshot {
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;      ///< connect never completed
+  std::uint64_t probes_3s = 0;     ///< one-SYN-drop signatures
+  std::uint64_t probes_9s = 0;     ///< two-SYN-drop signatures
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+
+  /// The paper's drop-rate estimator:
+  ///   (probes with 3s rtt + probes with 9s rtt) / total successful probes.
+  [[nodiscard]] double drop_rate() const {
+    if (successes == 0) return 0.0;
+    return static_cast<double>(probes_3s + probes_9s) / static_cast<double>(successes);
+  }
+};
+
+/// Windowed counters; collect() returns the finished window and starts a
+/// fresh one.
+class PerfCounters {
+ public:
+  explicit PerfCounters(SimTime window_start = 0);
+
+  /// Record one probe outcome. Only clean RTTs (no retransmit signature)
+  /// enter the latency percentiles — a 3 s connect is a drop artifact, not
+  /// a latency sample.
+  void record_probe(bool success, SimTime rtt);
+
+  [[nodiscard]] CounterSnapshot peek(SimTime now) const;
+  CounterSnapshot collect(SimTime now);
+
+  /// Approximate memory footprint (agent memory budget accounting).
+  [[nodiscard]] std::size_t memory_bytes() const { return hist_.memory_bytes(); }
+
+ private:
+  SimTime window_start_;
+  CounterSnapshot cur_{};
+  LatencyHistogram hist_;
+};
+
+}  // namespace pingmesh::agent

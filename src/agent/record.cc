@@ -1,0 +1,105 @@
+#include "agent/record.h"
+
+#include <charconv>
+
+#include "common/csv.h"
+
+namespace pingmesh::agent {
+
+namespace {
+
+std::string u64s(std::uint64_t v) { return std::to_string(v); }
+std::string i64s(std::int64_t v) { return std::to_string(v); }
+
+std::optional<std::int64_t> parse_i64(const std::string& s) {
+  std::int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+const std::vector<std::string>& LatencyRecord::csv_header() {
+  static const std::vector<std::string> header = {
+      "timestamp_ns", "src_ip",  "dst_ip",     "src_port",        "dst_port",
+      "kind",         "qos",     "success",    "rtt_ns",          "payload_success",
+      "payload_rtt_ns", "payload_bytes"};
+  return header;
+}
+
+std::vector<std::string> LatencyRecord::to_csv_row() const {
+  return {
+      i64s(timestamp),
+      u64s(src_ip.v),
+      u64s(dst_ip.v),
+      u64s(src_port),
+      u64s(dst_port),
+      u64s(static_cast<std::uint8_t>(kind)),
+      u64s(static_cast<std::uint8_t>(qos)),
+      success ? "1" : "0",
+      i64s(rtt),
+      payload_success ? "1" : "0",
+      i64s(payload_rtt),
+      u64s(payload_bytes),
+  };
+}
+
+std::optional<LatencyRecord> LatencyRecord::from_csv_row(
+    const std::vector<std::string>& row) {
+  if (row.size() != csv_header().size()) return std::nullopt;
+  LatencyRecord r;
+  auto ts = parse_i64(row[0]);
+  auto src = parse_i64(row[1]);
+  auto dst = parse_i64(row[2]);
+  auto sp = parse_i64(row[3]);
+  auto dp = parse_i64(row[4]);
+  auto kind = parse_i64(row[5]);
+  auto qos = parse_i64(row[6]);
+  auto success = parse_i64(row[7]);
+  auto rtt = parse_i64(row[8]);
+  auto psuccess = parse_i64(row[9]);
+  auto prtt = parse_i64(row[10]);
+  auto pbytes = parse_i64(row[11]);
+  if (!ts || !src || !dst || !sp || !dp || !kind || !qos || !success || !rtt ||
+      !psuccess || !prtt || !pbytes) {
+    return std::nullopt;
+  }
+  if (*kind > 2 || *qos > 1) return std::nullopt;
+  r.timestamp = *ts;
+  r.src_ip = IpAddr(static_cast<std::uint32_t>(*src));
+  r.dst_ip = IpAddr(static_cast<std::uint32_t>(*dst));
+  r.src_port = static_cast<std::uint16_t>(*sp);
+  r.dst_port = static_cast<std::uint16_t>(*dp);
+  r.kind = static_cast<controller::ProbeKind>(*kind);
+  r.qos = static_cast<controller::QosClass>(*qos);
+  r.success = *success != 0;
+  r.rtt = *rtt;
+  r.payload_success = *psuccess != 0;
+  r.payload_rtt = *prtt;
+  r.payload_bytes = static_cast<std::uint32_t>(*pbytes);
+  return r;
+}
+
+std::string encode_batch(const std::vector<LatencyRecord>& records) {
+  std::string out;
+  out.reserve(records.size() * 64);
+  for (const LatencyRecord& r : records) {
+    out += csv::encode_row(r.to_csv_row());
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<LatencyRecord> decode_batch(std::string_view csv_data) {
+  std::vector<LatencyRecord> out;
+  std::size_t pos = 0;
+  std::vector<std::string> row;
+  while (csv::parse_row(csv_data, pos, row)) {
+    if (row.size() == 1 && row[0].empty()) continue;  // blank line
+    if (auto r = LatencyRecord::from_csv_row(row)) out.push_back(*r);
+  }
+  return out;
+}
+
+}  // namespace pingmesh::agent

@@ -1,0 +1,41 @@
+#include "agent/rotating_log.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace pingmesh::agent {
+
+RotatingLog::RotatingLog(std::string path, std::size_t max_bytes)
+    : path_(std::move(path)), max_bytes_(max_bytes) {
+  if (!enabled()) return;
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path_, ec);
+  current_size_ = ec ? 0 : static_cast<std::size_t>(size);
+}
+
+bool RotatingLog::rotate() {
+  std::error_code ec;
+  std::filesystem::rename(path_, path_ + ".1", ec);
+  if (ec) {
+    // Rename can fail if the file never existed; try removing the stale one.
+    std::filesystem::remove(path_ + ".1", ec);
+    std::filesystem::rename(path_, path_ + ".1", ec);
+  }
+  current_size_ = 0;
+  return true;
+}
+
+bool RotatingLog::append(std::string_view blob) {
+  if (!enabled()) return true;
+  if (current_size_ + blob.size() > max_bytes_ && current_size_ > 0) rotate();
+  std::ofstream out(path_, std::ios::app | std::ios::binary);
+  if (!out) return false;
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return false;
+  current_size_ += blob.size();
+  return true;
+}
+
+}  // namespace pingmesh::agent

@@ -1,0 +1,34 @@
+// Size-capped local log of latency records (paper §3.4.2: "The Pingmesh
+// Agent also writes the latency data to local disk as log files. The size
+// of log files is limited to a configurable size."). One rotation
+// generation is kept (<path> and <path>.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pingmesh::agent {
+
+class RotatingLog {
+ public:
+  /// Empty path disables the log entirely.
+  RotatingLog(std::string path, std::size_t max_bytes);
+
+  /// Append a blob (already CSV-encoded batch); rotates first when the
+  /// current file would exceed the cap. Returns false on IO error (the
+  /// agent treats local-log failure as non-fatal).
+  bool append(std::string_view blob);
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] std::size_t current_size() const { return current_size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  bool rotate();
+
+  std::string path_;
+  std::size_t max_bytes_;
+  std::size_t current_size_ = 0;
+};
+
+}  // namespace pingmesh::agent

@@ -1,0 +1,127 @@
+#include "analysis/blackhole.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pingmesh::analysis {
+
+BlackholeReport BlackholeDetector::detect(const std::vector<agent::LatencyRecord>& window,
+                                          const topo::Topology& topo) const {
+  // 1. Per-pair failure statistics.
+  auto pairs = per_pair_stats(window);
+
+  // 2. Responsive servers: had at least one successful probe as source or
+  //    destination. Pairs involving unresponsive servers are dead-server
+  //    symptoms (e.g. podset power-down), not black-holes.
+  std::unordered_set<std::uint32_t> responsive;
+  for (const auto& [key, stats] : pairs) {
+    if (stats.successes == 0) continue;
+    if (auto s = topo.find_server_by_ip(key.src)) responsive.insert(s->value);
+    if (auto d = topo.find_server_by_ip(key.dst)) responsive.insert(d->value);
+  }
+
+  // 3. Collect black pairs and per-ToR measurable totals.
+  struct BlackPair {
+    std::uint32_t tor_a;
+    std::uint32_t tor_b;
+    bool covered = false;
+  };
+  std::vector<BlackPair> black;
+  std::unordered_map<std::uint32_t, std::uint64_t> total_per_tor;
+  for (const auto& [key, stats] : pairs) {
+    if (stats.probes < config_.min_probes_per_pair) continue;
+    auto src = topo.find_server_by_ip(key.src);
+    auto dst = topo.find_server_by_ip(key.dst);
+    if (!src || !dst) continue;
+    if (!responsive.contains(src->value) || !responsive.contains(dst->value)) continue;
+    const topo::Server& s = topo.server(*src);
+    const topo::Server& d = topo.server(*dst);
+    ++total_per_tor[s.tor.value];
+    if (d.tor != s.tor) ++total_per_tor[d.tor.value];
+    if (stats.failures >= config_.min_failures &&
+        stats.failure_rate() >= config_.pair_failure_threshold) {
+      black.push_back(BlackPair{s.tor.value, d.tor.value, false});
+    }
+  }
+
+  // 4. Diagnostics: raw (pre-attribution) black-pair counts per ToR.
+  std::unordered_map<std::uint32_t, std::uint64_t> raw_black;
+  for (const BlackPair& bp : black) {
+    ++raw_black[bp.tor_a];
+    if (bp.tor_b != bp.tor_a) ++raw_black[bp.tor_b];
+  }
+  BlackholeReport report;
+  std::unordered_map<std::uint32_t, const topo::Pod*> pod_of_tor;
+  report.all_scores.reserve(topo.pods().size());
+  for (const topo::Pod& pod : topo.pods()) {
+    pod_of_tor[pod.tor.value] = &pod;
+    TorScore score;
+    score.tor = pod.tor;
+    score.pod = pod.id;
+    score.podset = pod.podset;
+    auto tot = total_per_tor.find(pod.tor.value);
+    if (tot != total_per_tor.end()) score.pairs_total = tot->second;
+    auto blk = raw_black.find(pod.tor.value);
+    if (blk != raw_black.end()) score.pairs_black = blk->second;
+    report.all_scores.push_back(score);
+  }
+
+  // 5. Greedy cover: the ToR explaining the most remaining black pairs is a
+  //    candidate; its pairs are explained and removed. Stops at the noise
+  //    floor, so a healthy ToR whose servers merely *talk to* a black-holed
+  //    pod is never selected — its black pairs are already covered.
+  std::vector<TorScore> flagged;
+  for (;;) {
+    std::unordered_map<std::uint32_t, std::uint64_t> coverage;
+    for (const BlackPair& bp : black) {
+      if (bp.covered) continue;
+      ++coverage[bp.tor_a];
+      if (bp.tor_b != bp.tor_a) ++coverage[bp.tor_b];
+    }
+    std::uint32_t best_tor = 0;
+    std::uint64_t best_cover = 0;
+    for (const auto& [tor, cover] : coverage) {
+      if (cover > best_cover || (cover == best_cover && tor < best_tor)) {
+        best_tor = tor;
+        best_cover = cover;
+      }
+    }
+    if (best_cover < static_cast<std::uint64_t>(config_.min_black_pairs)) break;
+    auto pod_it = pod_of_tor.find(best_tor);
+    if (pod_it == pod_of_tor.end()) break;  // black pairs point at no known ToR
+    const topo::Pod& pod = *pod_it->second;
+    TorScore score;
+    score.tor = pod.tor;
+    score.pod = pod.id;
+    score.podset = pod.podset;
+    score.pairs_total = total_per_tor[best_tor];
+    score.pairs_black = best_cover;
+    flagged.push_back(score);
+    for (BlackPair& bp : black) {
+      if (!bp.covered && (bp.tor_a == best_tor || bp.tor_b == best_tor)) bp.covered = true;
+    }
+  }
+
+  // 6. Podset-wide symptom escalates to Leaf/Spine investigation instead of
+  //    auto-reloading.
+  std::unordered_map<std::uint32_t, int> podset_tors;
+  for (const topo::Pod& pod : topo.pods()) ++podset_tors[pod.podset.value];
+  std::unordered_map<std::uint32_t, int> podset_affected;
+  for (const TorScore& s : flagged) ++podset_affected[s.podset.value];
+  std::unordered_set<std::uint32_t> escalated;
+  for (const auto& [podset, affected] : podset_affected) {
+    double fraction =
+        static_cast<double>(affected) / static_cast<double>(podset_tors[podset]);
+    if (fraction >= config_.podset_escalation_fraction && podset_tors[podset] > 1) {
+      escalated.insert(podset);
+      report.escalations.push_back(PodsetId{podset});
+    }
+  }
+  for (const TorScore& s : flagged) {
+    if (!escalated.contains(s.podset.value)) report.candidates.push_back(s);
+  }
+  return report;
+}
+
+}  // namespace pingmesh::analysis

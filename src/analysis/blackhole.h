@@ -1,0 +1,84 @@
+// Packet black-hole detection (paper §5.1).
+//
+// "The idea of the algorithm is that if many servers under a ToR switch
+// experience the black-hole symptom, then we mark the ToR switch as a
+// black-hole candidate and assign it a score ... We then select the
+// switches with black-hole score larger than a threshold as the candidates.
+// Within a podset, if only part of the ToRs experience the black-hole
+// symptom, then those ToRs are blacking hole packets. ... If all the ToRs
+// in a podset experience the black-hole symptom, then the problem may be in
+// the Leaf or Spine layer. Network engineers are notified."
+//
+// Symptom definition. Baseline loss essentially never kills a whole TCP
+// connect (all three SYNs must drop), so a pair that fails repeatedly is a
+// deterministic signal:
+//   - type-1 (corrupted TCAM src/dst entries): a few pairs per ToR fail
+//     100% of the time;
+//   - type-2 (five-tuple): every pair crossing the ToR fails the fraction
+//     of its probes whose fresh source port lands on a corrupted entry —
+//     the new-port-per-probe design is what surfaces these.
+// Both concentrate "black pairs" on the faulty ToR. Because a pair touches
+// the ToRs of *both* endpoints, a healthy ToR whose servers talk to a
+// black-holed pod also accumulates black pairs; attribution therefore uses
+// greedy set-cover: repeatedly pick the ToR that explains the most
+// remaining black pairs, remove the pairs it covers, stop when no ToR
+// explains more than the noise floor. Pairs whose endpoints look dead (no
+// successes at all) are excluded — that is a server/pod failure, not a
+// switch black-hole.
+#pragma once
+
+#include <vector>
+
+#include "agent/record.h"
+#include "analysis/droprate.h"
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace pingmesh::analysis {
+
+struct BlackholeConfig {
+  std::uint64_t min_probes_per_pair = 3;  ///< pairs with fewer probes are ignored
+  std::uint64_t min_failures = 2;         ///< failed probes making a pair "black"
+  double pair_failure_threshold = 0.15;   ///< failure rate making a pair "black"
+  int min_black_pairs = 3;                ///< greedy-cover noise floor per ToR
+  double podset_escalation_fraction = 0.99;  ///< all ToRs affected -> Leaf/Spine
+};
+
+struct TorScore {
+  SwitchId tor;
+  PodId pod;
+  PodsetId podset;
+  std::uint64_t pairs_total = 0;  ///< measurable pairs with an endpoint under this ToR
+  std::uint64_t pairs_black = 0;  ///< black pairs attributed to this ToR by the cover
+
+  [[nodiscard]] double score() const {
+    return pairs_total ? static_cast<double>(pairs_black) /
+                             static_cast<double>(pairs_total)
+                       : 0.0;
+  }
+};
+
+struct BlackholeReport {
+  /// ToRs to reload (score stands out, not podset-wide).
+  std::vector<TorScore> candidates;
+  /// Podsets where (almost) every ToR is affected: fault above the ToR
+  /// layer; humans notified instead of auto-reload.
+  std::vector<PodsetId> escalations;
+  /// All scored ToRs (diagnostics).
+  std::vector<TorScore> all_scores;
+};
+
+class BlackholeDetector {
+ public:
+  explicit BlackholeDetector(BlackholeConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] BlackholeReport detect(const std::vector<agent::LatencyRecord>& window,
+                                       const topo::Topology& topo) const;
+
+  [[nodiscard]] const BlackholeConfig& config() const { return config_; }
+
+ private:
+  BlackholeConfig config_;
+};
+
+}  // namespace pingmesh::analysis

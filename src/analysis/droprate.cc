@@ -1,0 +1,39 @@
+#include "analysis/droprate.h"
+
+#include "agent/counters.h"
+
+namespace pingmesh::analysis {
+
+DropEstimate estimate_drop_rate(const std::vector<agent::LatencyRecord>& records) {
+  DropEstimate e;
+  for (const agent::LatencyRecord& r : records) {
+    if (!r.success) {
+      ++e.failed_probes;
+      continue;
+    }
+    ++e.successful_probes;
+    switch (agent::syn_drop_signature(r.rtt)) {
+      case 1: ++e.probes_3s; break;
+      case 2: ++e.probes_9s; break;
+      default: break;
+    }
+  }
+  return e;
+}
+
+std::map<PairKey, PairStats> per_pair_stats(const std::vector<agent::LatencyRecord>& records) {
+  std::map<PairKey, PairStats> out;
+  for (const agent::LatencyRecord& r : records) {
+    PairStats& s = out[PairKey{r.src_ip, r.dst_ip}];
+    ++s.probes;
+    if (r.success) {
+      ++s.successes;
+      if (agent::syn_drop_signature(r.rtt) > 0) ++s.drop_signatures;
+    } else {
+      ++s.failures;
+    }
+  }
+  return out;
+}
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,58 @@
+// Packet drop rate inference (paper §4.2).
+//
+// "Pingmesh does not directly measure packet drop rate. However, we can
+// infer packet drop rate from the TCP connection setup time. ... we use the
+// following heuristic to estimate packet drop rate:
+//     (probes with 3s rtt + probes with 9s rtt) / total successful probes."
+//
+// Failed probes are excluded from the denominator (can't distinguish drops
+// from a dead receiver), and a 9 s probe counts once, not twice (successive
+// drops within a connection are correlated).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "agent/record.h"
+#include "common/types.h"
+
+namespace pingmesh::analysis {
+
+struct DropEstimate {
+  std::uint64_t successful_probes = 0;
+  std::uint64_t failed_probes = 0;
+  std::uint64_t probes_3s = 0;
+  std::uint64_t probes_9s = 0;
+
+  [[nodiscard]] double rate() const {
+    if (successful_probes == 0) return 0.0;
+    return static_cast<double>(probes_3s + probes_9s) /
+           static_cast<double>(successful_probes);
+  }
+};
+
+/// Aggregate estimate over a record set.
+DropEstimate estimate_drop_rate(const std::vector<agent::LatencyRecord>& records);
+
+/// Per source-destination pair estimates (input to black-hole detection).
+struct PairKey {
+  IpAddr src;
+  IpAddr dst;
+  auto operator<=>(const PairKey&) const = default;
+};
+
+struct PairStats {
+  std::uint64_t probes = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t drop_signatures = 0;
+
+  [[nodiscard]] double failure_rate() const {
+    return probes ? static_cast<double>(failures) / static_cast<double>(probes) : 0.0;
+  }
+};
+
+std::map<PairKey, PairStats> per_pair_stats(const std::vector<agent::LatencyRecord>& records);
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,251 @@
+#include "analysis/heatmap.h"
+
+#include <algorithm>
+
+namespace pingmesh::analysis {
+
+char cell_color_char(CellColor c) {
+  switch (c) {
+    case CellColor::kGreen: return 'G';
+    case CellColor::kYellow: return 'Y';
+    case CellColor::kRed: return 'R';
+    case CellColor::kWhite: return '.';
+  }
+  return '?';
+}
+
+const char* latency_pattern_name(LatencyPattern p) {
+  switch (p) {
+    case LatencyPattern::kNormal: return "normal";
+    case LatencyPattern::kPodsetDown: return "podset-down";
+    case LatencyPattern::kPodsetFailure: return "podset-failure";
+    case LatencyPattern::kSpineFailure: return "spine-failure";
+    case LatencyPattern::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Heatmap::Heatmap(const topo::Topology& topo, DcId dc, HeatmapThresholds thresholds)
+    : topo_(&topo), dc_(dc), thresholds_(thresholds) {
+  const topo::DataCenter& d = topo.dc(dc);
+  for (PodsetId ps : d.podsets) {
+    for (PodId p : topo.podset(ps).pods) {
+      pods_.push_back(p);
+      podsets_.push_back(ps);
+    }
+  }
+  pod_index_.assign(topo.pods().size(), -1);
+  for (std::size_t i = 0; i < pods_.size(); ++i) {
+    pod_index_[pods_[i].value] = static_cast<std::int32_t>(i);
+  }
+  cells_.assign(pods_.size() * pods_.size(), CellColor::kWhite);
+}
+
+void Heatmap::load(const std::vector<dsa::PodPairStatRow>& rows) {
+  std::fill(cells_.begin(), cells_.end(), CellColor::kWhite);
+  for (const dsa::PodPairStatRow& row : rows) {
+    if (row.src_pod.value >= pod_index_.size() || row.dst_pod.value >= pod_index_.size()) {
+      continue;
+    }
+    std::int32_t i = pod_index_[row.src_pod.value];
+    std::int32_t j = pod_index_[row.dst_pod.value];
+    if (i < 0 || j < 0) continue;  // other DC
+    CellColor c;
+    // A drop-rate breach needs at least two signatures: one retransmit in a
+    // small window is statistically meaningless against a 1e-3 threshold.
+    bool drops_red = row.drop_signatures >= 2 && row.drop_rate() > thresholds_.red_drop_rate;
+    if (row.successes == 0) {
+      c = CellColor::kWhite;  // no latency data available
+    } else if (row.p99_ns > thresholds_.yellow_below || drops_red) {
+      c = CellColor::kRed;
+    } else if (row.p99_ns > thresholds_.green_below) {
+      c = CellColor::kYellow;
+    } else {
+      c = CellColor::kGreen;
+    }
+    cells_[idx(static_cast<std::size_t>(i), static_cast<std::size_t>(j))] = c;
+  }
+}
+
+CellColor Heatmap::cell(std::size_t src_idx, std::size_t dst_idx) const {
+  return cells_.at(idx(src_idx, dst_idx));
+}
+
+std::string Heatmap::ascii() const {
+  std::string out;
+  std::size_t n = pods_.size();
+  out.reserve(n * (n + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out += cell_color_char(cells_[idx(i, j)]);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Heatmap::to_ppm(int scale) const {
+  std::size_t n = pods_.size();
+  std::size_t wh = n * static_cast<std::size_t>(scale);
+  std::string out = "P6\n" + std::to_string(wh) + " " + std::to_string(wh) + "\n255\n";
+  auto rgb = [](CellColor c) -> std::array<unsigned char, 3> {
+    switch (c) {
+      case CellColor::kGreen: return {0x2e, 0xb8, 0x2e};
+      case CellColor::kYellow: return {0xe8, 0xc5, 0x47};
+      case CellColor::kRed: return {0xd6, 0x3a, 0x3a};
+      case CellColor::kWhite: return {0xff, 0xff, 0xff};
+    }
+    return {0, 0, 0};
+  };
+  for (std::size_t py = 0; py < wh; ++py) {
+    for (std::size_t px = 0; px < wh; ++px) {
+      auto c = rgb(cells_[idx(py / static_cast<std::size_t>(scale),
+                              px / static_cast<std::size_t>(scale))]);
+      out.append(reinterpret_cast<const char*>(c.data()), 3);
+    }
+  }
+  return out;
+}
+
+double Heatmap::fraction(CellColor c) const {
+  if (cells_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (CellColor x : cells_) {
+    if (x == c) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(cells_.size());
+}
+
+PatternResult classify_pattern(const Heatmap& map) {
+  PatternResult result;
+  std::size_t n = map.size();
+  if (n == 0) return result;
+  result.green_fraction = map.fraction(CellColor::kGreen);
+  result.white_fraction = map.fraction(CellColor::kWhite);
+  result.red_fraction = map.fraction(CellColor::kRed);
+
+  // Per-podset cross statistics: the fraction of white/red cells among all
+  // cells in the podset's rows and columns (excluding its own diagonal
+  // block, which is dark in the podset-down case too).
+  struct CrossStat {
+    PodsetId podset;
+    std::size_t cells = 0;
+    std::size_t white = 0;
+    std::size_t red = 0;
+    std::size_t green = 0;
+  };
+  std::vector<CrossStat> stats;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stats.empty() || !(stats.back().podset == map.podset_at(i))) {
+      stats.push_back(CrossStat{map.podset_at(i), 0, 0, 0, 0});
+    }
+  }
+  auto podset_rank = [&](std::size_t idx) {
+    for (std::size_t k = 0; k < stats.size(); ++k) {
+      if (stats[k].podset == map.podset_at(idx)) return k;
+    }
+    return std::size_t{0};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      CellColor c = map.cell(i, j);
+      std::size_t pi = podset_rank(i);
+      std::size_t pj = podset_rank(j);
+      auto account = [&](CrossStat& s) {
+        ++s.cells;
+        if (c == CellColor::kWhite) ++s.white;
+        if (c == CellColor::kRed) ++s.red;
+        if (c == CellColor::kGreen) ++s.green;
+      };
+      if (pi == pj) continue;  // cross arms only
+      account(stats[pi]);
+      account(stats[pj]);
+    }
+  }
+
+  // A candidate podset's own diagonal block, used to disambiguate: in
+  // podset-down the block is white (servers gone), in podset-failure it is
+  // red-ish (the fault is inside the podset), while in spine-failure every
+  // diagonal block stays green.
+  auto own_block_fraction = [&](PodsetId candidate, CellColor color) {
+    std::size_t total = 0;
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!(map.podset_at(i) == candidate) || !(map.podset_at(j) == candidate)) continue;
+        ++total;
+        if (map.cell(i, j) == color) ++hit;
+      }
+    }
+    return total ? static_cast<double>(hit) / static_cast<double>(total) : 0.0;
+  };
+
+  // Also the "rest of the matrix is fine" check per candidate podset.
+  auto rest_mostly_green = [&](PodsetId candidate) {
+    std::size_t total = 0;
+    std::size_t green = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (map.podset_at(i) == candidate || map.podset_at(j) == candidate) continue;
+        ++total;
+        if (map.cell(i, j) == CellColor::kGreen) ++green;
+      }
+    }
+    return total == 0 ||
+           static_cast<double>(green) / static_cast<double>(total) >= 0.9;
+  };
+
+  // (b) podset-down: one podset's cross is white.
+  for (const CrossStat& s : stats) {
+    if (s.cells == 0) continue;
+    double whiteness = static_cast<double>(s.white) / static_cast<double>(s.cells);
+    if (whiteness >= 0.9 && own_block_fraction(s.podset, CellColor::kWhite) >= 0.9 &&
+        rest_mostly_green(s.podset)) {
+      result.pattern = LatencyPattern::kPodsetDown;
+      result.podset = s.podset;
+      return result;
+    }
+  }
+  // (c) podset-failure: one podset's cross is red.
+  for (const CrossStat& s : stats) {
+    if (s.cells == 0) continue;
+    double redness = static_cast<double>(s.red) / static_cast<double>(s.cells);
+    if (redness >= 0.8 && own_block_fraction(s.podset, CellColor::kRed) >= 0.5 &&
+        rest_mostly_green(s.podset)) {
+      result.pattern = LatencyPattern::kPodsetFailure;
+      result.podset = s.podset;
+      return result;
+    }
+  }
+  // (d) spine-failure: cross-podset red, intra-podset (diagonal blocks) green.
+  {
+    std::size_t cross_total = 0;
+    std::size_t cross_red = 0;
+    std::size_t diag_total = 0;
+    std::size_t diag_green = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (map.podset_at(i) == map.podset_at(j)) {
+          ++diag_total;
+          if (map.cell(i, j) == CellColor::kGreen) ++diag_green;
+        } else {
+          ++cross_total;
+          if (map.cell(i, j) == CellColor::kRed) ++cross_red;
+        }
+      }
+    }
+    if (cross_total > 0 && diag_total > 0 &&
+        static_cast<double>(cross_red) / static_cast<double>(cross_total) >= 0.6 &&
+        static_cast<double>(diag_green) / static_cast<double>(diag_total) >= 0.8) {
+      result.pattern = LatencyPattern::kSpineFailure;
+      return result;
+    }
+  }
+  // (a) normal: (almost) all green.
+  if (result.green_fraction >= 0.95) {
+    result.pattern = LatencyPattern::kNormal;
+    return result;
+  }
+  result.pattern = LatencyPattern::kUnknown;
+  return result;
+}
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,44 @@
+#include "analysis/length_dependence.h"
+
+#include "agent/counters.h"
+
+namespace pingmesh::analysis {
+
+LengthDependenceReport detect_length_dependent_loss(
+    const std::vector<agent::LatencyRecord>& window,
+    const LengthDependenceConfig& config) {
+  LengthDependenceReport report;
+  for (const agent::LatencyRecord& r : window) {
+    if (!r.success) continue;  // connect failed: no payload leg to compare
+    ++report.syn_probes;
+    if (agent::syn_drop_signature(r.rtt) > 0) ++report.syn_drop_signatures;
+
+    if (r.kind != controller::ProbeKind::kTcpPayload) continue;
+    ++report.payload_probes;
+    if (!r.payload_success) {
+      ++report.payload_failures;
+    } else if (r.payload_rtt - r.rtt >= millis(250)) {
+      // A healthy echo takes about one more RTT than the connect; a gap of
+      // an RTO or more means the data or echo packet was retransmitted.
+      ++report.payload_retransmits;
+    }
+  }
+
+  if (report.payload_probes > 0) {
+    report.payload_loss_rate =
+        static_cast<double>(report.payload_failures + report.payload_retransmits) /
+        static_cast<double>(report.payload_probes);
+  }
+  if (report.syn_probes > 0) {
+    report.syn_loss_rate = static_cast<double>(report.syn_drop_signatures) /
+                           static_cast<double>(report.syn_probes);
+  }
+  report.length_dependent =
+      report.payload_probes >= config.min_payload_probes &&
+      report.payload_loss_rate >= config.min_payload_loss &&
+      report.payload_loss_rate >= config.ratio_threshold *
+                                      std::max(report.syn_loss_rate, 1e-9);
+  return report;
+}
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,58 @@
+#include "analysis/server_selection.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pingmesh::analysis {
+
+std::vector<ServerNetworkScore> rank_servers_for_selection(
+    const dsa::Database& db, const std::vector<ServerId>& candidates,
+    const SelectionOptions& options) {
+  struct Acc {
+    std::uint64_t probes = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t signatures = 0;
+    std::int64_t worst_p99 = 0;
+  };
+  std::unordered_map<std::uint32_t, Acc> by_server;
+  for (const dsa::SlaRow& row : db.sla_rows) {
+    if (row.scope != dsa::SlaScope::kServer) continue;
+    if (row.window_end <= options.window_start) continue;
+    if (options.window_end != 0 && row.window_start >= options.window_end) continue;
+    Acc& acc = by_server[row.scope_id];
+    acc.probes += row.probes;
+    acc.successes += row.successes;
+    acc.signatures += row.drop_signatures;
+    acc.worst_p99 = std::max(acc.worst_p99, row.p99_ns);
+  }
+
+  std::vector<ServerNetworkScore> out;
+  out.reserve(candidates.size());
+  for (ServerId server : candidates) {
+    ServerNetworkScore score;
+    score.server = server;
+    auto it = by_server.find(server.value);
+    if (it != by_server.end()) {
+      const Acc& acc = it->second;
+      score.probes = acc.probes;
+      score.drop_rate = acc.successes ? static_cast<double>(acc.signatures) /
+                                            static_cast<double>(acc.successes)
+                                      : 0.0;
+      score.p99_ns = acc.worst_p99;
+    }
+    if (score.probes < options.min_probes) {
+      score.score = 1e9;  // unknown network health ranks last
+    } else {
+      score.score = score.drop_rate * 100.0 +
+                    options.latency_weight * to_millis(score.p99_ns);
+    }
+    out.push_back(score);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ServerNetworkScore& a, const ServerNetworkScore& b) {
+                     return a.score < b.score;
+                   });
+  return out;
+}
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,46 @@
+// Server selection support (paper §6.2, "Network metrics for services"):
+//
+// "The Pingmesh Agent exposes two PA counters for every server: the 99th
+// latency and the packet drop rate. Service developers can use the 99th
+// latency to get better understanding of data center network latency at
+// server level. The per-server packet drop rate has been used by several
+// services as one of the metrics for server selection."
+//
+// rank_servers_for_selection() orders candidate servers by a composite of
+// exactly those two metrics, from per-server SLA rows.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "dsa/database.h"
+
+namespace pingmesh::analysis {
+
+struct ServerNetworkScore {
+  ServerId server;
+  double drop_rate = 0.0;
+  std::int64_t p99_ns = 0;
+  std::uint64_t probes = 0;
+  /// Lower is better; dimensionless combination of drop rate (dominant)
+  /// and P99 latency.
+  double score = 0.0;
+};
+
+struct SelectionOptions {
+  SimTime window_start = 0;
+  SimTime window_end = 0;  ///< 0 = everything
+  /// Weight of P99 milliseconds relative to one unit of drop rate percent.
+  double latency_weight = 0.05;
+  /// Servers with fewer probes than this rank last (unknown network health).
+  std::uint64_t min_probes = 50;
+};
+
+/// Rank `candidates` best-first by their measured network health. Servers
+/// without enough data sort after measured ones (unknown beats nothing but
+/// loses to evidence).
+std::vector<ServerNetworkScore> rank_servers_for_selection(
+    const dsa::Database& db, const std::vector<ServerId>& candidates,
+    const SelectionOptions& options = {});
+
+}  // namespace pingmesh::analysis

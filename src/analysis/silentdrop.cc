@@ -1,0 +1,190 @@
+#include "analysis/silentdrop.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "agent/counters.h"
+#include "analysis/droprate.h"
+
+namespace pingmesh::analysis {
+
+const char* suspect_tier_name(SuspectTier t) {
+  switch (t) {
+    case SuspectTier::kNone: return "none";
+    case SuspectTier::kTor: return "tor";
+    case SuspectTier::kLeaf: return "leaf";
+    case SuspectTier::kSpine: return "spine";
+  }
+  return "?";
+}
+
+std::vector<SwitchId> tcp_traceroute(netsim::SimNetwork& net, const FiveTuple& tuple,
+                                     SimTime now, int retries_per_hop) {
+  std::vector<SwitchId> hops;
+  for (int ttl = 1; ttl <= 16; ++ttl) {
+    std::optional<SwitchId> answer;
+    for (int attempt = 0; attempt < retries_per_hop && !answer; ++attempt) {
+      answer = net.traceroute_hop(tuple, ttl, now);
+    }
+    if (!answer) break;  // path end or a hop that never answers
+    hops.push_back(*answer);
+  }
+  return hops;
+}
+
+namespace {
+
+struct RateAcc {
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t signatures = 0;
+
+  void add(const agent::LatencyRecord& r) {
+    if (!r.success) {
+      ++failures;
+      return;
+    }
+    ++successes;
+    if (agent::syn_drop_signature(r.rtt) > 0) ++signatures;
+  }
+
+  [[nodiscard]] std::uint64_t probes() const { return successes + failures; }
+  [[nodiscard]] double rate() const {
+    return successes ? static_cast<double>(signatures) / static_cast<double>(successes)
+                     : 0.0;
+  }
+};
+
+}  // namespace
+
+std::optional<DcId> SilentDropLocalizer::detect_affected_dc(
+    const std::vector<agent::LatencyRecord>& window, const topo::Topology& topo) const {
+  std::unordered_map<std::uint32_t, RateAcc> per_dc;
+  for (const agent::LatencyRecord& r : window) {
+    auto src = topo.find_server_by_ip(r.src_ip);
+    auto dst = topo.find_server_by_ip(r.dst_ip);
+    if (!src || !dst) continue;
+    const topo::Server& s = topo.server(*src);
+    if (s.dc != topo.server(*dst).dc) continue;  // intra-DC view
+    per_dc[s.dc.value].add(r);
+  }
+  std::optional<DcId> worst;
+  double worst_rate = 0.0;
+  for (const auto& [dc, acc] : per_dc) {
+    if (acc.probes() < config_.min_probes) continue;
+    double rate = acc.rate();
+    if (rate >= config_.incident_threshold && rate > worst_rate) {
+      worst = DcId{dc};
+      worst_rate = rate;
+    }
+  }
+  return worst;
+}
+
+SilentDropReport SilentDropLocalizer::localize(
+    const std::vector<agent::LatencyRecord>& window, const topo::Topology& topo,
+    netsim::SimNetwork& net, SimTime now) const {
+  SilentDropReport report;
+  auto affected = detect_affected_dc(window, topo);
+  if (!affected) return report;
+  report.incident = true;
+  report.affected_dc = *affected;
+
+  // --- tier classification from the record pattern ------------------------
+  RateAcc intra_podset;
+  RateAcc cross_podset;
+  RateAcc dc_all;
+  for (const agent::LatencyRecord& r : window) {
+    auto src = topo.find_server_by_ip(r.src_ip);
+    auto dst = topo.find_server_by_ip(r.dst_ip);
+    if (!src || !dst) continue;
+    const topo::Server& s = topo.server(*src);
+    const topo::Server& d = topo.server(*dst);
+    if (s.dc != report.affected_dc || d.dc != report.affected_dc) continue;
+    dc_all.add(r);
+    if (s.podset == d.podset) {
+      intra_podset.add(r);
+    } else {
+      cross_podset.add(r);
+    }
+  }
+  report.dc_drop_rate = dc_all.rate();
+  report.intra_podset_rate = intra_podset.rate();
+  report.cross_podset_rate = cross_podset.rate();
+
+  bool cross_hot = report.cross_podset_rate >= config_.incident_threshold;
+  bool intra_hot = report.intra_podset_rate >= config_.incident_threshold;
+  if (cross_hot && (!intra_hot || report.cross_podset_rate >=
+                                      config_.tier_elevation_factor *
+                                          std::max(report.intra_podset_rate, 1e-9))) {
+    // Only traffic that climbs to the Spine layer is affected (Fig. 8(d)).
+    report.tier = SuspectTier::kSpine;
+  } else if (intra_hot && !cross_hot) {
+    report.tier = SuspectTier::kLeaf;
+  } else if (intra_hot && cross_hot) {
+    report.tier = SuspectTier::kTor;  // everything from some pods is bad
+  }
+  if (report.tier != SuspectTier::kSpine) return report;
+
+  // --- active pinpointing via traceroute + focused probing ----------------
+  // Pick the worst affected cross-podset pairs.
+  auto pairs = per_pair_stats(window);
+  std::vector<std::pair<double, PairKey>> affected_pairs;
+  for (const auto& [key, stats] : pairs) {
+    auto src = topo.find_server_by_ip(key.src);
+    auto dst = topo.find_server_by_ip(key.dst);
+    if (!src || !dst) continue;
+    const topo::Server& s = topo.server(*src);
+    const topo::Server& d = topo.server(*dst);
+    if (s.dc != report.affected_dc || d.dc != report.affected_dc) continue;
+    if (s.podset == d.podset) continue;
+    double badness = static_cast<double>(stats.drop_signatures + stats.failures);
+    if (badness > 0) affected_pairs.emplace_back(badness, key);
+  }
+  std::sort(affected_pairs.begin(), affected_pairs.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (affected_pairs.size() > static_cast<std::size_t>(config_.pairs_to_probe)) {
+    affected_pairs.resize(static_cast<std::size_t>(config_.pairs_to_probe));
+  }
+
+  std::map<std::uint32_t, SpineLoss> loss_by_spine;
+  for (const auto& [badness, key] : affected_pairs) {
+    for (int v = 0; v < config_.tuples_per_pair; ++v) {
+      FiveTuple tuple{key.src, key.dst, static_cast<std::uint16_t>(40000 + v * 131), 33100, 6};
+      // Which spine does this tuple ride? Discover it like traceroute does.
+      std::vector<SwitchId> path = tcp_traceroute(net, tuple, now);
+      SwitchId spine;
+      for (SwitchId h : path) {
+        if (topo.sw(h).kind == topo::SwitchKind::kSpine) {
+          spine = h;
+          break;
+        }
+      }
+      if (!spine.valid()) continue;
+      SpineLoss& acc = loss_by_spine
+                           .try_emplace(spine.value, SpineLoss{spine, 0, 0})
+                           .first->second;
+      for (int k = 0; k < config_.probes_per_tuple; ++k) {
+        netsim::PacketResult pr = net.send_packet(tuple, 64, now);
+        ++acc.probes;
+        if (!pr.delivered) ++acc.losses;
+      }
+    }
+  }
+
+  report.spine_losses.reserve(loss_by_spine.size());
+  for (const auto& [id, loss] : loss_by_spine) report.spine_losses.push_back(loss);
+  std::sort(report.spine_losses.begin(), report.spine_losses.end(),
+            [](const SpineLoss& a, const SpineLoss& b) {
+              return a.loss_rate() > b.loss_rate();
+            });
+  if (!report.spine_losses.empty() &&
+      report.spine_losses.front().loss_rate() >= config_.culprit_min_loss) {
+    report.culprit = report.spine_losses.front().spine;
+    report.culprit_loss = report.spine_losses.front().loss_rate();
+  }
+  return report;
+}
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,61 @@
+#include "analysis/sla.h"
+
+#include "common/stats.h"
+
+namespace pingmesh::analysis {
+
+IssueVerdict judge_network_issue(const dsa::Database& db, dsa::SlaScope scope,
+                                 std::uint32_t scope_id, SimTime from, SimTime to,
+                                 const dsa::AlertThresholds& thresholds) {
+  IssueVerdict v;
+  std::uint64_t successes = 0;
+  std::uint64_t signatures = 0;
+  std::int64_t worst_p99 = 0;
+  for (const dsa::SlaRow& row : db.sla_rows) {
+    if (row.scope != scope || row.scope_id != scope_id) continue;
+    if (row.window_start >= to || row.window_end <= from) continue;
+    v.probes += row.probes;
+    successes += row.successes;
+    signatures += row.drop_signatures;
+    worst_p99 = std::max(worst_p99, row.p99_ns);
+  }
+  if (v.probes < thresholds.min_probes) {
+    v.evidence = "insufficient Pingmesh data in window (" + std::to_string(v.probes) +
+                 " probes); no network-issue indication";
+    return v;
+  }
+  v.drop_rate = successes ? static_cast<double>(signatures) / static_cast<double>(successes)
+                          : 0.0;
+  v.p99_ns = worst_p99;
+
+  bool drop_broken = v.drop_rate > thresholds.drop_rate;
+  bool latency_broken = v.p99_ns > thresholds.p99;
+  v.network_issue = drop_broken || latency_broken;
+  if (drop_broken) {
+    v.evidence = "drop rate " + format_rate(v.drop_rate) + " exceeds " +
+                 format_rate(thresholds.drop_rate);
+  } else if (latency_broken) {
+    v.evidence = "P99 latency " + format_latency_ns(v.p99_ns) + " exceeds " +
+                 format_latency_ns(thresholds.p99);
+  } else {
+    v.evidence = "drop rate " + format_rate(v.drop_rate) + " and P99 " +
+                 format_latency_ns(v.p99_ns) + " are within SLA; not a network issue";
+  }
+  return v;
+}
+
+std::vector<SlaPoint> sla_time_series(const dsa::Database& db, dsa::SlaScope scope,
+                                      std::uint32_t scope_id) {
+  std::vector<SlaPoint> out;
+  for (const dsa::SlaRow& row : db.sla_series(scope, scope_id)) {
+    SlaPoint p;
+    p.window_start = row.window_start;
+    p.drop_rate = row.drop_rate();
+    p.p99_ns = row.p99_ns;
+    p.probes = row.probes;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace pingmesh::analysis

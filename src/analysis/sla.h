@@ -1,0 +1,53 @@
+// Network SLA tracking and the "is it a network issue?" judgement
+// (paper §4.3).
+//
+// "Because Pingmesh collects latency data from all the servers, we can
+// always pull out Pingmesh data to tell if a specific service has network
+// issue or not. If Pingmesh data does not correlate to the issue perceived
+// by the applications, then it is not a network issue."
+//
+// The verdict uses the two metrics the paper found decisive: packet drop
+// rate and P99 latency, against the same thresholds the alerting uses
+// (drop > 1e-3 or P99 > 5 ms).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dsa/database.h"
+#include "dsa/jobs.h"
+
+namespace pingmesh::analysis {
+
+struct IssueVerdict {
+  bool network_issue = false;
+  double drop_rate = 0.0;
+  std::int64_t p99_ns = 0;
+  std::uint64_t probes = 0;
+  std::string evidence;  ///< human-readable justification
+};
+
+/// Judge whether a scope (usually a service) had a network issue within
+/// [from, to), from its SLA rows in the database. Windows with too few
+/// probes return "not a network issue" with evidence saying data was thin —
+/// the conservative answer the paper's workflow gives ("If Pingmesh data
+/// does not indicate a network problem, then the live-site incident is not
+/// caused by the network").
+IssueVerdict judge_network_issue(const dsa::Database& db, dsa::SlaScope scope,
+                                 std::uint32_t scope_id, SimTime from, SimTime to,
+                                 const dsa::AlertThresholds& thresholds = {});
+
+/// Time series of one scope's SLA metrics (Figure 5's two curves).
+struct SlaPoint {
+  SimTime window_start = 0;
+  double drop_rate = 0.0;
+  std::int64_t p99_ns = 0;
+  std::uint64_t probes = 0;
+};
+
+std::vector<SlaPoint> sla_time_series(const dsa::Database& db, dsa::SlaScope scope,
+                                      std::uint32_t scope_id);
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,43 @@
+#include "autopilot/repair.h"
+
+namespace pingmesh::autopilot {
+
+bool RepairService::request_reload(SwitchId sw, std::string reason, SimTime now) {
+  RepairRecord rec;
+  rec.time = now;
+  rec.sw = sw;
+  rec.action = RepairAction::kReload;
+  rec.reason = std::move(reason);
+  rec.executed = reloads_executed_today(now) < config_.max_reloads_per_day;
+  if (rec.executed && reload_fn_) reload_fn_(sw);
+  history_.push_back(std::move(rec));
+  return history_.back().executed;
+}
+
+void RepairService::isolate_and_rma(SwitchId sw, std::string reason, SimTime now) {
+  RepairRecord rec;
+  rec.time = now;
+  rec.sw = sw;
+  rec.action = RepairAction::kIsolateAndRma;
+  rec.reason = std::move(reason);
+  rec.executed = true;
+  if (isolate_fn_) isolate_fn_(sw);
+  rma_queue_.push_back(sw);
+  history_.push_back(std::move(rec));
+}
+
+int RepairService::reloads_executed_today(SimTime now) const {
+  std::int64_t today = day_of(now);
+  int n = 0;
+  for (const RepairRecord& r : history_) {
+    if (r.action == RepairAction::kReload && r.executed && day_of(r.time) == today) ++n;
+  }
+  return n;
+}
+
+int RepairService::reloads_remaining_today(SimTime now) const {
+  int rem = config_.max_reloads_per_day - reloads_executed_today(now);
+  return rem > 0 ? rem : 0;
+}
+
+}  // namespace pingmesh::autopilot

@@ -1,0 +1,74 @@
+// Repair Service (paper §2.3: Autopilot's RS "performs repair action by
+// taking commands from DM"; §5.1: "We then invoke a network repairing
+// service to safely restart the ToRs. ... we limit the algorithm to reload
+// at most 20 switches per day. This is to limit the maximum number of
+// switch reboots.")
+//
+// Two repair actions:
+//  - reload: fixes black-holes (TCAM/ECMP corruption clears on reboot);
+//    budgeted per day;
+//  - RMA / isolate: for silent random drops, which "cannot be fixed by
+//    switch reload and we have to RMA the faulty switch or components" —
+//    the switch is isolated from live traffic immediately and queued for
+//    replacement.
+//
+// The actual effect on the network is delegated to callbacks so the service
+// works identically against the simulator and (hypothetically) real gear.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pingmesh::autopilot {
+
+enum class RepairAction : std::uint8_t { kReload, kIsolateAndRma };
+
+struct RepairRecord {
+  SimTime time = 0;
+  SwitchId sw;
+  RepairAction action = RepairAction::kReload;
+  std::string reason;
+  bool executed = false;  ///< false when deferred by the daily budget
+};
+
+struct RepairConfig {
+  int max_reloads_per_day = 20;
+};
+
+class RepairService {
+ public:
+  /// `reload_fn` / `isolate_fn` apply the effect (e.g. clear fault state in
+  /// the simulator). They may be empty for dry runs.
+  RepairService(RepairConfig config, std::function<void(SwitchId)> reload_fn,
+                std::function<void(SwitchId)> isolate_fn)
+      : config_(config), reload_fn_(std::move(reload_fn)), isolate_fn_(std::move(isolate_fn)) {}
+
+  /// Request a reload. Returns true if executed now, false if the daily
+  /// budget is exhausted (the request is recorded but NOT queued — the
+  /// detector will re-flag the switch tomorrow if it still black-holes).
+  bool request_reload(SwitchId sw, std::string reason, SimTime now);
+
+  /// Isolate a switch from live traffic and queue it for RMA. Not budgeted:
+  /// a spine dropping packets silently is a live-site emergency.
+  void isolate_and_rma(SwitchId sw, std::string reason, SimTime now);
+
+  [[nodiscard]] int reloads_executed_today(SimTime now) const;
+  [[nodiscard]] int reloads_remaining_today(SimTime now) const;
+  [[nodiscard]] const std::vector<RepairRecord>& history() const { return history_; }
+  [[nodiscard]] const std::vector<SwitchId>& rma_queue() const { return rma_queue_; }
+
+ private:
+  [[nodiscard]] std::int64_t day_of(SimTime t) const { return t / kNanosPerDay; }
+
+  RepairConfig config_;
+  std::function<void(SwitchId)> reload_fn_;
+  std::function<void(SwitchId)> isolate_fn_;
+  std::vector<RepairRecord> history_;
+  std::vector<SwitchId> rma_queue_;
+};
+
+}  // namespace pingmesh::autopilot

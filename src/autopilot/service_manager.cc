@@ -1,0 +1,41 @@
+#include "autopilot/service_manager.h"
+
+namespace pingmesh::autopilot {
+
+std::size_t ServiceManager::manage(std::string name, ResourceBudget budget,
+                                   std::function<std::size_t()> memory_probe,
+                                   std::function<double()> cpu_probe,
+                                   std::function<void()> terminate) {
+  ManagedService service;
+  service.name = std::move(name);
+  service.budget = budget;
+  service.memory_probe = std::move(memory_probe);
+  service.cpu_probe = std::move(cpu_probe);
+  service.terminate = std::move(terminate);
+  services_.push_back(std::move(service));
+  return services_.size() - 1;
+}
+
+int ServiceManager::enforce(SimTime now) {
+  int terminated = 0;
+  for (ManagedService& service : services_) {
+    service.last_checked = now;
+    bool over = false;
+    if (service.memory_probe &&
+        service.memory_probe() > service.budget.max_memory_bytes) {
+      over = true;
+    }
+    if (service.cpu_probe && service.cpu_probe() > service.budget.max_cpu_fraction) {
+      over = true;
+    }
+    if (over) {
+      if (service.terminate) service.terminate();
+      ++service.terminations;
+      ++total_terminations_;
+      ++terminated;
+    }
+  }
+  return terminated;
+}
+
+}  // namespace pingmesh::autopilot

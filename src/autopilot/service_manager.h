@@ -1,0 +1,59 @@
+// Service Manager (paper §2.3): the Autopilot shared service "that manages
+// the life-cycle and resource usage of other applications. Shared services
+// must be light-weight with low CPU, memory, and bandwidth resource usage,
+// and they need to be reliable without resource leakage and crashes."
+//
+// §3.4.2 relies on it for the agent's outermost safety net: "The CPU and
+// maximum memory usages of the Pingmesh Agent are confined by the OS. Once
+// the maximum memory usage exceeds the cap, the Pingmesh Agent will be
+// terminated." This model enforces declared budgets against polled usage
+// probes and terminates + restarts offenders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pingmesh::autopilot {
+
+struct ResourceBudget {
+  std::size_t max_memory_bytes = 45 * 1024 * 1024;  ///< the paper's agent cap
+  double max_cpu_fraction = 0.05;                   ///< of one core
+};
+
+struct ManagedService {
+  std::string name;
+  ResourceBudget budget;
+  std::function<std::size_t()> memory_probe;  ///< current bytes
+  std::function<double()> cpu_probe;          ///< current fraction of a core
+  std::function<void()> terminate;            ///< kill + restart hook
+  bool running = true;
+  std::uint64_t terminations = 0;
+  SimTime last_checked = 0;
+};
+
+class ServiceManager {
+ public:
+  /// Register a service; probes may be empty (that resource is unchecked).
+  std::size_t manage(std::string name, ResourceBudget budget,
+                     std::function<std::size_t()> memory_probe,
+                     std::function<double()> cpu_probe, std::function<void()> terminate);
+
+  /// Poll every service; terminate (and count) the ones over budget.
+  /// Returns the number of terminations this round. Terminated services
+  /// are considered restarted immediately (Autopilot restarts crashed
+  /// shared services).
+  int enforce(SimTime now);
+
+  [[nodiscard]] const std::vector<ManagedService>& services() const { return services_; }
+  [[nodiscard]] std::uint64_t total_terminations() const { return total_terminations_; }
+
+ private:
+  std::vector<ManagedService> services_;
+  std::uint64_t total_terminations_ = 0;
+};
+
+}  // namespace pingmesh::autopilot

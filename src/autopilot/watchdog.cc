@@ -1,0 +1,53 @@
+#include "autopilot/watchdog.h"
+
+#include <cstdio>
+
+namespace pingmesh::autopilot {
+
+const char* health_name(Health h) {
+  switch (h) {
+    case Health::kOk: return "ok";
+    case Health::kWarning: return "warning";
+    case Health::kError: return "error";
+  }
+  return "?";
+}
+
+void WatchdogService::register_check(std::string name, CheckFn fn) {
+  checks_.emplace_back(std::move(name), std::move(fn));
+}
+
+const std::vector<CheckResult>& WatchdogService::run_checks(SimTime now) {
+  latest_.clear();
+  latest_.reserve(checks_.size());
+  for (auto& [name, fn] : checks_) {
+    CheckResult r = fn(now);
+    r.name = name;
+    r.checked_at = now;
+    latest_.push_back(std::move(r));
+  }
+  ++runs_;
+  return latest_;
+}
+
+bool WatchdogService::all_healthy() const {
+  for (const CheckResult& r : latest_) {
+    if (r.health != Health::kOk) return false;
+  }
+  return true;
+}
+
+WatchdogService::CheckFn WatchdogService::threshold_check(std::function<double()> value_fn,
+                                                          double max_ok, std::string unit) {
+  return [value_fn = std::move(value_fn), max_ok, unit = std::move(unit)](SimTime) {
+    CheckResult r;
+    double v = value_fn();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.3g %s (budget %.3g)", v, unit.c_str(), max_ok);
+    r.message = buf;
+    r.health = v <= max_ok ? Health::kOk : Health::kError;
+    return r;
+  };
+}
+
+}  // namespace pingmesh::autopilot

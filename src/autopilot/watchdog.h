@@ -1,0 +1,56 @@
+// Watchdog framework (paper §2.3 / §3.5): Autopilot's Watchdog Service
+// "monitors and reports the health status of various hardware and
+// software"; "All the components of Pingmesh have watchdogs to watch
+// whether they are running correctly or not, e.g., whether pinglists are
+// generated correctly, whether the CPU and memory usages are within
+// budget, whether pingmesh data are reported and stored, whether DSA
+// reports network SLAs in time".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pingmesh::autopilot {
+
+enum class Health : std::uint8_t { kOk, kWarning, kError };
+
+const char* health_name(Health h);
+
+struct CheckResult {
+  std::string name;
+  Health health = Health::kOk;
+  std::string message;
+  SimTime checked_at = 0;
+};
+
+class WatchdogService {
+ public:
+  using CheckFn = std::function<CheckResult(SimTime now)>;
+
+  /// Register a named check; the function should fill health + message
+  /// (name/checked_at are stamped by the service).
+  void register_check(std::string name, CheckFn fn);
+
+  /// Run all checks; results are retained as the latest report.
+  const std::vector<CheckResult>& run_checks(SimTime now);
+
+  [[nodiscard]] const std::vector<CheckResult>& latest() const { return latest_; }
+  [[nodiscard]] bool all_healthy() const;
+  [[nodiscard]] std::size_t check_count() const { return checks_.size(); }
+  [[nodiscard]] std::uint64_t runs() const { return runs_; }
+
+  /// Convenience: build a threshold check over a numeric probe function.
+  static CheckFn threshold_check(std::function<double()> value_fn, double max_ok,
+                                 std::string unit);
+
+ private:
+  std::vector<std::pair<std::string, CheckFn>> checks_;
+  std::vector<CheckResult> latest_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace pingmesh::autopilot

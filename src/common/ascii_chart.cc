@@ -1,0 +1,56 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pingmesh {
+
+std::string ascii_chart(const std::vector<std::pair<std::string, double>>& series,
+                        const AsciiChartOptions& options) {
+  if (series.empty()) return "";
+  double max_value = 0;
+  double min_positive = 0;
+  for (const auto& [label, value] : series) {
+    max_value = std::max(max_value, value);
+    if (value > 0 && (min_positive == 0 || value < min_positive)) min_positive = value;
+  }
+
+  auto bar_len = [&](double v) -> int {
+    if (v <= 0 || max_value <= 0) return 0;
+    double frac;
+    if (options.log_scale && min_positive > 0 && max_value > min_positive) {
+      frac = (std::log10(v) - std::log10(min_positive) + 0.3) /
+             (std::log10(max_value) - std::log10(min_positive) + 0.3);
+    } else {
+      frac = v / max_value;
+    }
+    frac = std::clamp(frac, 0.0, 1.0);
+    return static_cast<int>(frac * options.width + 0.5);
+  };
+
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : series) label_width = std::max(label_width, label.size());
+
+  std::string out;
+  char buf[64];
+  for (const auto& [label, value] : series) {
+    out += "  ";
+    out += label;
+    out.append(label_width - label.size(), ' ');
+    out += " |";
+    int len = bar_len(value);
+    out.append(static_cast<std::size_t>(len), '#');
+    out.append(static_cast<std::size_t>(options.width - len), ' ');
+    std::snprintf(buf, sizeof(buf), " %.3g", value);
+    out += buf;
+    if (!options.unit.empty()) {
+      out += ' ';
+      out += options.unit;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pingmesh

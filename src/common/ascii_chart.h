@@ -1,0 +1,22 @@
+// Tiny ASCII time-series chart for the benchmark harnesses and CLI: renders
+// a (t, value) series as rows of bars so the Figure 5 / Figure 7 shapes are
+// visible directly in terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pingmesh {
+
+struct AsciiChartOptions {
+  int width = 60;             ///< bar width in characters
+  bool log_scale = false;     ///< log10 bars (drop-rate style series)
+  std::string unit;           ///< printed after each value
+};
+
+/// Render one labeled series. Values must be >= 0. Each row:
+///   label | ####______ value unit
+std::string ascii_chart(const std::vector<std::pair<std::string, double>>& series,
+                        const AsciiChartOptions& options = {});
+
+}  // namespace pingmesh

@@ -1,0 +1,56 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace pingmesh {
+
+SimTime SteadyClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void EventScheduler::schedule_at(SimTime when, Callback cb) {
+  if (when < clock_.now()) throw std::invalid_argument("schedule_at in the past");
+  queue_.push(Event{when, seq_++, std::move(cb), nullptr, 0});
+}
+
+void EventScheduler::schedule_every(SimTime period, std::function<bool(SimTime)> cb) {
+  if (period <= 0) throw std::invalid_argument("period must be positive");
+  auto shared = std::make_shared<std::function<bool(SimTime)>>(std::move(cb));
+  queue_.push(Event{clock_.now() + period, seq_++, nullptr, std::move(shared), period});
+}
+
+void EventScheduler::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_.set(ev.when);
+    if (ev.recurring) {
+      if ((*ev.recurring)(ev.when)) {
+        queue_.push(Event{ev.when + ev.period, seq_++, nullptr, ev.recurring, ev.period});
+      }
+    } else {
+      ev.cb(ev.when);
+    }
+  }
+  if (clock_.now() < until) clock_.set(until);
+}
+
+void EventScheduler::run_all() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_.set(ev.when);
+    if (ev.recurring) {
+      if ((*ev.recurring)(ev.when)) {
+        queue_.push(Event{ev.when + ev.period, seq_++, nullptr, ev.recurring, ev.period});
+      }
+    } else {
+      ev.cb(ev.when);
+    }
+  }
+}
+
+}  // namespace pingmesh

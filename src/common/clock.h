@@ -1,0 +1,95 @@
+// Virtual time and a deterministic event scheduler.
+//
+// All large-scale experiments run on virtual time so a "day" of Pingmesh
+// operation completes in seconds of wall-clock. Components that must also
+// run against real sockets accept a Clock interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pingmesh {
+
+/// Abstract clock so agent/controller logic is testable on virtual time and
+/// runnable on real time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+/// Manually advanced clock for simulation and tests.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(SimTime start = 0) : now_(start) {}
+  [[nodiscard]] SimTime now() const override { return now_; }
+  void advance(SimTime delta) { now_ += delta; }
+  void set(SimTime t) { now_ = t; }
+
+ private:
+  SimTime now_;
+};
+
+/// Monotonic wall clock (nanoseconds since an arbitrary epoch).
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] SimTime now() const override;
+};
+
+/// Deterministic discrete-event scheduler over a VirtualClock.
+///
+/// Events scheduled for the same instant fire in insertion order (stable),
+/// which keeps multi-agent simulations reproducible.
+class EventScheduler {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  explicit EventScheduler(SimTime start = 0) : clock_(start) {}
+
+  [[nodiscard]] SimTime now() const { return clock_.now(); }
+  [[nodiscard]] const VirtualClock& clock() const { return clock_; }
+  VirtualClock& clock() { return clock_; }
+
+  /// Schedule a one-shot event at absolute time `when` (must be >= now).
+  void schedule_at(SimTime when, Callback cb);
+  /// Schedule a one-shot event `delay` after now.
+  void schedule_after(SimTime delay, Callback cb) {
+    schedule_at(clock_.now() + delay, std::move(cb));
+  }
+  /// Schedule a recurring event every `period`, first firing at now+period.
+  /// The callback may return false (via the bool overload) to cancel.
+  void schedule_every(SimTime period, std::function<bool(SimTime)> cb);
+
+  /// Run all events with time <= until; the clock ends at `until`.
+  void run_until(SimTime until);
+  /// Run events until the queue drains.
+  void run_all();
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;                                           // one-shot
+    std::shared_ptr<std::function<bool(SimTime)>> recurring;  // or recurring
+    SimTime period = 0;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  VirtualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pingmesh

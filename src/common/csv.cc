@@ -1,0 +1,88 @@
+#include "common/csv.h"
+
+namespace pingmesh::csv {
+
+std::string encode_field(std::string_view field) {
+  bool needs_quote = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string encode_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    out += encode_field(fields[i]);
+  }
+  return out;
+}
+
+bool parse_row(std::string_view data, std::size_t& pos, std::vector<std::string>& out) {
+  out.clear();
+  if (pos >= data.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  for (;;) {
+    if (pos >= data.size()) {
+      out.push_back(std::move(field));
+      return true;
+    }
+    char c = data[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < data.size() && data[pos + 1] == '"') {
+          field += '"';
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field += c;
+        ++pos;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        ++pos;
+        break;
+      case ',':
+        out.push_back(std::move(field));
+        field.clear();
+        ++pos;
+        break;
+      case '\r':
+        ++pos;
+        if (pos < data.size() && data[pos] == '\n') ++pos;
+        out.push_back(std::move(field));
+        return true;
+      case '\n':
+        ++pos;
+        out.push_back(std::move(field));
+        return true;
+      default:
+        field += c;
+        ++pos;
+    }
+  }
+}
+
+std::vector<std::vector<std::string>> parse(std::string_view data) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t pos = 0;
+  std::vector<std::string> row;
+  while (parse_row(data, pos, row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace pingmesh::csv

@@ -1,0 +1,28 @@
+// CSV reading/writing. The Pingmesh Agent "provides latency data as both CSV
+// files and standard performance counters" (paper §6.2); Cosmos streams in
+// this reproduction hold CSV-encoded LatencyRecords.
+//
+// Dialect: RFC-4180-ish — comma separator, double-quote quoting with "" as
+// the embedded quote, \n or \r\n row terminators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pingmesh::csv {
+
+/// Quote a field if it contains comma, quote, or newline.
+std::string encode_field(std::string_view field);
+
+/// Encode one row (no trailing newline).
+std::string encode_row(const std::vector<std::string>& fields);
+
+/// Parse one row; `pos` advances past the row and its terminator. Returns
+/// false when `pos` is already at the end of input.
+bool parse_row(std::string_view data, std::size_t& pos, std::vector<std::string>& out);
+
+/// Parse an entire document into rows.
+std::vector<std::vector<std::string>> parse(std::string_view data);
+
+}  // namespace pingmesh::csv

@@ -1,0 +1,48 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pingmesh {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+Log::Sink g_sink;  // empty => default stderr sink
+
+void default_sink(LogLevel level, std::string_view component, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void Log::set_min_level(LogLevel level) { g_min_level.store(level); }
+LogLevel Log::min_level() { return g_min_level.load(); }
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, std::string_view component, std::string_view msg) {
+  if (level < g_min_level.load()) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) g_sink(level, component, msg);
+  else default_sink(level, component, msg);
+}
+
+}  // namespace pingmesh

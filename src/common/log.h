@@ -1,0 +1,43 @@
+// Tiny leveled logger. Components tag their messages; tests can capture the
+// sink. Not a general logging framework — just enough for operability of the
+// examples and watchdog messages.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace pingmesh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+
+/// Global log configuration. Thread-safe for sink replacement is NOT
+/// guaranteed; set the sink once at startup (examples) or per-test.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
+
+  static void set_min_level(LogLevel level);
+  static LogLevel min_level();
+  /// Replace the sink; pass nullptr to restore the default stderr sink.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view component, std::string_view msg);
+
+  static void debug(std::string_view component, std::string_view msg) {
+    write(LogLevel::kDebug, component, msg);
+  }
+  static void info(std::string_view component, std::string_view msg) {
+    write(LogLevel::kInfo, component, msg);
+  }
+  static void warn(std::string_view component, std::string_view msg) {
+    write(LogLevel::kWarn, component, msg);
+  }
+  static void error(std::string_view component, std::string_view msg) {
+    write(LogLevel::kError, component, msg);
+  }
+};
+
+}  // namespace pingmesh

@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. PCG32 (O'Neill 2014) keeps state small and splits cheaply so
+// every simulated entity can own an independent stream derived from the
+// experiment seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pingmesh {
+
+/// PCG32 generator: 64-bit state, 64-bit stream selector, 32-bit output.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Derive an independent child generator; `salt` distinguishes siblings.
+  [[nodiscard]] Rng split(std::uint64_t salt) const {
+    std::uint64_t s = state_ ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
+    std::uint64_t c = inc_ ^ (0xbf58476d1ce4e5b9ULL * (salt + 0x1234567));
+    return Rng(s, c >> 1);
+  }
+
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint32_t uniform_u32(std::uint32_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * n;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < n) {
+      std::uint32_t t = (0u - n) % n;
+      while (lo < t) {
+        m = static_cast<std::uint64_t>(next_u32()) * n;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with given mean (mean = 1/lambda).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and stateless).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = std::numeric_limits<double>::min();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy tail for queueing).
+  double pareto(double xm, double alpha) {
+    double u = uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> shuffles.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// 64-bit mix (splitmix64 finalizer) used for hashing tuples, ECMP, etc.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace pingmesh

@@ -1,0 +1,179 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pingmesh {
+
+LatencyHistogram::LatencyHistogram(std::int64_t min_value, int octaves,
+                                   int sub_buckets_per_octave)
+    : min_value_(min_value), octaves_(octaves), sub_per_octave_(sub_buckets_per_octave) {
+  if (min_value <= 0) throw std::invalid_argument("min_value must be positive");
+  if (octaves < 1 || octaves > 48) throw std::invalid_argument("octaves out of range");
+  if (sub_buckets_per_octave < 1 || sub_buckets_per_octave > 4096) {
+    throw std::invalid_argument("sub_buckets_per_octave out of range");
+  }
+  counts_.assign(static_cast<std::size_t>(octaves_) * sub_per_octave_ + 1, 0);
+}
+
+std::size_t LatencyHistogram::bucket_index(std::int64_t value) const {
+  if (value < min_value_) return 0;
+  // Position of the value relative to min_value_ in units of min_value_.
+  auto ratio = static_cast<std::uint64_t>(value / min_value_);
+  int octave = 63 - std::countl_zero(ratio | 1);  // floor(log2(ratio))
+  if (octave >= octaves_) return counts_.size() - 1;
+  // Within the octave [2^o, 2^(o+1)) * min_value_, linear sub-buckets.
+  std::int64_t octave_lo = min_value_ << octave;
+  std::int64_t octave_width = octave_lo;  // same as lo for powers of two
+  std::int64_t offset = value - octave_lo;
+  auto sub = static_cast<std::size_t>(
+      (static_cast<__int128>(offset) * sub_per_octave_) / octave_width);
+  if (sub >= static_cast<std::size_t>(sub_per_octave_)) sub = sub_per_octave_ - 1;
+  return static_cast<std::size_t>(octave) * sub_per_octave_ + sub;
+}
+
+std::int64_t LatencyHistogram::bucket_representative(std::size_t idx) const {
+  if (idx >= counts_.size() - 1) {
+    return (min_value_ << (octaves_ - 1)) * 2;  // saturating top
+  }
+  auto octave = static_cast<int>(idx / sub_per_octave_);
+  auto sub = static_cast<int>(idx % sub_per_octave_);
+  std::int64_t octave_lo = min_value_ << octave;
+  std::int64_t octave_width = octave_lo;
+  // Midpoint of the sub-bucket.
+  return octave_lo + (octave_width * (2 * sub + 1)) / (2 * sub_per_octave_);
+}
+
+void LatencyHistogram::record(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (value < 1) value = 1;
+  counts_[bucket_index(value)] += count;
+  total_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  observed_min_ = std::min(observed_min_, value);
+  observed_max_ = std::max(observed_max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.min_value_ != min_value_ || other.octaves_ != octaves_ ||
+      other.sub_per_octave_ != sub_per_octave_) {
+    throw std::invalid_argument("histogram geometry mismatch in merge");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  if (other.total_ > 0) {
+    observed_min_ = std::min(observed_min_, other.observed_min_);
+    observed_max_ = std::max(observed_max_, other.observed_max_);
+  }
+}
+
+std::int64_t LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based ceil of q * total).
+  auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      std::int64_t rep = bucket_representative(i);
+      // Clamp to observed range so that min/max quantiles are exact-ish.
+      return std::clamp(rep, observed_min_, observed_max_);
+    }
+  }
+  return observed_max_;
+}
+
+void LatencyHistogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  observed_min_ = std::numeric_limits<std::int64_t>::max();
+  observed_max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+std::vector<std::pair<std::int64_t, double>> LatencyHistogram::cdf_points() const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  if (total_ == 0) return out;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    out.emplace_back(bucket_representative(i),
+                     static_cast<double>(cum) / static_cast<double>(total_));
+  }
+  return out;
+}
+
+void RunningStat::record(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void RunningStat::clear() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  if (n_ == 0) return 0.0;
+  double m = mean();
+  double v = sum_sq_ / static_cast<double>(n_) - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double exact_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) + 0.5);
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples.end());
+  return samples[idx];
+}
+
+std::string format_latency_ns(std::int64_t ns) {
+  char buf[64];
+  if (ns < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+std::string format_rate(double r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", r);
+  return buf;
+}
+
+}  // namespace pingmesh

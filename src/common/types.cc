@@ -1,0 +1,14 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace pingmesh {
+
+std::string IpAddr::str() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xff, (v >> 16) & 0xff,
+                (v >> 8) & 0xff, v & 0xff);
+  return buf;
+}
+
+}  // namespace pingmesh

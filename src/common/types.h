@@ -1,0 +1,108 @@
+// Basic value types shared by every Pingmesh module.
+//
+// Identifiers are strong typedef-style wrappers so that a ServerId cannot be
+// confused with a SwitchId at compile time. Time inside the simulation is
+// virtual and counted in nanoseconds from an arbitrary epoch.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pingmesh {
+
+/// Virtual simulation time in nanoseconds since the simulation epoch.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosPerMicro = 1'000;
+constexpr SimTime kNanosPerMilli = 1'000'000;
+constexpr SimTime kNanosPerSecond = 1'000'000'000;
+constexpr SimTime kNanosPerMinute = 60 * kNanosPerSecond;
+constexpr SimTime kNanosPerHour = 60 * kNanosPerMinute;
+constexpr SimTime kNanosPerDay = 24 * kNanosPerHour;
+
+constexpr double to_micros(SimTime t) { return static_cast<double>(t) / kNanosPerMicro; }
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / kNanosPerMilli; }
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / kNanosPerSecond; }
+
+constexpr SimTime micros(std::int64_t us) { return us * kNanosPerMicro; }
+constexpr SimTime millis(std::int64_t ms) { return ms * kNanosPerMilli; }
+constexpr SimTime seconds(std::int64_t s) { return s * kNanosPerSecond; }
+constexpr SimTime minutes(std::int64_t m) { return m * kNanosPerMinute; }
+constexpr SimTime hours(std::int64_t h) { return h * kNanosPerHour; }
+constexpr SimTime days(std::int64_t d) { return d * kNanosPerDay; }
+
+/// Strongly typed integer id. Tag is an empty struct used only to
+/// distinguish instantiations.
+template <class Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr Id() = default;
+  explicit constexpr Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  auto operator<=>(const Id&) const = default;
+};
+
+struct ServerTag {};
+struct SwitchTag {};
+struct PodTag {};
+struct PodsetTag {};
+struct DcTag {};
+struct LinkTag {};
+struct ServiceTag {};
+
+using ServerId = Id<ServerTag>;
+using SwitchId = Id<SwitchTag>;
+using PodId = Id<PodTag>;
+using PodsetId = Id<PodsetTag>;
+using DcId = Id<DcTag>;
+using LinkId = Id<LinkTag>;
+using ServiceId = Id<ServiceTag>;
+
+/// IPv4 address in host byte order.
+struct IpAddr {
+  std::uint32_t v = 0;
+
+  constexpr IpAddr() = default;
+  explicit constexpr IpAddr(std::uint32_t host_order) : v(host_order) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : v((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  auto operator<=>(const IpAddr&) const = default;
+
+  /// Dotted-quad rendering, e.g. "10.1.2.3".
+  [[nodiscard]] std::string str() const;
+};
+
+/// TCP/UDP five tuple; protocol is implicitly TCP for Pingmesh probes.
+struct FiveTuple {
+  IpAddr src_ip;
+  IpAddr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // IPPROTO_TCP
+
+  auto operator<=>(const FiveTuple&) const = default;
+};
+
+}  // namespace pingmesh
+
+template <class Tag>
+struct std::hash<pingmesh::Id<Tag>> {
+  std::size_t operator()(const pingmesh::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<pingmesh::IpAddr> {
+  std::size_t operator()(const pingmesh::IpAddr& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.v);
+  }
+};

@@ -1,0 +1,319 @@
+#include "common/xml.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pingmesh::xml {
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view cooked) {
+  std::string out;
+  out.reserve(cooked.size());
+  for (std::size_t i = 0; i < cooked.size(); ++i) {
+    if (cooked[i] != '&') {
+      out += cooked[i];
+      continue;
+    }
+    auto rest = cooked.substr(i);
+    if (rest.starts_with("&amp;")) { out += '&'; i += 4; }
+    else if (rest.starts_with("&lt;")) { out += '<'; i += 3; }
+    else if (rest.starts_with("&gt;")) { out += '>'; i += 3; }
+    else if (rest.starts_with("&quot;")) { out += '"'; i += 5; }
+    else if (rest.starts_with("&apos;")) { out += '\''; i += 5; }
+    else out += '&';
+  }
+  return out;
+}
+
+Writer::Writer() { out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"; }
+
+void Writer::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ += "  ";
+}
+
+void Writer::finish_open_tag() {
+  if (tag_open_) {
+    out_ += ">\n";
+    tag_open_ = false;
+  }
+}
+
+Writer& Writer::open(std::string_view element) {
+  finish_open_tag();
+  indent();
+  out_ += '<';
+  out_ += element;
+  stack_.emplace_back(element);
+  tag_open_ = true;
+  had_children_ = false;
+  return *this;
+}
+
+Writer& Writer::attr(std::string_view name, std::string_view value) {
+  if (!tag_open_) throw std::logic_error("attr() outside open tag");
+  out_ += ' ';
+  out_ += name;
+  out_ += "=\"";
+  out_ += escape(value);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::attr(std::string_view name, std::int64_t value) {
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  return attr(name, std::string_view(buf, static_cast<std::size_t>(p - buf)));
+}
+
+Writer& Writer::attr(std::string_view name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return attr(name, std::string_view(buf));
+}
+
+Writer& Writer::text(std::string_view body) {
+  if (tag_open_) {
+    out_ += '>';
+    tag_open_ = false;
+    had_children_ = true;  // text counts as inline content: close on same line
+    out_ += escape(body);
+    return *this;
+  }
+  indent();
+  out_ += escape(body);
+  out_ += '\n';
+  return *this;
+}
+
+Writer& Writer::close() {
+  if (stack_.empty()) throw std::logic_error("close() with no open element");
+  std::string name = stack_.back();
+  stack_.pop_back();
+  if (tag_open_) {
+    out_ += "/>\n";
+    tag_open_ = false;
+  } else if (had_children_) {
+    // inline text content: </name> on the same line
+    out_ += "</";
+    out_ += name;
+    out_ += ">\n";
+    had_children_ = false;
+  } else {
+    indent();
+    out_ += "</";
+    out_ += name;
+    out_ += ">\n";
+  }
+  return *this;
+}
+
+Writer& Writer::leaf(std::string_view element, std::string_view body) {
+  open(element);
+  text(body);
+  return close();
+}
+
+std::string Writer::str() const {
+  if (!stack_.empty()) throw std::logic_error("unclosed XML elements at str()");
+  return out_;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  std::unique_ptr<Element> run() {
+    skip_ws_and_prolog();
+    auto root = parse_element();
+    skip_ws();
+    if (pos_ != doc_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("xml parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < doc_.size() ? doc_[pos_] : '\0'; }
+  [[nodiscard]] bool eof() const { return pos_ >= doc_.size(); }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(doc_[pos_]))) ++pos_;
+  }
+
+  void skip_ws_and_prolog() {
+    skip_ws();
+    while (!eof()) {
+      if (doc_.substr(pos_).starts_with("<?")) {
+        auto end = doc_.find("?>", pos_);
+        if (end == std::string_view::npos) fail("unterminated <? ... ?>");
+        pos_ = end + 2;
+        skip_ws();
+      } else if (doc_.substr(pos_).starts_with("<!--")) {
+        skip_comment();
+        skip_ws();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void skip_comment() {
+    auto end = doc_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  std::string parse_name() {
+    std::size_t start = pos_;
+    while (!eof()) {
+      char c = doc_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == '.' || c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected name");
+    return std::string(doc_.substr(start, pos_ - start));
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    if (peek() != '<') fail("expected '<'");
+    ++pos_;
+    auto el = std::make_unique<Element>();
+    el->name = parse_name();
+    // attributes
+    for (;;) {
+      skip_ws();
+      if (eof()) fail("unterminated start tag");
+      char c = peek();
+      if (c == '/') {
+        ++pos_;
+        if (peek() != '>') fail("expected '>' after '/'");
+        ++pos_;
+        return el;  // self-closing
+      }
+      if (c == '>') {
+        ++pos_;
+        break;
+      }
+      std::string aname = parse_name();
+      skip_ws();
+      if (peek() != '=') fail("expected '=' in attribute");
+      ++pos_;
+      skip_ws();
+      char quote = peek();
+      if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+      ++pos_;
+      auto end = doc_.find(quote, pos_);
+      if (end == std::string_view::npos) fail("unterminated attribute value");
+      el->attributes[aname] = unescape(doc_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    // content
+    for (;;) {
+      if (eof()) fail("unterminated element <" + el->name + ">");
+      if (peek() == '<') {
+        if (doc_.substr(pos_).starts_with("<!--")) {
+          pos_ += 0;
+          skip_comment();
+          continue;
+        }
+        if (doc_.substr(pos_).starts_with("</")) {
+          pos_ += 2;
+          std::string closing = parse_name();
+          if (closing != el->name) {
+            fail("mismatched close tag </" + closing + "> for <" + el->name + ">");
+          }
+          skip_ws();
+          if (peek() != '>') fail("expected '>' in close tag");
+          ++pos_;
+          return el;
+        }
+        el->children.push_back(parse_element());
+      } else {
+        std::size_t start = pos_;
+        while (!eof() && peek() != '<') ++pos_;
+        auto chunk = doc_.substr(start, pos_ - start);
+        // keep non-whitespace character data
+        bool all_ws = true;
+        for (char c : chunk) {
+          if (!std::isspace(static_cast<unsigned char>(c))) { all_ws = false; break; }
+        }
+        if (!all_ws) el->text += unescape(chunk);
+      }
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Element* Element::child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view child_name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::attr_or(std::string_view name, std::string_view def) const {
+  auto it = attributes.find(name);
+  return it != attributes.end() ? it->second : std::string(def);
+}
+
+std::int64_t Element::attr_int(std::string_view name, std::int64_t def) const {
+  auto it = attributes.find(name);
+  if (it == attributes.end()) return def;
+  std::int64_t v = def;
+  const std::string& s = it->second;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  (void)p;
+  return ec == std::errc{} ? v : def;
+}
+
+double Element::attr_double(std::string_view name, double def) const {
+  auto it = attributes.find(name);
+  if (it == attributes.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return def;
+  }
+}
+
+std::unique_ptr<Element> parse(std::string_view doc) { return Parser(doc).run(); }
+
+}  // namespace pingmesh::xml

@@ -1,0 +1,73 @@
+// Minimal XML support: a streaming writer and a recursive-descent parser for
+// the element/attribute/text subset that Pinglist files use (paper §6.2:
+// "Pingmesh Controller and Pingmesh Agent interact only through the pinglist
+// files, which are standard XML files").
+//
+// Not a general XML library: no namespaces, DTDs, or processing instructions
+// beyond the leading <?xml ...?> declaration, which is tolerated and skipped.
+// The five standard entities are escaped/unescaped.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pingmesh::xml {
+
+/// Escape &<>"' for use in attribute values and text nodes.
+std::string escape(std::string_view raw);
+/// Reverse of escape(); unknown entities are preserved literally.
+std::string unescape(std::string_view cooked);
+
+/// Streaming writer producing indented XML.
+class Writer {
+ public:
+  Writer();
+
+  Writer& open(std::string_view element);
+  Writer& attr(std::string_view name, std::string_view value);
+  Writer& attr(std::string_view name, std::int64_t value);
+  Writer& attr(std::string_view name, double value);
+  Writer& text(std::string_view body);
+  Writer& close();
+
+  /// Convenience: <element>text</element> leaf.
+  Writer& leaf(std::string_view element, std::string_view body);
+
+  /// Finish the document; all elements must be closed.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void finish_open_tag();
+  void indent();
+
+  std::string out_;
+  std::vector<std::string> stack_;
+  bool tag_open_ = false;
+  bool had_children_ = false;
+};
+
+/// Parsed XML element tree.
+struct Element {
+  std::string name;
+  std::map<std::string, std::string, std::less<>> attributes;
+  std::string text;  // concatenated character data directly inside this element
+  std::vector<std::unique_ptr<Element>> children;
+
+  /// First child with the given name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view child_name) const;
+  /// All children with the given name.
+  [[nodiscard]] std::vector<const Element*> children_named(std::string_view child_name) const;
+  /// Attribute value or default.
+  [[nodiscard]] std::string attr_or(std::string_view name, std::string_view def) const;
+  [[nodiscard]] std::int64_t attr_int(std::string_view name, std::int64_t def) const;
+  [[nodiscard]] double attr_double(std::string_view name, double def) const;
+};
+
+/// Parse a document; throws std::runtime_error with position info on
+/// malformed input. Returns the root element.
+std::unique_ptr<Element> parse(std::string_view doc);
+
+}  // namespace pingmesh::xml

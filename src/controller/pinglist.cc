@@ -1,0 +1,116 @@
+#include "controller/pinglist.h"
+
+#include <stdexcept>
+
+#include "common/xml.h"
+
+namespace pingmesh::controller {
+
+const char* qos_class_name(QosClass c) {
+  switch (c) {
+    case QosClass::kHigh: return "high";
+    case QosClass::kLow: return "low";
+  }
+  return "?";
+}
+
+const char* probe_kind_name(ProbeKind k) {
+  switch (k) {
+    case ProbeKind::kTcpConnect: return "tcp";
+    case ProbeKind::kTcpPayload: return "tcp-payload";
+    case ProbeKind::kHttpGet: return "http";
+  }
+  return "?";
+}
+
+namespace {
+
+ProbeKind parse_probe_kind(const std::string& s) {
+  if (s == "tcp") return ProbeKind::kTcpConnect;
+  if (s == "tcp-payload") return ProbeKind::kTcpPayload;
+  if (s == "http") return ProbeKind::kHttpGet;
+  throw std::runtime_error("unknown probe kind: " + s);
+}
+
+QosClass parse_qos(const std::string& s) {
+  if (s == "high") return QosClass::kHigh;
+  if (s == "low") return QosClass::kLow;
+  throw std::runtime_error("unknown qos class: " + s);
+}
+
+}  // namespace
+
+std::string Pinglist::to_xml() const {
+  xml::Writer w;
+  w.open("Pinglist");
+  w.attr("server", server_name);
+  w.attr("ip", server_ip.str());
+  w.attr("version", static_cast<std::int64_t>(version));
+  w.attr("minIntervalNs", min_probe_interval);
+  for (const PingTarget& t : targets) {
+    w.open("Target");
+    w.attr("ip", t.ip.str());
+    w.attr("port", static_cast<std::int64_t>(t.port));
+    w.attr("kind", probe_kind_name(t.kind));
+    w.attr("qos", qos_class_name(t.qos));
+    if (t.payload_bytes > 0) w.attr("payloadBytes", static_cast<std::int64_t>(t.payload_bytes));
+    w.attr("intervalNs", t.interval);
+    if (t.is_vip) w.attr("vip", "true");
+    w.close();
+  }
+  w.close();
+  return w.str();
+}
+
+namespace {
+
+IpAddr parse_ip(const std::string& dotted) {
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  int part = 0;
+  std::uint32_t acc = 0;
+  bool any = false;
+  for (char c : dotted) {
+    if (c == '.') {
+      if (!any || part >= 3) throw std::runtime_error("bad ip: " + dotted);
+      parts[part++] = acc;
+      acc = 0;
+      any = false;
+    } else if (c >= '0' && c <= '9') {
+      acc = acc * 10 + static_cast<std::uint32_t>(c - '0');
+      if (acc > 255) throw std::runtime_error("bad ip: " + dotted);
+      any = true;
+    } else {
+      throw std::runtime_error("bad ip: " + dotted);
+    }
+  }
+  if (!any || part != 3) throw std::runtime_error("bad ip: " + dotted);
+  parts[3] = acc;
+  return IpAddr(static_cast<std::uint8_t>(parts[0]), static_cast<std::uint8_t>(parts[1]),
+                static_cast<std::uint8_t>(parts[2]), static_cast<std::uint8_t>(parts[3]));
+}
+
+}  // namespace
+
+Pinglist Pinglist::from_xml(std::string_view doc) {
+  auto root = xml::parse(doc);
+  if (root->name != "Pinglist") throw std::runtime_error("root element is not Pinglist");
+  Pinglist pl;
+  pl.server_name = root->attr_or("server", "");
+  pl.server_ip = parse_ip(root->attr_or("ip", "0.0.0.0"));
+  pl.version = static_cast<std::uint64_t>(root->attr_int("version", 0));
+  pl.min_probe_interval = root->attr_int("minIntervalNs", 0);
+  for (const xml::Element* el : root->children_named("Target")) {
+    PingTarget t;
+    t.ip = parse_ip(el->attr_or("ip", "0.0.0.0"));
+    t.port = static_cast<std::uint16_t>(el->attr_int("port", 0));
+    t.kind = parse_probe_kind(el->attr_or("kind", "tcp"));
+    t.qos = parse_qos(el->attr_or("qos", "high"));
+    t.payload_bytes = static_cast<std::uint32_t>(el->attr_int("payloadBytes", 0));
+    t.interval = el->attr_int("intervalNs", 0);
+    t.is_vip = el->attr_or("vip", "false") == "true";
+    pl.targets.push_back(t);
+  }
+  return pl;
+}
+
+}  // namespace pingmesh::controller

@@ -1,0 +1,99 @@
+#include "controller/service.h"
+
+#include "net/http.h"
+
+namespace pingmesh::controller {
+
+// ---------------------------------------------------------------------------
+// DirectPinglistSource
+// ---------------------------------------------------------------------------
+
+FetchResult DirectPinglistSource::fetch(IpAddr server_ip) {
+  ++fetches_;
+  if (!reachable_) return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  if (!serving_) return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+  auto server = topo_->find_server_by_ip(server_ip);
+  if (!server) return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+  return FetchResult{FetchStatus::kOk, gen_->generate_for(*server)};
+}
+
+// ---------------------------------------------------------------------------
+// ControllerHttpService
+// ---------------------------------------------------------------------------
+
+ControllerHttpService::ControllerHttpService(net::Reactor& reactor,
+                                             const net::SockAddr& bind_addr,
+                                             const topo::Topology& topo,
+                                             const PinglistGenerator& gen)
+    : topo_(&topo), gen_(&gen), server_(reactor, bind_addr) {
+  regenerate();
+  server_.route("/pinglist/",
+                [this](const net::HttpRequest& req) { return handle_pinglist(req); });
+  server_.route("/health", [](const net::HttpRequest&) {
+    return net::HttpResponse::ok("ok");
+  });
+}
+
+void ControllerHttpService::regenerate() {
+  files_.clear();
+  for (const topo::Server& s : topo_->servers()) {
+    files_[s.ip.str()] = gen_->generate_for(s.id).to_xml();
+  }
+}
+
+void ControllerHttpService::withdraw_all() { files_.clear(); }
+
+net::HttpResponse ControllerHttpService::handle_pinglist(const net::HttpRequest& req) {
+  constexpr std::string_view kPrefix = "/pinglist/";
+  std::string ip = req.path.substr(kPrefix.size());
+  if (auto q = ip.find('?'); q != std::string::npos) ip.resize(q);
+  auto it = files_.find(ip);
+  if (it == files_.end()) return net::HttpResponse::not_found("no pinglist for " + ip);
+  return net::HttpResponse::ok(it->second, "application/xml");
+}
+
+// ---------------------------------------------------------------------------
+// HttpPinglistSource
+// ---------------------------------------------------------------------------
+
+HttpPinglistSource::HttpPinglistSource(net::Reactor& reactor, SlbVip& vip,
+                                       std::vector<net::SockAddr> backends,
+                                       std::chrono::milliseconds timeout)
+    : reactor_(&reactor), vip_(&vip), backends_(std::move(backends)), timeout_(timeout) {}
+
+FetchResult HttpPinglistSource::fetch(IpAddr server_ip) {
+  auto pick = vip_->pick(++flow_seq_);
+  if (!pick) return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  std::size_t idx = *pick;
+  if (idx >= backends_.size()) return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+
+  net::HttpClient client(*reactor_);
+  std::optional<net::HttpResult> result;
+  client.get(backends_[idx], "/pinglist/" + server_ip.str(), timeout_,
+             [&result](const net::HttpResult& r) { result = r; });
+  reactor_->run_until([&result] { return result.has_value(); },
+                      net::Reactor::Clock::now() + timeout_ + std::chrono::milliseconds(200));
+
+  if (!result || (!result->ok && !result->timed_out && result->error_errno == 0)) {
+    vip_->report(idx, false);
+    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  }
+  if (result->timed_out || !result->ok) {
+    vip_->report(idx, false);
+    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  }
+  vip_->report(idx, true);
+  if (result->response.status == 404) {
+    return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+  }
+  if (result->response.status != 200) {
+    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  }
+  try {
+    return FetchResult{FetchStatus::kOk, Pinglist::from_xml(result->response.body)};
+  } catch (const std::exception&) {
+    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  }
+}
+
+}  // namespace pingmesh::controller

@@ -1,0 +1,115 @@
+// Pinglist distribution: the agent-facing fetch abstraction plus the two
+// controller implementations — an in-process one for simulation and an HTTP
+// RESTful web service (paper §3.3.2) for real-socket deployments.
+//
+// The controller is pull-only and stateless: "The Pingmesh Agents need to
+// periodically ask the Controller for Pinglist files and the Pingmesh
+// Controller does not push any data".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "controller/generator.h"
+#include "controller/pinglist.h"
+#include "controller/slb.h"
+#include "net/http.h"
+
+namespace pingmesh::controller {
+
+/// Outcome of one pinglist fetch attempt, as the agent perceives it. The
+/// distinction matters for the agent's fail-closed rule (§3.4.2): both
+/// "cannot connect to its controller 3 times" and "the controller is up but
+/// there is no pinglist file available" stop the agent.
+enum class FetchStatus : std::uint8_t {
+  kOk,
+  kUnreachable,  ///< connect/transport failure
+  kNoPinglist,   ///< controller answered but has no file for this server
+};
+
+struct FetchResult {
+  FetchStatus status = FetchStatus::kUnreachable;
+  std::optional<Pinglist> pinglist;
+};
+
+/// Synchronous fetch interface used by simulation drivers and tests.
+class PinglistSource {
+ public:
+  virtual ~PinglistSource() = default;
+  virtual FetchResult fetch(IpAddr server_ip) = 0;
+};
+
+/// In-process controller: wraps the generator; can simulate outage
+/// (unreachable) and pinglist withdrawal ("we can stop the Pingmesh Agent
+/// from working by simply removing all the pinglist files").
+class DirectPinglistSource final : public PinglistSource {
+ public:
+  DirectPinglistSource(const topo::Topology& topo, const PinglistGenerator& gen)
+      : topo_(&topo), gen_(&gen) {}
+
+  FetchResult fetch(IpAddr server_ip) override;
+
+  void set_reachable(bool reachable) { reachable_ = reachable; }
+  void set_serving(bool serving) { serving_ = serving; }
+  [[nodiscard]] std::uint64_t fetches() const { return fetches_; }
+
+ private:
+  const topo::Topology* topo_;
+  const PinglistGenerator* gen_;
+  bool reachable_ = true;
+  bool serving_ = true;
+  std::uint64_t fetches_ = 0;
+};
+
+/// The controller's RESTful web service. Serves:
+///   GET /pinglist/<dotted-ip>   -> 200 with the pinglist XML, or 404
+///   GET /health                 -> 200 "ok"
+/// Pinglist files are pre-generated (the real controller stores them on SSD
+/// and serves them statically) and refreshed via regenerate().
+class ControllerHttpService {
+ public:
+  ControllerHttpService(net::Reactor& reactor, const net::SockAddr& bind_addr,
+                        const topo::Topology& topo, const PinglistGenerator& gen);
+
+  /// Re-run the generator (topology or config changed).
+  void regenerate();
+  /// Withdraw all pinglist files (fail-closed drill).
+  void withdraw_all();
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] std::uint64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  net::HttpResponse handle_pinglist(const net::HttpRequest& req);
+
+  const topo::Topology* topo_;
+  const PinglistGenerator* gen_;
+  std::unordered_map<std::string, std::string> files_;  // dotted ip -> XML
+  net::HttpServer server_;
+};
+
+/// Agent-side HTTP fetch through an SLB VIP: picks a healthy controller
+/// backend per request, reports outcomes so failed backends leave rotation.
+/// Synchronous (drives the reactor until the response or timeout) — the
+/// agent fetches rarely, so blocking its driver thread briefly is the
+/// simple, correct choice.
+class HttpPinglistSource final : public PinglistSource {
+ public:
+  HttpPinglistSource(net::Reactor& reactor, SlbVip& vip,
+                     std::vector<net::SockAddr> backends,
+                     std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+  FetchResult fetch(IpAddr server_ip) override;
+
+ private:
+  net::Reactor* reactor_;
+  SlbVip* vip_;
+  std::vector<net::SockAddr> backends_;
+  std::chrono::milliseconds timeout_;
+  std::uint64_t flow_seq_ = 0;
+};
+
+}  // namespace pingmesh::controller

@@ -1,0 +1,48 @@
+#include "controller/slb.h"
+
+namespace pingmesh::controller {
+
+std::size_t SlbVip::add_backend(std::string endpoint) {
+  backends_.push_back(Backend{std::move(endpoint), true, 0, 0});
+  return backends_.size() - 1;
+}
+
+std::optional<std::size_t> SlbVip::pick(std::uint64_t flow_hash) {
+  std::size_t healthy = healthy_count();
+  if (healthy == 0) return std::nullopt;
+  std::size_t target = static_cast<std::size_t>(mix64(flow_hash) % healthy);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (!backends_[i].healthy) continue;
+    if (target-- == 0) {
+      ++backends_[i].picks;
+      return i;
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+void SlbVip::report(std::size_t idx, bool success) {
+  Backend& b = backends_.at(idx);
+  if (success) {
+    b.consecutive_failures = 0;
+    b.healthy = true;
+  } else {
+    if (++b.consecutive_failures >= failure_threshold_) b.healthy = false;
+  }
+}
+
+void SlbVip::set_healthy(std::size_t idx, bool healthy) {
+  Backend& b = backends_.at(idx);
+  b.healthy = healthy;
+  if (healthy) b.consecutive_failures = 0;
+}
+
+std::size_t SlbVip::healthy_count() const {
+  std::size_t n = 0;
+  for (const Backend& b : backends_) {
+    if (b.healthy) ++n;
+  }
+  return n;
+}
+
+}  // namespace pingmesh::controller

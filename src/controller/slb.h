@@ -1,0 +1,59 @@
+// Software Load-Balancer / VIP model (paper §3.3.2).
+//
+// "A Pingmesh Controller has a set of servers behind a single VIP. ...
+// Every Pingmesh Controller server runs the same piece of code and
+// generates the same set of Pinglist files ... once a Pingmesh Controller
+// server stops functioning, it is automatically removed from rotation by
+// the SLB."
+//
+// We model the SLB at the library level: a VIP owns a set of backend
+// endpoints with health state; pick() spreads flows over healthy backends
+// by flow hash; health probes run in the caller's loop (the real Ananta
+// data plane is out of scope — the behaviour that matters to Pingmesh is
+// rotation and automatic removal).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pingmesh::controller {
+
+class SlbVip {
+ public:
+  struct Backend {
+    std::string endpoint;  ///< opaque address (e.g. "127.0.0.1:8080" or a name)
+    bool healthy = true;
+    std::uint64_t picks = 0;
+    int consecutive_failures = 0;
+  };
+
+  /// Failures before a backend is taken out of rotation.
+  explicit SlbVip(int failure_threshold = 3) : failure_threshold_(failure_threshold) {}
+
+  std::size_t add_backend(std::string endpoint);
+
+  /// Choose a healthy backend for a flow; flows hash-spread over backends.
+  /// nullopt when none are healthy.
+  std::optional<std::size_t> pick(std::uint64_t flow_hash);
+
+  /// Report the outcome of a request to backend `idx`; failures accumulate
+  /// and remove the backend from rotation at the threshold; a success while
+  /// out of rotation re-admits it (health probe recovered).
+  void report(std::size_t idx, bool success);
+
+  void set_healthy(std::size_t idx, bool healthy);
+
+  [[nodiscard]] const Backend& backend(std::size_t idx) const { return backends_.at(idx); }
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+  [[nodiscard]] std::size_t healthy_count() const;
+
+ private:
+  std::vector<Backend> backends_;
+  int failure_threshold_;
+};
+
+}  // namespace pingmesh::controller

@@ -1,0 +1,69 @@
+#include "core/fleet.h"
+
+namespace pingmesh::core {
+
+FleetProbeDriver::FleetProbeDriver(const topo::Topology& topo, netsim::SimNetwork& net,
+                                   const controller::PinglistGenerator& generator)
+    : topo_(&topo), net_(&net) {
+  pinglists_ = generator.generate_all();
+  next_due_.resize(pinglists_.size());
+  for (std::size_t i = 0; i < pinglists_.size(); ++i) {
+    next_due_[i].assign(pinglists_[i].targets.size(), 0);
+  }
+}
+
+void FleetProbeDriver::fire(ServerId src, const controller::PingTarget& target,
+                            SimTime now, const Visitor& visit) {
+  ++probes_fired_;
+  if (ephemeral_ < 32768 || ephemeral_ >= 60999) ephemeral_ = 32768;
+  std::uint16_t src_port = ephemeral_++;
+
+  FleetProbe probe;
+  probe.time = now;
+  probe.src = src;
+  probe.target = &target;
+  probe.src_port = src_port;
+
+  auto dst = topo_->find_server_by_ip(target.ip);
+  if (dst) {
+    probe.dst = *dst;
+    netsim::ProbeSpec spec;
+    if (target.kind == controller::ProbeKind::kTcpPayload) {
+      spec.payload_bytes = static_cast<int>(target.payload_bytes);
+    }
+    spec.low_priority = target.qos == controller::QosClass::kLow;
+    probe.outcome = net_->tcp_probe(src, *dst, src_port, target.port, spec, now);
+  }
+  visit(probe);
+}
+
+void FleetProbeDriver::run_impl(SimTime start, int rounds, SimTime round_interval,
+                                bool dense, const Visitor& visit) {
+  for (int round = 0; round < rounds; ++round) {
+    SimTime now = start + round * round_interval;
+    for (std::size_t s = 0; s < pinglists_.size(); ++s) {
+      ServerId src{static_cast<std::uint32_t>(s)};
+      if (!net_->server_up(src, now)) continue;
+      const auto& targets = pinglists_[s].targets;
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (!dense) {
+          if (now < next_due_[s][t]) continue;
+          next_due_[s][t] = now + targets[t].interval;
+        }
+        fire(src, targets[t], now, visit);
+      }
+    }
+  }
+}
+
+void FleetProbeDriver::run(SimTime start, int rounds, SimTime round_interval,
+                           const Visitor& visit) {
+  run_impl(start, rounds, round_interval, /*dense=*/false, visit);
+}
+
+void FleetProbeDriver::run_dense(SimTime start, int rounds, SimTime round_interval,
+                                 const Visitor& visit) {
+  run_impl(start, rounds, round_interval, /*dense=*/true, visit);
+}
+
+}  // namespace pingmesh::core

@@ -1,0 +1,94 @@
+#include "core/scenarios.h"
+
+#include <stdexcept>
+
+namespace pingmesh::core {
+
+std::vector<topo::DcSpec> two_dc_specs(bool medium) {
+  if (medium) {
+    return {topo::medium_dc_spec("DC1", "US West"), topo::medium_dc_spec("DC2", "US Central")};
+  }
+  return {topo::small_dc_spec("DC1", "US West"), topo::small_dc_spec("DC2", "US Central")};
+}
+
+void apply_dc1_dc2_profiles(netsim::SimNetwork& net) {
+  net.set_dc_profile(DcId{0}, netsim::DcProfile::throughput_intensive());
+  net.set_dc_profile(DcId{1}, netsim::DcProfile::latency_sensitive());
+  netsim::WanProfile wan;
+  wan.propagation_ms_oneway = 18.0;  // US West <-> US Central long haul
+  net.set_wan_profile(DcId{0}, DcId{1}, wan);
+}
+
+std::vector<topo::DcSpec> five_dc_specs() {
+  return {
+      topo::medium_dc_spec("DC1", "US West"),
+      topo::medium_dc_spec("DC2", "US Central"),
+      topo::medium_dc_spec("DC3", "US East"),
+      topo::medium_dc_spec("DC4", "Europe"),
+      topo::medium_dc_spec("DC5", "Asia"),
+  };
+}
+
+const std::vector<std::string>& table1_dc_labels() {
+  static const std::vector<std::string> labels = {
+      "DC1 (US West)", "DC2 (US Central)", "DC3 (US East)", "DC4 (Europe)", "DC5 (Asia)",
+  };
+  return labels;
+}
+
+netsim::DcProfile table1_profile(std::size_t dc_index) {
+  // Element loss rates solved from the paper's Table 1 under the path
+  // model: intra-pod probe loss = 2*(2*nic + tor), inter-pod (5-hop) loss
+  // = 2*(2*nic + 2*tor + 2*leaf + spine). See EXPERIMENTS.md.
+  struct Loss {
+    double nic, tor, leaf, spine;
+  };
+  static constexpr Loss kLoss[5] = {
+      {2.20e-6, 2.15e-6, 7.00e-6, 1.50e-5},  // DC1: 1.31e-5 / 7.55e-5
+      {3.50e-6, 3.50e-6, 6.00e-6, 1.20e-5},  // DC2: 2.10e-5 / 7.63e-5
+      {1.60e-6, 1.59e-6, 4.00e-6, 5.60e-6},  // DC3: 9.58e-6 / 4.00e-5
+      {2.50e-6, 2.60e-6, 5.00e-6, 6.40e-6},  // DC4: 1.52e-5 / 5.32e-5
+      {1.65e-6, 1.61e-6, 0.40e-6, 0.38e-6},  // DC5: 9.82e-6 / 1.54e-5
+  };
+  if (dc_index >= 5) throw std::out_of_range("table1_profile index");
+  netsim::DcProfile p;  // moderate latency defaults
+  p.nic_drop = kLoss[dc_index].nic;
+  p.tor_drop = kLoss[dc_index].tor;
+  p.leaf_drop = kLoss[dc_index].leaf;
+  p.spine_drop = kLoss[dc_index].spine;
+  p.border_drop = kLoss[dc_index].leaf;
+  return p;
+}
+
+void apply_table1_profiles(netsim::SimNetwork& net) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    net.set_dc_profile(DcId{static_cast<std::uint32_t>(i)}, table1_profile(i));
+  }
+}
+
+SimulationConfig default_config(std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.dcs = two_dc_specs(/*medium=*/true);
+  cfg.seed = seed;
+  cfg.generator.intra_pod_interval = minutes(2);
+  cfg.generator.intra_dc_interval = minutes(2);
+  cfg.generator.inter_dc_interval = minutes(10);
+  cfg.agent_tick = seconds(30);
+  return cfg;
+}
+
+SimulationConfig small_test_config(std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.dcs = {topo::small_dc_spec("DC1", "US West")};
+  cfg.seed = seed;
+  cfg.generator.intra_pod_interval = seconds(30);
+  cfg.generator.intra_dc_interval = seconds(30);
+  cfg.generator.enable_inter_dc = false;
+  cfg.agent_tick = seconds(10);
+  cfg.ingestion_delay = minutes(2);
+  cfg.agent.pinglist_refresh = minutes(5);
+  cfg.agent.upload_interval = seconds(30);
+  return cfg;
+}
+
+}  // namespace pingmesh::core

@@ -1,0 +1,38 @@
+// Canonical experiment scenarios mapping the paper's evaluation setups onto
+// the simulator. Every bench and several integration tests start from one
+// of these so the configurations live in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "netsim/profile.h"
+#include "netsim/simnet.h"
+#include "topology/topology.h"
+
+namespace pingmesh::core {
+
+/// DC1/DC2 of §4.1: DC1 is throughput-intensive (storage + MapReduce, ~90%
+/// CPU), DC2 is an interactive, latency-sensitive Search DC.
+std::vector<topo::DcSpec> two_dc_specs(bool medium = true);
+void apply_dc1_dc2_profiles(netsim::SimNetwork& net);
+
+/// The five DCs of Table 1 with per-DC loss profiles calibrated so that the
+/// paper's band (intra-pod ~1e-5, inter-pod severalfold higher, DC5's WAN-
+/// isolated fabric cleanest) reproduces.
+std::vector<topo::DcSpec> five_dc_specs();
+netsim::DcProfile table1_profile(std::size_t dc_index);
+void apply_table1_profiles(netsim::SimNetwork& net);
+
+/// Human labels for the Table 1 DCs ("DC1 (US West)" ...).
+const std::vector<std::string>& table1_dc_labels();
+
+/// A ready-to-run medium two-DC full-loop simulation config.
+SimulationConfig default_config(std::uint64_t seed = 42);
+
+/// Small config for fast integration tests (one small DC).
+SimulationConfig small_test_config(std::uint64_t seed = 42);
+
+}  // namespace pingmesh::core

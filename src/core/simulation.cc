@@ -1,0 +1,170 @@
+#include "core/simulation.h"
+
+#include "common/rng.h"
+
+namespace pingmesh::core {
+
+PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
+    : config_(std::move(config)),
+      topo_(topo::Topology::build(config_.dcs)),
+      net_(topo_, config_.seed),
+      generator_(topo_, config_.generator),
+      source_(topo_, generator_),
+      scheduler_(0),
+      cosmos_(),
+      uploader_(cosmos_, dsa::kLatencyStream, scheduler_.clock()),
+      jobs_(config_.ingestion_delay),
+      pa_(topo_, db_),
+      repair_(autopilot::RepairConfig{},
+              [this](SwitchId sw) { net_.faults().clear_blackholes_on(sw); },
+              [this](SwitchId sw) { net_.faults().clear_all_on(sw); }),
+      watchdogs_() {
+  job_ctx_.topo = &topo_;
+  job_ctx_.services = &services_;
+  job_ctx_.db = &db_;
+  jobs_.register_standard_jobs(cosmos_.stream(dsa::kLatencyStream), job_ctx_,
+                               config_.thresholds, config_.include_server_sla_rows);
+
+  agents_.reserve(topo_.server_count());
+  for (const topo::Server& s : topo_.servers()) {
+    agents_.push_back(std::make_unique<agent::PingmeshAgent>(s.name, s.ip, config_.agent,
+                                                             uploader_));
+  }
+
+  // Standard watchdogs (§3.5): pinglists generated, data stored, SLAs fresh.
+  watchdogs_.register_check("pinglists-generated", [this](SimTime) {
+    autopilot::CheckResult r;
+    auto pl = generator_.generate_for(ServerId{0});
+    r.health = pl.targets.empty() ? autopilot::Health::kError : autopilot::Health::kOk;
+    r.message = std::to_string(pl.targets.size()) + " targets for server 0";
+    return r;
+  });
+  watchdogs_.register_check("pingmesh-data-stored", [this](SimTime now) {
+    autopilot::CheckResult r;
+    const dsa::CosmosStream* s = cosmos_.find(dsa::kLatencyStream);
+    bool ok = now < minutes(30) || (s != nullptr && s->total_records() > 0);
+    r.health = ok ? autopilot::Health::kOk : autopilot::Health::kError;
+    r.message = s ? std::to_string(s->total_records()) + " records stored" : "no stream";
+    return r;
+  });
+  watchdogs_.register_check("dsa-slas-fresh", [this](SimTime now) {
+    autopilot::CheckResult r;
+    SimTime newest = 0;
+    for (const auto& row : db_.sla_rows) newest = std::max(newest, row.window_end);
+    bool ok = now < hours(2) + config_.ingestion_delay || newest + hours(3) > now;
+    r.health = ok ? autopilot::Health::kOk : autopilot::Health::kError;
+    r.message = "newest SLA window ends at " + std::to_string(to_seconds(newest)) + "s";
+    return r;
+  });
+
+  // Drivers.
+  scheduler_.schedule_every(config_.agent_tick, [this](SimTime now) {
+    tick_agents(now);
+    return true;
+  });
+  scheduler_.schedule_every(config_.pa_period, [this](SimTime now) {
+    collect_pa(now);
+    return true;
+  });
+  scheduler_.schedule_every(config_.job_tick, [this](SimTime now) {
+    tick_jobs(now);
+    return true;
+  });
+}
+
+void PingmeshSimulation::register_vip(IpAddr vip, std::vector<ServerId> dips) {
+  vips_[vip] = std::move(dips);
+  controller::PingTarget t;
+  t.ip = vip;
+  t.port = config_.generator.http_port;
+  t.kind = controller::ProbeKind::kHttpGet;
+  t.interval = config_.generator.inter_dc_interval;
+  t.is_vip = true;
+  // Rebuild the generator config with the VIP appended; bump the version so
+  // agents pick it up on their next pinglist refresh.
+  controller::GeneratorConfig cfg = generator_.config();
+  cfg.vip_targets.push_back(t);
+  std::uint64_t version = generator_.version() + 1;
+  generator_ = controller::PinglistGenerator(topo_, cfg);
+  generator_.set_version(version);
+}
+
+agent::ProbeResult PingmeshSimulation::execute_probe(ServerId src,
+                                                     const agent::ProbeRequest& req,
+                                                     SimTime now) {
+  ++total_probes_;
+  IpAddr dst_ip = req.target.ip;
+  // VIP targets resolve to a DIP by source-port hash (the SLB data plane).
+  auto vip_it = vips_.find(dst_ip);
+  if (vip_it != vips_.end() && !vip_it->second.empty()) {
+    const auto& dips = vip_it->second;
+    ServerId dip = dips[mix64(req.src_port) % dips.size()];
+    dst_ip = topo_.server(dip).ip;
+  }
+
+  auto dst = topo_.find_server_by_ip(dst_ip);
+  if (!dst) return agent::ProbeResult{};  // unknown target: failed probe
+
+  netsim::ProbeSpec spec;
+  if (req.target.kind == controller::ProbeKind::kTcpPayload) {
+    spec.payload_bytes = static_cast<int>(req.target.payload_bytes);
+  } else if (req.target.kind == controller::ProbeKind::kHttpGet) {
+    // HTTP ping: request + response ride the payload path (~300 B each way).
+    spec.payload_bytes = 300;
+  }
+  spec.low_priority = req.target.qos == controller::QosClass::kLow;
+  netsim::ProbeOutcome out =
+      net_.tcp_probe(src, *dst, req.src_port, req.target.port, spec, now);
+  agent::ProbeResult r;
+  r.success = out.success;
+  r.rtt = out.rtt;
+  r.payload_success = out.payload_success;
+  r.payload_rtt = out.payload_rtt;
+  return r;
+}
+
+void PingmeshSimulation::tick_agents(SimTime now) {
+  for (const topo::Server& s : topo_.servers()) {
+    if (!net_.server_up(s.id, now)) continue;  // podset power-down: agent is gone
+    agent::PingmeshAgent& ag = *agents_[s.id.value];
+    agent::PingmeshAgent::TickActions actions = ag.tick(now);
+    if (actions.fetch_pinglist) {
+      ag.on_pinglist(source_.fetch(s.ip), now);
+      // Newly adopted pinglists may have probes due immediately.
+      auto more = ag.tick(now);
+      for (const auto& req : more.probes) actions.probes.push_back(req);
+    }
+    for (const agent::ProbeRequest& req : actions.probes) {
+      ag.on_probe_result(req, execute_probe(s.id, req, now), now);
+    }
+  }
+}
+
+void PingmeshSimulation::collect_pa(SimTime now) {
+  for (const topo::Server& s : topo_.servers()) {
+    if (!net_.server_up(s.id, now)) continue;
+    pa_.collect(s.id, agents_[s.id.value]->collect_counters(now));
+  }
+  pa_.flush(now);
+  // The fast alerting path: independent of Cosmos/SCOPE (§3.5).
+  dsa::evaluate_pa_alerts(db_, topo_, config_.thresholds, last_pa_alert_check_, now);
+  last_pa_alert_check_ = now;
+}
+
+void PingmeshSimulation::tick_jobs(SimTime now) {
+  jobs_.on_tick(now);
+  // Raw latency data is kept for a bounded window (the paper keeps two
+  // months at production scale; the simulation keeps enough for the jobs
+  // plus slack).
+  SimTime horizon = now - config_.cosmos_retention;
+  if (horizon > 0) cosmos_.stream(dsa::kLatencyStream).expire_before(horizon);
+}
+
+std::vector<agent::LatencyRecord> PingmeshSimulation::records_between(SimTime from,
+                                                                      SimTime to) const {
+  const dsa::CosmosStream* s = cosmos_.find(dsa::kLatencyStream);
+  if (s == nullptr) return {};
+  return dsa::scope::extract_records(*s, from, to).rows();
+}
+
+}  // namespace pingmesh::core

@@ -1,0 +1,119 @@
+// PingmeshSimulation: the full closed loop on virtual time.
+//
+//   Controller (pinglist generation, pull-based distribution)
+//     -> Agents on every server (probe scheduling, safety, counters)
+//       -> SimNetwork (ECMP, latency/drop models, fault injection)
+//     -> Cosmos (uploaded record batches)
+//       -> SCOPE jobs via JobManager (10-min / 1-h / 1-day)
+//         -> Database -> alerts / heatmaps / SLA tracking
+//     -> Perfcounter Aggregator (5-min fast path)
+//   plus Autopilot repair (budgeted ToR reloads, RMA isolation).
+//
+// Everything runs on one EventScheduler, so a simulated day of a
+// medium-size deployment executes in seconds and is bit-reproducible from
+// the seed.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "agent/agent.h"
+#include "autopilot/repair.h"
+#include "autopilot/watchdog.h"
+#include "common/clock.h"
+#include "controller/generator.h"
+#include "controller/service.h"
+#include "dsa/cosmos.h"
+#include "dsa/database.h"
+#include "dsa/jobs.h"
+#include "dsa/pa.h"
+#include "dsa/uploader.h"
+#include "netsim/simnet.h"
+#include "topology/topology.h"
+
+namespace pingmesh::core {
+
+struct SimulationConfig {
+  std::vector<topo::DcSpec> dcs;
+  std::uint64_t seed = 42;
+  controller::GeneratorConfig generator;
+  agent::AgentConfig agent;
+  SimTime agent_tick = seconds(10);       ///< driver granularity (probe due check)
+  SimTime pa_period = minutes(5);         ///< Perfcounter Aggregator cadence
+  SimTime job_tick = minutes(1);          ///< JobManager wake-up cadence
+  SimTime ingestion_delay = minutes(10);  ///< Cosmos->SCOPE availability delay
+  SimTime cosmos_retention = hours(1);    ///< expire raw data older than this
+  bool include_server_sla_rows = false;
+  dsa::AlertThresholds thresholds;
+};
+
+class PingmeshSimulation {
+ public:
+  explicit PingmeshSimulation(SimulationConfig config);
+
+  // --- simulation control --------------------------------------------------
+  void run_for(SimTime duration) { scheduler_.run_until(scheduler_.now() + duration); }
+  void run_until(SimTime t) { scheduler_.run_until(t); }
+  [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+
+  // --- component access ----------------------------------------------------
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  netsim::SimNetwork& net() { return net_; }
+  netsim::FaultInjector& faults() { return net_.faults(); }
+  controller::PinglistGenerator& generator() { return generator_; }
+  controller::DirectPinglistSource& pinglist_source() { return source_; }
+  dsa::CosmosStore& cosmos() { return cosmos_; }
+  dsa::Database& db() { return db_; }
+  dsa::JobManager& jobs() { return jobs_; }
+  dsa::PerfcounterAggregator& pa() { return pa_; }
+  autopilot::RepairService& repair() { return repair_; }
+  autopilot::WatchdogService& watchdogs() { return watchdogs_; }
+  topo::ServiceMap& services() { return services_; }
+  EventScheduler& scheduler() { return scheduler_; }
+  agent::PingmeshAgent& agent(ServerId id) { return *agents_.at(id.value); }
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  /// Failure injection on the upload path (Cosmos front-end outages).
+  dsa::CosmosUploader& uploader_for_test() { return uploader_; }
+
+  /// Register a VIP with its destination (DIP) pool (paper §6.2 "VIP
+  /// monitoring"). Probes to the VIP address are load-balanced over the
+  /// DIPs by source-port hash.
+  void register_vip(IpAddr vip, std::vector<ServerId> dips);
+
+  /// Records currently scannable in the latency stream over [from, to).
+  [[nodiscard]] std::vector<agent::LatencyRecord> records_between(SimTime from,
+                                                                  SimTime to) const;
+
+  // --- aggregate statistics -------------------------------------------------
+  [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
+
+ private:
+  void tick_agents(SimTime now);
+  void collect_pa(SimTime now);
+  void tick_jobs(SimTime now);
+  agent::ProbeResult execute_probe(ServerId src, const agent::ProbeRequest& req,
+                                   SimTime now);
+
+  SimulationConfig config_;
+  topo::Topology topo_;
+  netsim::SimNetwork net_;
+  controller::PinglistGenerator generator_;
+  controller::DirectPinglistSource source_;
+  EventScheduler scheduler_;
+  dsa::CosmosStore cosmos_;
+  dsa::Database db_;
+  topo::ServiceMap services_;
+  dsa::CosmosUploader uploader_;
+  dsa::JobManager jobs_;
+  dsa::PerfcounterAggregator pa_;
+  autopilot::RepairService repair_;
+  autopilot::WatchdogService watchdogs_;
+  dsa::JobContext job_ctx_;
+  std::vector<std::unique_ptr<agent::PingmeshAgent>> agents_;  // by ServerId
+  std::unordered_map<IpAddr, std::vector<ServerId>> vips_;
+  std::uint64_t total_probes_ = 0;
+  SimTime last_pa_alert_check_ = 0;
+};
+
+}  // namespace pingmesh::core

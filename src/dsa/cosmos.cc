@@ -1,0 +1,114 @@
+#include "dsa/cosmos.h"
+
+#include <algorithm>
+
+namespace pingmesh::dsa {
+
+std::uint32_t fnv1a_continue(std::uint32_t state, std::string_view data) {
+  std::uint32_t h = state;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::uint32_t fnv1a(std::string_view data) { return fnv1a_continue(2166136261u, data); }
+
+bool Extent::verify() const { return fnv1a(data) == checksum; }
+
+std::uint64_t CosmosStream::append(std::string_view blob, std::uint64_t record_count,
+                                   SimTime first_ts, SimTime last_ts, SimTime now) {
+  bool need_new = extents_.empty() || extents_.back().data.size() + blob.size() > extent_limit_;
+  if (need_new) {
+    Extent e;
+    e.id = next_extent_id_++;
+    e.first_ts = first_ts;
+    e.last_ts = last_ts;
+    e.appended_at = now;
+    extents_.push_back(std::move(e));
+  }
+  Extent& e = extents_.back();
+  bool was_empty = e.record_count == 0;
+  e.data.append(blob);
+  // Incremental checksum: FNV-1a streams, so appends stay O(|blob|).
+  e.checksum = fnv1a_continue(was_empty ? 2166136261u : e.checksum, blob);
+  e.record_count += record_count;
+  e.first_ts = was_empty ? first_ts : std::min(e.first_ts, first_ts);
+  e.last_ts = was_empty ? last_ts : std::max(e.last_ts, last_ts);
+  e.appended_at = now;
+  total_bytes_ += blob.size();
+  total_records_ += record_count;
+  return e.id;
+}
+
+void CosmosStream::scan(SimTime from, SimTime to,
+                        const std::function<void(const Extent&)>& fn) const {
+  for (const Extent& e : extents_) {
+    if (e.last_ts < from || e.first_ts >= to) continue;
+    if (!e.verify()) {
+      ++corrupt_skipped_;
+      continue;
+    }
+    fn(e);
+  }
+}
+
+void CosmosStream::corrupt_extent_for_test(std::size_t index) {
+  if (index >= extents_.size() || extents_[index].data.empty()) return;
+  extents_[index].data[0] ^= 0x1;
+}
+
+void CosmosStream::restore_extent(Extent extent) {
+  total_bytes_ += extent.data.size();
+  total_records_ += extent.record_count;
+  next_extent_id_ = std::max(next_extent_id_, extent.id + 1);
+  extents_.push_back(std::move(extent));
+}
+
+std::uint64_t CosmosStream::expire_before(SimTime horizon) {
+  std::uint64_t reclaimed = 0;
+  auto keep_from = extents_.begin();
+  for (; keep_from != extents_.end(); ++keep_from) {
+    if (keep_from->last_ts >= horizon) break;
+    reclaimed += keep_from->data.size();
+    total_bytes_ -= keep_from->data.size();
+    total_records_ -= keep_from->record_count;
+  }
+  extents_.erase(extents_.begin(), keep_from);
+  return reclaimed;
+}
+
+CosmosStream& CosmosStore::stream(const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    it = streams_.emplace(name, CosmosStream(name, extent_limit_)).first;
+  }
+  return it->second;
+}
+
+const CosmosStream* CosmosStore::find(const std::string& name) const {
+  auto it = streams_.find(name);
+  return it != streams_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> CosmosStore::stream_names() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t CosmosStore::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, stream] : streams_) n += stream.total_bytes();
+  return n;
+}
+
+std::uint64_t CosmosStore::total_records() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, stream] : streams_) n += stream.total_records();
+  return n;
+}
+
+}  // namespace pingmesh::dsa

@@ -1,0 +1,104 @@
+// CosmosStore: the Cosmos-like append-only storage substrate (paper §2.3).
+//
+// "Files in Cosmos are append-only and a file is split into multiple
+// 'extents' and an extent is stored in multiple servers to provide high
+// reliability."
+//
+// The reproduction keeps the same shape: named streams of sealed extents
+// with checksums and a replication factor (accounting only — there is one
+// process). The DSA jobs scan extents by time window, exactly the access
+// pattern SCOPE jobs have.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pingmesh::dsa {
+
+struct Extent {
+  std::uint64_t id = 0;
+  SimTime first_ts = 0;         ///< min record timestamp inside
+  SimTime last_ts = 0;          ///< max record timestamp inside
+  SimTime appended_at = 0;      ///< ingestion time (upload arrival)
+  std::uint64_t record_count = 0;
+  std::uint32_t checksum = 0;   ///< FNV-1a over the payload
+  int replicas = 3;
+  std::string data;             ///< CSV-encoded records
+
+  [[nodiscard]] bool verify() const;
+};
+
+std::uint32_t fnv1a(std::string_view data);
+/// Streaming continuation: feed more data into an existing FNV-1a state.
+std::uint32_t fnv1a_continue(std::uint32_t state, std::string_view data);
+
+class CosmosStream {
+ public:
+  explicit CosmosStream(std::string name, std::size_t extent_size_limit)
+      : name_(std::move(name)), extent_limit_(extent_size_limit) {}
+
+  /// Append a blob; starts a new extent when the open one would exceed the
+  /// extent size limit. Returns the extent id written to.
+  std::uint64_t append(std::string_view blob, std::uint64_t record_count,
+                       SimTime first_ts, SimTime last_ts, SimTime now);
+
+  /// Scan all extents overlapping [from, to); calls fn(extent). Corrupt
+  /// extents (checksum mismatch) are skipped and counted.
+  void scan(SimTime from, SimTime to, const std::function<void(const Extent&)>& fn) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Extent>& extents() const { return extents_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_records() const { return total_records_; }
+  [[nodiscard]] std::uint64_t corrupt_extents_skipped() const { return corrupt_skipped_; }
+
+  /// Deliberately corrupt an extent's payload (failure-injection in tests).
+  void corrupt_extent_for_test(std::size_t index);
+
+  /// Re-attach a sealed extent loaded from persistent storage (cosmos_io).
+  /// The extent is appended as-is; accounting and the id counter update.
+  void restore_extent(Extent extent);
+
+  /// Drop extents whose last record is older than `horizon` (the paper
+  /// keeps ~2 months of Pingmesh history, §4.3). Returns bytes reclaimed.
+  std::uint64_t expire_before(SimTime horizon);
+
+ private:
+  std::string name_;
+  std::size_t extent_limit_;
+  std::vector<Extent> extents_;
+  std::uint64_t next_extent_id_ = 1;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_records_ = 0;
+  mutable std::uint64_t corrupt_skipped_ = 0;
+};
+
+class CosmosStore {
+ public:
+  explicit CosmosStore(std::size_t extent_size_limit = 4 * 1024 * 1024)
+      : extent_limit_(extent_size_limit) {}
+
+  /// Get or create a stream.
+  CosmosStream& stream(const std::string& name);
+  [[nodiscard]] const CosmosStream* find(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> stream_names() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_records() const;
+
+ private:
+  std::size_t extent_limit_;
+  std::map<std::string, CosmosStream> streams_;
+};
+
+/// Canonical stream names.
+inline const std::string kLatencyStream = "pingmesh/latency";
+inline const std::string kInterDcLatencyStream = "pingmesh/latency-interdc";
+
+}  // namespace pingmesh::dsa

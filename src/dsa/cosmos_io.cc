@@ -1,0 +1,82 @@
+#include "dsa/cosmos_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace pingmesh::dsa {
+
+namespace {
+
+constexpr const char* kMagic = "PMCOSMOS1";
+
+/// Stream names may contain '/', never newlines; reject anything else odd.
+bool name_ok(const std::string& name) {
+  return !name.empty() && name.find('\n') == std::string::npos &&
+         name.find('\r') == std::string::npos;
+}
+
+}  // namespace
+
+bool save_store(const CosmosStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << kMagic << '\n';
+  for (const std::string& name : store.stream_names()) {
+    if (!name_ok(name)) return false;
+    const CosmosStream* stream = store.find(name);
+    out << "stream " << name << ' ' << stream->extents().size() << '\n';
+    for (const Extent& e : stream->extents()) {
+      out << "extent " << e.id << ' ' << e.first_ts << ' ' << e.last_ts << ' '
+          << e.appended_at << ' ' << e.record_count << ' ' << e.checksum << ' '
+          << e.replicas << ' ' << e.data.size() << '\n';
+      out.write(e.data.data(), static_cast<std::streamsize>(e.data.size()));
+      out << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<LoadResult> load_store(const std::string& path,
+                                     std::size_t extent_size_limit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+  LoadResult result{CosmosStore(extent_size_limit), 0, 0, 0};
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string tag, name;
+    std::size_t extent_count = 0;
+    header >> tag >> name >> extent_count;
+    if (tag != "stream" || !header) return std::nullopt;
+    CosmosStream& stream = result.store.stream(name);
+    ++result.streams;
+
+    for (std::size_t i = 0; i < extent_count; ++i) {
+      if (!std::getline(in, line)) return std::nullopt;
+      std::istringstream eh(line);
+      std::string etag;
+      Extent e;
+      std::size_t size = 0;
+      eh >> etag >> e.id >> e.first_ts >> e.last_ts >> e.appended_at >> e.record_count >>
+          e.checksum >> e.replicas >> size;
+      if (etag != "extent" || !eh) return std::nullopt;
+      e.data.resize(size);
+      in.read(e.data.data(), static_cast<std::streamsize>(size));
+      if (in.gcount() != static_cast<std::streamsize>(size)) return std::nullopt;
+      in.get();  // trailing newline
+      if (!e.verify()) {
+        ++result.corrupt_dropped;  // replicated-extent recovery failed
+        continue;
+      }
+      stream.restore_extent(std::move(e));
+      ++result.extents;
+    }
+  }
+  return result;
+}
+
+}  // namespace pingmesh::dsa

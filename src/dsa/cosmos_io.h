@@ -1,0 +1,34 @@
+// Cosmos store persistence: spill streams to disk and load them back.
+//
+// The production Cosmos is a durable distributed filesystem; this gives the
+// reproduction the part of that durability the tooling needs — an
+// experiment can archive its raw latency data and a later analysis session
+// (or the pingmeshctl CLI) can reopen it. One file holds a whole store.
+//
+// Format (version 1): a text header per stream/extent, raw extent bytes
+// in-line. Checksums are verified on load; corrupt extents are dropped and
+// counted, mirroring the replicated-extent semantics.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dsa/cosmos.h"
+
+namespace pingmesh::dsa {
+
+struct LoadResult {
+  CosmosStore store;
+  std::size_t streams = 0;
+  std::size_t extents = 0;
+  std::size_t corrupt_dropped = 0;
+};
+
+/// Serialize the whole store. Returns false on IO error.
+bool save_store(const CosmosStore& store, const std::string& path);
+
+/// Load a store written by save_store. nullopt on missing/unparseable file.
+std::optional<LoadResult> load_store(const std::string& path,
+                                     std::size_t extent_size_limit = 4 * 1024 * 1024);
+
+}  // namespace pingmesh::dsa

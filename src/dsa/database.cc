@@ -1,0 +1,46 @@
+#include "dsa/database.h"
+
+#include <algorithm>
+
+namespace pingmesh::dsa {
+
+const char* sla_scope_name(SlaScope s) {
+  switch (s) {
+    case SlaScope::kServer: return "server";
+    case SlaScope::kPod: return "pod";
+    case SlaScope::kPodset: return "podset";
+    case SlaScope::kDc: return "dc";
+    case SlaScope::kService: return "service";
+  }
+  return "?";
+}
+
+std::vector<SlaRow> Database::sla_series(SlaScope scope, std::uint32_t scope_id) const {
+  std::vector<SlaRow> out;
+  for (const SlaRow& r : sla_rows) {
+    if (r.scope == scope && r.scope_id == scope_id) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlaRow& a, const SlaRow& b) { return a.window_start < b.window_start; });
+  return out;
+}
+
+std::vector<PodPairStatRow> Database::latest_pod_pair_window() const {
+  SimTime latest = 0;
+  for (const PodPairStatRow& r : pod_pair_stats) latest = std::max(latest, r.window_start);
+  std::vector<PodPairStatRow> out;
+  for (const PodPairStatRow& r : pod_pair_stats) {
+    if (r.window_start == latest) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PodPairStatRow> Database::pod_pairs_between(SimTime from, SimTime to) const {
+  std::vector<PodPairStatRow> out;
+  for (const PodPairStatRow& r : pod_pair_stats) {
+    if (r.window_start >= from && r.window_start < to) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace pingmesh::dsa

@@ -1,0 +1,139 @@
+// The SCOPE jobs of the DSA pipeline and the Job Manager that submits them
+// (paper §3.5: "We have 10-min, 1-hour, 1-day jobs at different time
+// scales. ... All our jobs are automatically and periodically submitted by
+// a Job Manager to SCOPE without user intervention.")
+//
+//  - 10-minute job (near real-time): per pod-pair latency/drop aggregation —
+//    feeds dashboards, heatmaps, and threshold alerts;
+//  - 1-hour job: network SLA per pod/podset/DC/service;
+//  - 1-day job: DC-level intra-/inter-pod drop-rate summary (Table 1) and
+//    history for trend tracking.
+//
+// End-to-end freshness: a job over window [W, W+period) fires at
+// W + period + ingestion_delay; with the paper's numbers (10-min period,
+// ~10-min pipeline delay) data is consumed ~20 minutes after generation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agent/record.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "dsa/cosmos.h"
+#include "dsa/database.h"
+#include "dsa/scope.h"
+#include "topology/topology.h"
+
+namespace pingmesh::dsa {
+
+/// Shared aggregator for latency records: success/failure/drop-signature
+/// counts plus latency percentiles of clean successes.
+class LatencyAggregator {
+ public:
+  struct Result {
+    std::uint64_t probes = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t drop_signatures = 0;
+    std::int64_t p50_ns = 0;
+    std::int64_t p99_ns = 0;
+
+    [[nodiscard]] double drop_rate() const {
+      return successes ? static_cast<double>(drop_signatures) / static_cast<double>(successes)
+                       : 0.0;
+    }
+  };
+
+  LatencyAggregator();
+  void add(const agent::LatencyRecord& r);
+  [[nodiscard]] Result finish() const;
+
+ private:
+  Result acc_{};
+  LatencyHistogram hist_;
+};
+
+struct JobContext {
+  const topo::Topology* topo = nullptr;
+  const topo::ServiceMap* services = nullptr;  // may be null (no service SLAs)
+  Database* db = nullptr;
+};
+
+/// 10-minute job: pod-pair aggregation -> PodPairStatRow.
+void run_pod_pair_job(const CosmosStream& stream, const JobContext& ctx, SimTime from,
+                      SimTime to);
+
+/// 1-hour job: SLA per pod, podset, DC, and service -> SlaRow.
+/// `include_server_rows` additionally emits per-server rows (micro scope).
+void run_sla_job(const CosmosStream& stream, const JobContext& ctx, SimTime from,
+                 SimTime to, bool include_server_rows = false);
+
+/// 1-day job: intra-/inter-pod drop rates per DC -> DcDropRow (Table 1).
+void run_dc_drop_job(const CosmosStream& stream, const JobContext& ctx, SimTime from,
+                     SimTime to);
+
+/// Threshold alerting (paper §4.3: "If the packet drop rate is greater than
+/// 1e-3 or the 99th percentile latency is larger than 5ms ... fire alerts").
+struct AlertThresholds {
+  double drop_rate = 1e-3;
+  SimTime p99 = millis(5);
+  /// Minimum probes in a window before its metrics are trusted.
+  std::uint64_t min_probes = 20;
+};
+
+/// Evaluate thresholds over freshly written SLA rows; appends AlertRows.
+/// Returns the number of alerts fired.
+int evaluate_sla_alerts(const JobContext& ctx, const std::vector<SlaRow>& fresh_rows,
+                        const AlertThresholds& thresholds, SimTime now);
+
+/// Periodic job orchestration on virtual time.
+class JobManager {
+ public:
+  struct JobStats {
+    std::string name;
+    SimTime period = 0;
+    std::uint64_t runs = 0;
+    SimTime last_window_start = 0;
+    SimTime last_fire_time = 0;
+    /// Data-generated -> data-consumed delay of the last run (oldest record
+    /// in window to fire time).
+    [[nodiscard]] SimTime last_e2e_delay() const {
+      return last_fire_time - last_window_start;
+    }
+  };
+
+  using JobFn = std::function<void(SimTime from, SimTime to)>;
+
+  explicit JobManager(SimTime ingestion_delay = minutes(10))
+      : ingestion_delay_(ingestion_delay) {}
+
+  void register_job(std::string name, SimTime period, JobFn fn);
+
+  /// Register the standard 10-min / 1-hour / 1-day pipeline over a stream.
+  /// `server_sla_rows` additionally emits per-server SLA rows from the
+  /// hourly job (micro scope; feeds server selection).
+  void register_standard_jobs(const CosmosStream& stream, const JobContext& ctx,
+                              const AlertThresholds& thresholds = {},
+                              bool server_sla_rows = false);
+
+  /// Run every job whose next window is complete (call from a scheduler
+  /// tick; idempotent within a window).
+  void on_tick(SimTime now);
+
+  [[nodiscard]] std::vector<JobStats> stats() const;
+
+ private:
+  struct Job {
+    JobStats stats;
+    JobFn fn;
+    SimTime next_window_start = 0;
+  };
+
+  SimTime ingestion_delay_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace pingmesh::dsa

@@ -1,0 +1,71 @@
+#include "dsa/pa.h"
+
+#include "common/stats.h"
+
+namespace pingmesh::dsa {
+
+int evaluate_pa_alerts(Database& db, const topo::Topology& topo,
+                       const AlertThresholds& thresholds, SimTime since, SimTime now) {
+  int fired = 0;
+  for (const PaCounterRow& row : db.pa_counters) {
+    if (row.time <= since || row.time > now) continue;
+    if (row.probes < thresholds.min_probes) continue;
+    std::string scope = "pa pod " + (row.pod.value < topo.pods().size()
+                                         ? topo.sw(topo.pod(row.pod).tor).name
+                                         : "#" + std::to_string(row.pod.value));
+    // The PA path alerts on drop rate only: its pod-level percentiles are
+    // probe-weighted means of small-window server percentiles, far too
+    // noisy against a 5 ms threshold (one host stall skews a whole pod).
+    // Precise latency alerting belongs to the Cosmos/SCOPE path, which
+    // aggregates real histograms.
+    // A 5-minute pod window holds only hundreds of probes; one retransmit
+    // signature breaches 1e-3 by itself. Require a few before paging.
+    if (row.drop_signatures >= 3 && row.drop_rate > thresholds.drop_rate) {
+      AlertRow a;
+      a.time = now;
+      a.severity = AlertSeverity::kCritical;
+      a.rule = "pa:drop_rate>" + format_rate(thresholds.drop_rate);
+      a.scope = scope;
+      a.value = row.drop_rate;
+      a.message = "PA drop rate " + format_rate(row.drop_rate) + " exceeds SLA";
+      db.alerts.push_back(std::move(a));
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+void PerfcounterAggregator::collect(ServerId server, const agent::CounterSnapshot& s) {
+  ++collected_;
+  PodId pod = topo_->server(server).pod;
+  PodAcc& acc = current_[pod.value];
+  acc.probes += s.probes;
+  acc.successes += s.successes;
+  acc.signatures += s.probes_3s + s.probes_9s;
+  acc.p50_weighted += static_cast<double>(s.p50_ns) * static_cast<double>(s.successes);
+  acc.p99_weighted += static_cast<double>(s.p99_ns) * static_cast<double>(s.successes);
+}
+
+void PerfcounterAggregator::flush(SimTime now) {
+  for (const auto& [pod, acc] : current_) {
+    if (acc.probes == 0) continue;
+    PaCounterRow row;
+    row.time = now;
+    row.pod = PodId{pod};
+    row.probes = acc.probes;
+    row.drop_signatures = acc.signatures;
+    row.drop_rate = acc.successes
+                        ? static_cast<double>(acc.signatures) / static_cast<double>(acc.successes)
+                        : 0.0;
+    if (acc.successes > 0) {
+      row.p50_ns = static_cast<std::int64_t>(acc.p50_weighted /
+                                             static_cast<double>(acc.successes));
+      row.p99_ns = static_cast<std::int64_t>(acc.p99_weighted /
+                                             static_cast<double>(acc.successes));
+    }
+    db_->pa_counters.push_back(row);
+  }
+  current_.clear();
+}
+
+}  // namespace pingmesh::dsa

@@ -1,0 +1,137 @@
+#include "dsa/report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "common/stats.h"
+
+namespace pingmesh::dsa {
+
+namespace {
+
+struct Roll {
+  std::uint64_t probes = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t signatures = 0;
+  std::int64_t worst_p99 = 0;
+  std::int64_t last_p50 = 0;
+
+  void add(const SlaRow& row) {
+    probes += row.probes;
+    successes += row.successes;
+    signatures += row.drop_signatures;
+    worst_p99 = std::max(worst_p99, row.p99_ns);
+    last_p50 = row.p50_ns;
+  }
+
+  [[nodiscard]] double drop_rate() const {
+    return successes ? static_cast<double>(signatures) / static_cast<double>(successes)
+                     : 0.0;
+  }
+};
+
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_network_report(const Database& db, const topo::Topology& topo,
+                                  const topo::ServiceMap* services,
+                                  const ReportOptions& options) {
+  SimTime from = options.window_start;
+  SimTime to = options.window_end;
+  if (to == 0) {
+    for (const SlaRow& row : db.sla_rows) to = std::max(to, row.window_end);
+  }
+
+  auto in_window = [&](SimTime ws, SimTime we) { return we > from && (to == 0 || ws < to); };
+
+  std::string out;
+  line(out, "================ PINGMESH NETWORK REPORT ================");
+  line(out, "window: %.1fh .. %.1fh", to_seconds(from) / 3600.0, to_seconds(to) / 3600.0);
+
+  // --- per-DC SLA -----------------------------------------------------------
+  std::map<std::uint32_t, Roll> per_dc;
+  std::map<std::uint32_t, Roll> per_pod;
+  std::map<std::uint32_t, Roll> per_service;
+  for (const SlaRow& row : db.sla_rows) {
+    if (!in_window(row.window_start, row.window_end)) continue;
+    switch (row.scope) {
+      case SlaScope::kDc: per_dc[row.scope_id].add(row); break;
+      case SlaScope::kPod: per_pod[row.scope_id].add(row); break;
+      case SlaScope::kService: per_service[row.scope_id].add(row); break;
+      default: break;
+    }
+  }
+
+  line(out, "");
+  line(out, "-- data center SLA (drop rate | P50 | worst P99) --");
+  for (const auto& [dc_id, roll] : per_dc) {
+    if (dc_id >= topo.dcs().size()) continue;
+    line(out, "  %-10s %10s | %8s | %8s   (%lu probes)",
+         topo.dc(DcId{dc_id}).name.c_str(), format_rate(roll.drop_rate()).c_str(),
+         format_latency_ns(roll.last_p50).c_str(),
+         format_latency_ns(roll.worst_p99).c_str(),
+         static_cast<unsigned long>(roll.probes));
+  }
+
+  // --- worst pods by drop rate ------------------------------------------------
+  std::vector<std::pair<double, std::uint32_t>> pods;
+  for (const auto& [pod_id, roll] : per_pod) {
+    if (roll.probes < 20) continue;
+    pods.emplace_back(roll.drop_rate(), pod_id);
+  }
+  std::sort(pods.begin(), pods.end(), std::greater<>());
+  line(out, "");
+  line(out, "-- worst pods by drop rate --");
+  for (std::size_t i = 0; i < pods.size() && i < options.worst_pods; ++i) {
+    std::uint32_t pod_id = pods[i].second;
+    if (pod_id >= topo.pods().size()) continue;
+    const topo::Pod& pod = topo.pod(PodId{pod_id});
+    line(out, "  %-16s %10s  (tor %s)", topo.sw(pod.tor).name.c_str(),
+         format_rate(pods[i].first).c_str(), topo.sw(pod.tor).name.c_str());
+  }
+
+  // --- services ----------------------------------------------------------------
+  if (services != nullptr && !per_service.empty()) {
+    line(out, "");
+    line(out, "-- service SLA --");
+    for (const auto& [svc_id, roll] : per_service) {
+      if (svc_id >= services->service_count()) continue;
+      line(out, "  %-16s drop %10s  worst P99 %8s  (%lu probes)",
+           services->name(ServiceId{svc_id}).c_str(),
+           format_rate(roll.drop_rate()).c_str(),
+           format_latency_ns(roll.worst_p99).c_str(),
+           static_cast<unsigned long>(roll.probes));
+    }
+  }
+
+  // --- alerts --------------------------------------------------------------------
+  line(out, "");
+  std::size_t alert_count = 0;
+  for (const AlertRow& alert : db.alerts) {
+    if (alert.time >= from && (to == 0 || alert.time < to)) ++alert_count;
+  }
+  line(out, "-- alerts in window: %zu --", alert_count);
+  std::size_t shown = 0;
+  for (auto it = db.alerts.rbegin(); it != db.alerts.rend() && shown < 10; ++it) {
+    if (it->time < from || (to != 0 && it->time >= to)) continue;
+    line(out, "  [%s] t=%.1fh %s: %s",
+         it->severity == AlertSeverity::kCritical ? "CRIT" : "WARN",
+         to_seconds(it->time) / 3600.0, it->scope.c_str(), it->message.c_str());
+    ++shown;
+  }
+  line(out, "==========================================================");
+  return out;
+}
+
+}  // namespace pingmesh::dsa

@@ -1,0 +1,27 @@
+// Report generation (paper §3.2: "Visualization, reports and alerts are
+// generated based on the data in this database"). Produces the operator-
+// facing plain-text network report: per-DC SLA, the worst pods, per-service
+// SLA, and recent alerts.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "dsa/database.h"
+#include "topology/topology.h"
+
+namespace pingmesh::dsa {
+
+struct ReportOptions {
+  SimTime window_start = 0;
+  SimTime window_end = 0;   ///< 0 = everything in the database
+  std::size_t worst_pods = 5;
+};
+
+/// Render the network SLA report over [window_start, window_end).
+/// `services` may be null (service section omitted).
+std::string render_network_report(const Database& db, const topo::Topology& topo,
+                                  const topo::ServiceMap* services,
+                                  const ReportOptions& options = {});
+
+}  // namespace pingmesh::dsa

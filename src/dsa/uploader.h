@@ -1,0 +1,57 @@
+// Agent -> Cosmos upload path. "The Pingmesh Agent uploads the results to
+// Cosmos for data storage and analysis" (§3.2); the Cosmos front-end sits
+// behind a load-balanced VIP, which we model as an availability flag plus
+// an optional failure-injection hook for testing the agent's
+// retry-then-discard behaviour.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "agent/agent.h"
+#include "common/clock.h"
+#include "dsa/cosmos.h"
+
+namespace pingmesh::dsa {
+
+class CosmosUploader final : public agent::Uploader {
+ public:
+  CosmosUploader(CosmosStore& store, std::string stream_name, const Clock& clock)
+      : store_(&store), stream_name_(std::move(stream_name)), clock_(&clock) {}
+
+  bool upload(const std::vector<agent::LatencyRecord>& batch) override {
+    if (!available_) return false;
+    if (fail_next_ > 0) {
+      --fail_next_;
+      return false;
+    }
+    if (batch.empty()) return true;
+    SimTime first = batch.front().timestamp;
+    SimTime last = batch.front().timestamp;
+    for (const auto& r : batch) {
+      first = std::min(first, r.timestamp);
+      last = std::max(last, r.timestamp);
+    }
+    store_->stream(stream_name_)
+        .append(agent::encode_batch(batch), batch.size(), first, last, clock_->now());
+    ++uploads_;
+    return true;
+  }
+
+  /// Availability control (Cosmos front-end outage simulation).
+  void set_available(bool available) { available_ = available; }
+  /// Fail the next N uploads, then recover.
+  void fail_next(int n) { fail_next_ = n; }
+
+  [[nodiscard]] std::uint64_t uploads() const { return uploads_; }
+
+ private:
+  CosmosStore* store_;
+  std::string stream_name_;
+  const Clock* clock_;
+  bool available_ = true;
+  int fail_next_ = 0;
+  std::uint64_t uploads_ = 0;
+};
+
+}  // namespace pingmesh::dsa

@@ -1,0 +1,446 @@
+#include "net/http.h"
+
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <system_error>
+
+namespace pingmesh::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+Fd make_nonblocking_socket() {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Fd(fd);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parse "Name: value" header lines from `head` (excluding the first line).
+void parse_headers(std::string_view head,
+                   std::map<std::string, std::string, std::less<>>& out) {
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    auto eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 1;
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    out[to_lower(trim(line.substr(0, colon)))] = std::string(trim(line.substr(colon + 1)));
+  }
+}
+
+std::size_t content_length(const std::map<std::string, std::string, std::less<>>& headers) {
+  auto it = headers.find("content-length");
+  if (it == headers.end()) return 0;
+  std::size_t v = 0;
+  auto [p, ec] = std::from_chars(it->second.data(), it->second.data() + it->second.size(), v);
+  (void)p;
+  return ec == std::errc{} ? v : 0;
+}
+
+/// If a full message (head + Content-Length body) is present in `data`,
+/// returns the byte count it occupies; otherwise 0.
+template <class Msg, class HeadParser>
+std::size_t try_parse_message(std::string_view data, HeadParser head_parser, Msg& out) {
+  auto head_end = data.find("\r\n\r\n");
+  std::size_t sep = 4;
+  if (head_end == std::string_view::npos) {
+    head_end = data.find("\n\n");
+    sep = 2;
+    if (head_end == std::string_view::npos) return 0;
+  }
+  std::string_view head = data.substr(0, head_end);
+  auto first_eol = head.find('\n');
+  std::string_view first_line = trim(head.substr(0, first_eol));
+  std::string_view rest = first_eol == std::string_view::npos ? std::string_view{}
+                                                              : head.substr(first_eol + 1);
+  Msg msg;
+  if (!head_parser(first_line, msg)) return 0;
+  parse_headers(rest, msg.headers);
+  std::size_t body_len = content_length(msg.headers);
+  std::size_t total = head_end + sep + body_len;
+  if (data.size() < total) return 0;
+  msg.body = std::string(data.substr(head_end + sep, body_len));
+  out = std::move(msg);
+  return total;
+}
+
+bool parse_request_line(std::string_view line, HttpRequest& req) {
+  auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  auto sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  req.method = std::string(line.substr(0, sp1));
+  req.path = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  return line.substr(sp2 + 1).starts_with("HTTP/");
+}
+
+bool parse_status_line(std::string_view line, HttpResponse& resp) {
+  if (!line.starts_with("HTTP/")) return false;
+  auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  auto sp2 = line.find(' ', sp1 + 1);
+  std::string_view code = line.substr(sp1 + 1, sp2 == std::string_view::npos
+                                                   ? std::string_view::npos
+                                                   : sp2 - sp1 - 1);
+  int status = 0;
+  auto [p, ec] = std::from_chars(code.data(), code.data() + code.size(), status);
+  (void)p;
+  if (ec != std::errc{}) return false;
+  resp.status = status;
+  resp.reason = sp2 == std::string_view::npos ? "" : std::string(line.substr(sp2 + 1));
+  return true;
+}
+
+}  // namespace
+
+HttpResponse HttpResponse::ok(std::string body, std::string content_type) {
+  HttpResponse r;
+  r.body = std::move(body);
+  r.headers["content-type"] = std::move(content_type);
+  return r;
+}
+
+HttpResponse HttpResponse::not_found(std::string message) {
+  HttpResponse r;
+  r.status = 404;
+  r.reason = "Not Found";
+  r.body = std::move(message);
+  return r;
+}
+
+HttpResponse HttpResponse::error(int status, std::string reason, std::string message) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = std::move(reason);
+  r.body = std::move(message);
+  return r;
+}
+
+std::string serialize(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " + resp.reason + "\r\n";
+  for (const auto& [k, v] : resp.headers) {
+    if (k == "content-length" || k == "connection") continue;
+    out += k + ": " + v + "\r\n";
+  }
+  out += "content-length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+std::string serialize(const HttpRequest& req, const std::string& host) {
+  std::string out = req.method + " " + req.path + " HTTP/1.1\r\n";
+  out += "host: " + host + "\r\n";
+  for (const auto& [k, v] : req.headers) {
+    if (k == "content-length" || k == "host" || k == "connection") continue;
+    out += k + ": " + v + "\r\n";
+  }
+  if (!req.body.empty()) out += "content-length: " + std::to_string(req.body.size()) + "\r\n";
+  out += "connection: close\r\n\r\n";
+  out += req.body;
+  return out;
+}
+
+std::optional<HttpRequest> parse_request(std::string_view data) {
+  HttpRequest req;
+  if (try_parse_message(data, parse_request_line, req) == 0) return std::nullopt;
+  return req;
+}
+
+std::optional<HttpResponse> parse_response(std::string_view data) {
+  HttpResponse resp;
+  if (try_parse_message(data, parse_status_line, resp) == 0) return std::nullopt;
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+HttpServer::HttpServer(Reactor& reactor, const SockAddr& bind_addr) : reactor_(reactor) {
+  listener_ = make_nonblocking_socket();
+  int one = 1;
+  ::setsockopt(listener_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listener_.get(), bind_addr.raw(), SockAddr::len()) != 0) throw_errno("bind");
+  if (::listen(listener_.get(), 128) != 0) throw_errno("listen");
+  SockAddr actual;
+  socklen_t alen = SockAddr::len();
+  if (::getsockname(listener_.get(), actual.raw(), &alen) != 0) throw_errno("getsockname");
+  port_ = actual.port();
+  reactor_.add(listener_.get(), EPOLLIN, [this](std::uint32_t ev) { on_accept(ev); });
+}
+
+HttpServer::~HttpServer() {
+  for (auto& [fd, conn] : conns_) reactor_.remove(fd);
+  conns_.clear();
+  if (listener_.valid()) reactor_.remove(listener_.get());
+}
+
+void HttpServer::route(std::string prefix, Handler handler) {
+  routes_.emplace_back(std::move(prefix), std::move(handler));
+  std::stable_sort(routes_.begin(), routes_.end(), [](const auto& a, const auto& b) {
+    return a.first.size() > b.first.size();
+  });
+}
+
+const HttpServer::Handler* HttpServer::match(const std::string& path) const {
+  for (const auto& [prefix, handler] : routes_) {
+    if (path.starts_with(prefix)) return &handler;
+  }
+  return nullptr;
+}
+
+void HttpServer::on_accept(std::uint32_t /*events*/) {
+  for (;;) {
+    int cfd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = Fd(cfd);
+    reactor_.add(cfd, EPOLLIN, [this, cfd](std::uint32_t ev) { on_conn(cfd, ev); });
+    conns_.emplace(cfd, std::move(conn));
+  }
+}
+
+void HttpServer::close_conn(int fd) {
+  reactor_.remove(fd);
+  conns_.erase(fd);
+}
+
+void HttpServer::try_dispatch(int fd, Conn& c) {
+  HttpRequest req;
+  std::size_t consumed = try_parse_message(std::string_view(c.in), parse_request_line, req);
+  if (consumed == 0) {
+    if (c.in.size() > kMaxHead + kMaxBody) close_conn(fd);
+    return;
+  }
+  c.in.erase(0, consumed);
+  const Handler* handler = match(req.path);
+  HttpResponse resp =
+      handler ? (*handler)(req) : HttpResponse::not_found("no route for " + req.path);
+  ++served_;
+  c.out = serialize(resp);
+  c.out_off = 0;
+  c.responding = true;
+  reactor_.modify(fd, EPOLLOUT);
+  on_conn(fd, EPOLLOUT);  // try immediate write
+}
+
+void HttpServer::on_conn(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(fd);
+    return;
+  }
+
+  if (!c.responding && (events & EPOLLIN)) {
+    char buf[16 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        close_conn(fd);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+    try_dispatch(fd, c);
+    return;
+  }
+
+  if (c.responding) {
+    while (c.out_off < c.out.size()) {
+      ssize_t n = ::send(fd, c.out.data() + c.out_off, c.out.size() - c.out_off,
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+    close_conn(fd);  // connection: close semantics
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HttpClient
+// ---------------------------------------------------------------------------
+
+HttpClient::~HttpClient() {
+  for (auto& [fd, call] : calls_) {
+    reactor_.remove(fd);
+    if (call->timer) reactor_.cancel_timer(call->timer);
+  }
+  calls_.clear();
+}
+
+void HttpClient::request(const SockAddr& dst, HttpRequest req,
+                         std::chrono::milliseconds timeout, Callback cb) {
+  auto call = std::make_unique<Call>();
+  call->cb = std::move(cb);
+  call->start = std::chrono::steady_clock::now();
+  call->out = serialize(req, dst.str());
+
+  try {
+    call->fd = make_nonblocking_socket();
+  } catch (const std::system_error& e) {
+    HttpResult r;
+    r.error_errno = e.code().value();
+    call->cb(r);
+    return;
+  }
+  int fd = call->fd.get();
+
+  int rc = ::connect(fd, dst.raw(), SockAddr::len());
+  if (rc != 0 && errno != EINPROGRESS) {
+    HttpResult r;
+    r.error_errno = errno;
+    call->cb(r);
+    return;
+  }
+
+  call->timer = reactor_.add_timer_after(timeout, [this, fd] {
+    auto it = calls_.find(fd);
+    if (it == calls_.end()) return;
+    it->second->timer = 0;
+    HttpResult r;
+    r.timed_out = true;
+    finish(fd, std::move(r));
+  });
+
+  reactor_.add(fd, EPOLLOUT, [this, fd](std::uint32_t ev) { on_event(fd, ev); });
+  calls_.emplace(fd, std::move(call));
+}
+
+void HttpClient::finish(int fd, HttpResult result) {
+  auto node = calls_.extract(fd);
+  if (node.empty()) return;
+  if (node.mapped()->timer) reactor_.cancel_timer(node.mapped()->timer);
+  reactor_.remove(fd);
+  result.total_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - node.mapped()->start)
+                        .count();
+  Callback cb = std::move(node.mapped()->cb);
+  node.mapped()->fd.reset();
+  cb(result);
+}
+
+void HttpClient::on_event(int fd, std::uint32_t events) {
+  auto it = calls_.find(fd);
+  if (it == calls_.end()) return;
+  Call& c = *it->second;
+
+  if (!c.connected) {
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) != 0) err = errno;
+    if ((events & (EPOLLERR | EPOLLHUP)) && err == 0) err = ECONNREFUSED;
+    if (err != 0) {
+      HttpResult r;
+      r.error_errno = err;
+      finish(fd, std::move(r));
+      return;
+    }
+    c.connected = true;
+  }
+
+  // Write phase.
+  while (c.out_off < c.out.size()) {
+    ssize_t n = ::send(fd, c.out.data() + c.out_off, c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    HttpResult r;
+    r.error_errno = errno;
+    finish(fd, std::move(r));
+    return;
+  }
+  if (c.out_off == c.out.size() && c.out_off != 0) {
+    reactor_.modify(fd, EPOLLIN);
+  }
+
+  // Read phase.
+  if (events & (EPOLLIN | EPOLLHUP)) {
+    char buf[16 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {  // server closed: response should be complete
+        HttpResult r;
+        if (auto resp = parse_response(c.in)) {
+          r.ok = true;
+          r.response = std::move(*resp);
+        } else {
+          r.error_errno = EPROTO;
+        }
+        finish(fd, std::move(r));
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      HttpResult r;
+      r.error_errno = errno;
+      finish(fd, std::move(r));
+      return;
+    }
+    // Fast path: complete message with Content-Length already in buffer.
+    if (auto resp = parse_response(c.in)) {
+      HttpResult r;
+      r.ok = true;
+      r.response = std::move(*resp);
+      finish(fd, std::move(r));
+    }
+  }
+}
+
+}  // namespace pingmesh::net

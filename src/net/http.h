@@ -1,0 +1,146 @@
+// Minimal asynchronous HTTP/1.1 server and client over the Reactor.
+//
+// Serves two paper roles:
+//  - the Pingmesh Controller's "simple RESTful Web API for the Pingmesh
+//    Agents to retrieve their Pinglist files" (§3.3.2);
+//  - HTTP pings ("Pingmesh uses TCP and HTTP instead of ICMP or UDP for
+//    probing", §3.4.1).
+//
+// Scope: request line + headers + Content-Length bodies, Connection: close
+// semantics (each exchange is one connection — matching the probe model of
+// a new connection per probe). No chunked encoding, no pipelining.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fd.h"
+#include "net/reactor.h"
+#include "net/sockaddr.h"
+
+namespace pingmesh::net {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;  // includes query string if any
+  std::map<std::string, std::string, std::less<>> headers;  // lower-cased names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string, std::less<>> headers;
+  std::string body;
+
+  static HttpResponse ok(std::string body, std::string content_type = "text/plain");
+  static HttpResponse not_found(std::string message = "not found");
+  static HttpResponse error(int status, std::string reason, std::string message = "");
+};
+
+/// Serialize a response (adds Content-Length and Connection: close).
+std::string serialize(const HttpResponse& resp);
+/// Serialize a request (adds Content-Length for non-empty bodies and Host).
+std::string serialize(const HttpRequest& req, const std::string& host);
+
+class HttpServer {
+ public:
+  /// Handler receives the parsed request; returning the response completes
+  /// the exchange and closes the connection.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Reactor& reactor, const SockAddr& bind_addr);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a handler for paths beginning with `prefix` (longest prefix
+  /// wins). Register "/" as the fallback.
+  void route(std::string prefix, Handler handler);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+  static constexpr std::size_t kMaxHead = 64 * 1024;
+  static constexpr std::size_t kMaxBody = 4 * 1024 * 1024;
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::string in;
+    std::string out;
+    std::size_t out_off = 0;
+    bool responding = false;
+  };
+
+  void on_accept(std::uint32_t events);
+  void on_conn(int fd, std::uint32_t events);
+  void close_conn(int fd);
+  void try_dispatch(int fd, Conn& c);
+  [[nodiscard]] const Handler* match(const std::string& path) const;
+
+  Reactor& reactor_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::uint64_t served_ = 0;
+  std::vector<std::pair<std::string, Handler>> routes_;  // kept longest-first
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+};
+
+struct HttpResult {
+  bool ok = false;          ///< response fully received
+  HttpResponse response;    ///< valid when ok
+  bool timed_out = false;
+  int error_errno = 0;
+  std::int64_t total_ns = 0;  ///< connect -> full response (the "HTTP ping" RTT)
+};
+
+class HttpClient {
+ public:
+  using Callback = std::function<void(const HttpResult&)>;
+
+  explicit HttpClient(Reactor& reactor) : reactor_(reactor) {}
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  void get(const SockAddr& dst, const std::string& path,
+           std::chrono::milliseconds timeout, Callback cb) {
+    request(dst, HttpRequest{"GET", path, {}, ""}, timeout, std::move(cb));
+  }
+  void request(const SockAddr& dst, HttpRequest req, std::chrono::milliseconds timeout,
+               Callback cb);
+
+  [[nodiscard]] std::size_t inflight() const { return calls_.size(); }
+
+ private:
+  struct Call {
+    Fd fd;
+    std::chrono::steady_clock::time_point start;
+    std::string out;
+    std::size_t out_off = 0;
+    std::string in;
+    Reactor::TimerId timer = 0;
+    Callback cb;
+    bool connected = false;
+  };
+
+  void on_event(int fd, std::uint32_t events);
+  void finish(int fd, HttpResult result);
+
+  Reactor& reactor_;
+  std::unordered_map<int, std::unique_ptr<Call>> calls_;
+};
+
+/// Parse helpers (exposed for tests).
+std::optional<HttpRequest> parse_request(std::string_view head_and_body);
+std::optional<HttpResponse> parse_response(std::string_view head_and_body);
+
+}  // namespace pingmesh::net

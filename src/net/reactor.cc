@@ -1,0 +1,122 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pingmesh::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Reactor::Reactor() : epoll_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!epoll_.valid()) throw_errno("epoll_create1");
+}
+
+Reactor::~Reactor() = default;
+
+void Reactor::add(int fd, std::uint32_t events, IoCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) throw_errno("epoll_ctl ADD");
+  callbacks_[fd] = std::move(cb);
+}
+
+void Reactor::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) throw_errno("epoll_ctl MOD");
+}
+
+void Reactor::remove(int fd) {
+  if (callbacks_.erase(fd) == 0) return;
+  // Removal may race with the fd having been closed already; ignore ENOENT/EBADF.
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Reactor::TimerId Reactor::add_timer(Clock::time_point deadline, TimerCallback cb) {
+  TimerId id = next_timer_++;
+  timer_heap_.push(Timer{deadline, id});
+  timer_cbs_[id] = std::move(cb);
+  ++timer_count_;
+  return id;
+}
+
+void Reactor::cancel_timer(TimerId id) {
+  if (timer_cbs_.erase(id) > 0 && timer_count_ > 0) --timer_count_;
+}
+
+int Reactor::fire_due_timers() {
+  int fired = 0;
+  auto now = Clock::now();
+  while (!timer_heap_.empty() && timer_heap_.top().deadline <= now) {
+    Timer t = timer_heap_.top();
+    timer_heap_.pop();
+    auto it = timer_cbs_.find(t.id);
+    if (it == timer_cbs_.end()) continue;  // cancelled
+    TimerCallback cb = std::move(it->second);
+    timer_cbs_.erase(it);
+    if (timer_count_ > 0) --timer_count_;
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+int Reactor::run_once(std::chrono::milliseconds max_wait) {
+  int dispatched = fire_due_timers();
+  if (dispatched > 0) max_wait = std::chrono::milliseconds(0);
+
+  auto timeout = max_wait;
+  if (!timer_heap_.empty()) {
+    auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+        timer_heap_.top().deadline - Clock::now());
+    if (until < timeout) timeout = until;
+  }
+  if (timeout.count() < 0) timeout = std::chrono::milliseconds(0);
+
+  std::array<epoll_event, 128> events{};
+  int n = ::epoll_wait(epoll_.get(), events.data(), static_cast<int>(events.size()),
+                       static_cast<int>(timeout.count()));
+  if (n < 0) {
+    if (errno == EINTR) return dispatched;
+    throw_errno("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    int fd = events[static_cast<std::size_t>(i)].data.fd;
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;  // removed earlier in this batch
+    // Copy: the callback may remove/replace its own registration.
+    IoCallback cb = it->second;
+    cb(events[static_cast<std::size_t>(i)].events);
+    ++dispatched;
+  }
+  dispatched += fire_due_timers();
+  return dispatched;
+}
+
+void Reactor::run() {
+  stopped_ = false;
+  while (!stopped_) run_once();
+}
+
+bool Reactor::run_until(const std::function<bool()>& pred, Clock::time_point deadline) {
+  while (!pred()) {
+    if (Clock::now() >= deadline) return pred();
+    run_once(std::chrono::milliseconds(20));
+  }
+  return true;
+}
+
+}  // namespace pingmesh::net

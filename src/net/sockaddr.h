@@ -1,0 +1,65 @@
+// Small value wrapper around sockaddr_in (IPv4 only — the paper's data
+// centers are IPv4; nothing here precludes adding v6 later).
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+
+namespace pingmesh::net {
+
+struct SockAddr {
+  sockaddr_in sa{};
+
+  SockAddr() {
+    sa.sin_family = AF_INET;
+  }
+
+  static SockAddr ipv4(const std::string& dotted, std::uint16_t port) {
+    SockAddr a;
+    a.sa.sin_port = htons(port);
+    if (::inet_pton(AF_INET, dotted.c_str(), &a.sa.sin_addr) != 1) {
+      throw std::invalid_argument("bad IPv4 address: " + dotted);
+    }
+    return a;
+  }
+
+  static SockAddr ipv4(IpAddr ip, std::uint16_t port) {
+    SockAddr a;
+    a.sa.sin_port = htons(port);
+    a.sa.sin_addr.s_addr = htonl(ip.v);
+    return a;
+  }
+
+  static SockAddr loopback(std::uint16_t port) { return ipv4("127.0.0.1", port); }
+
+  static SockAddr any(std::uint16_t port) {
+    SockAddr a;
+    a.sa.sin_port = htons(port);
+    a.sa.sin_addr.s_addr = htonl(INADDR_ANY);
+    return a;
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return ntohs(sa.sin_port); }
+  [[nodiscard]] IpAddr ip() const { return IpAddr(ntohl(sa.sin_addr.s_addr)); }
+
+  [[nodiscard]] const sockaddr* raw() const {
+    return reinterpret_cast<const sockaddr*>(&sa);
+  }
+  [[nodiscard]] sockaddr* raw() { return reinterpret_cast<sockaddr*>(&sa); }
+  [[nodiscard]] static socklen_t len() { return sizeof(sockaddr_in); }
+
+  [[nodiscard]] std::string str() const {
+    char buf[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
+    return std::string(buf) + ":" + std::to_string(port());
+  }
+};
+
+}  // namespace pingmesh::net

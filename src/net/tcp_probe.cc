@@ -1,0 +1,309 @@
+#include "net/tcp_probe.h"
+
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace pingmesh::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+Fd make_nonblocking_socket() {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Fd(fd);
+}
+
+void put_u32_be(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32_be(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpProbeServer
+// ---------------------------------------------------------------------------
+
+TcpProbeServer::TcpProbeServer(Reactor& reactor, const SockAddr& bind_addr, int backlog)
+    : reactor_(reactor) {
+  listener_ = make_nonblocking_socket();
+  int one = 1;
+  ::setsockopt(listener_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listener_.get(), bind_addr.raw(), SockAddr::len()) != 0) throw_errno("bind");
+  if (::listen(listener_.get(), backlog) != 0) throw_errno("listen");
+
+  SockAddr actual;
+  socklen_t alen = SockAddr::len();
+  if (::getsockname(listener_.get(), actual.raw(), &alen) != 0) throw_errno("getsockname");
+  port_ = actual.port();
+
+  reactor_.add(listener_.get(), EPOLLIN, [this](std::uint32_t ev) { on_accept(ev); });
+}
+
+TcpProbeServer::~TcpProbeServer() {
+  for (auto& [fd, conn] : conns_) reactor_.remove(fd);
+  conns_.clear();
+  if (listener_.valid()) reactor_.remove(listener_.get());
+}
+
+void TcpProbeServer::on_accept(std::uint32_t /*events*/) {
+  for (;;) {
+    int cfd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept errors: drop and keep serving
+    }
+    ++accepted_;
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = Fd(cfd);
+    reactor_.add(cfd, EPOLLIN, [this, cfd](std::uint32_t ev) { on_conn(cfd, ev); });
+    conns_.emplace(cfd, std::move(conn));
+  }
+}
+
+void TcpProbeServer::close_conn(int fd) {
+  reactor_.remove(fd);
+  conns_.erase(fd);
+}
+
+void TcpProbeServer::on_conn(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(fd);
+    return;
+  }
+
+  if (events & EPOLLIN) {
+    std::uint8_t buf[16 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.insert(c.in.end(), buf, buf + n);
+        continue;
+      }
+      if (n == 0) {  // peer closed (connect-only probe)
+        close_conn(fd);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+    // Frame complete? Echo it.
+    while (c.in.size() >= 4) {
+      std::uint32_t frame_len = get_u32_be(c.in.data());
+      if (frame_len > kMaxFrame) {  // oversized: protocol violation
+        close_conn(fd);
+        return;
+      }
+      if (c.in.size() < 4 + frame_len) break;
+      put_u32_be(c.out, frame_len);
+      c.out.insert(c.out.end(), c.in.begin() + 4, c.in.begin() + 4 + frame_len);
+      c.in.erase(c.in.begin(), c.in.begin() + 4 + frame_len);
+      ++echoed_;
+    }
+  }
+
+  // Flush pending output.
+  while (c.out_off < c.out.size()) {
+    ssize_t n = ::send(fd, c.out.data() + c.out_off, c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      reactor_.modify(fd, EPOLLIN | EPOLLOUT);
+      return;
+    }
+    if (errno == EINTR) continue;
+    close_conn(fd);
+    return;
+  }
+  if (c.out_off > 0 && c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+    reactor_.modify(fd, EPOLLIN);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpProber
+// ---------------------------------------------------------------------------
+
+TcpProber::~TcpProber() {
+  for (auto& [fd, p] : probes_) {
+    reactor_.remove(fd);
+    if (p->timer) reactor_.cancel_timer(p->timer);
+  }
+  probes_.clear();
+}
+
+void TcpProber::probe(const SockAddr& dst, int payload_bytes,
+                      std::chrono::milliseconds timeout, Callback cb) {
+  ++launched_;
+  auto p = std::make_unique<Probe>();
+  p->cb = std::move(cb);
+  p->start = std::chrono::steady_clock::now();
+
+  try {
+    p->fd = make_nonblocking_socket();
+  } catch (const std::system_error& e) {
+    p->result.error_errno = e.code().value();
+    p->cb(p->result);
+    return;
+  }
+  int fd = p->fd.get();
+
+  if (payload_bytes > 0) {
+    auto len = static_cast<std::uint32_t>(payload_bytes);
+    put_u32_be(p->out, len);
+    p->out.resize(4 + len, std::uint8_t{0xA5});
+    p->expect_in = 4 + len;
+  }
+
+  int rc = ::connect(fd, dst.raw(), SockAddr::len());
+  if (rc != 0 && errno != EINPROGRESS) {
+    p->result.error_errno = errno;
+    Callback done = std::move(p->cb);
+    TcpProbeResult res = p->result;
+    done(res);
+    return;
+  }
+
+  // Record the ephemeral source port (new for every probe by construction:
+  // a fresh socket gets a fresh port from the kernel).
+  SockAddr local;
+  socklen_t llen = SockAddr::len();
+  if (::getsockname(fd, local.raw(), &llen) == 0) p->result.src_port = local.port();
+
+  p->timer = reactor_.add_timer_after(timeout, [this, fd] {
+    auto it = probes_.find(fd);
+    if (it == probes_.end()) return;
+    it->second->timer = 0;
+    it->second->result.timed_out = true;
+    finish(fd, *it->second);
+  });
+
+  reactor_.add(fd, EPOLLOUT, [this, fd](std::uint32_t ev) { on_event(fd, ev); });
+  probes_.emplace(fd, std::move(p));
+}
+
+void TcpProber::finish(int fd, Probe& p) {
+  if (p.timer) reactor_.cancel_timer(p.timer);
+  reactor_.remove(fd);
+  auto node = probes_.extract(fd);
+  // `p` lives inside node; invoke the callback after removing bookkeeping so
+  // the callback may immediately launch new probes.
+  Callback cb = std::move(node.mapped()->cb);
+  TcpProbeResult result = node.mapped()->result;
+  node.mapped()->fd.reset();
+  cb(result);
+}
+
+void TcpProber::on_event(int fd, std::uint32_t events) {
+  auto it = probes_.find(fd);
+  if (it == probes_.end()) return;
+  Probe& p = *it->second;
+
+  if (p.state == State::kConnecting) {
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) != 0) err = errno;
+    if ((events & (EPOLLERR | EPOLLHUP)) && err == 0) err = ECONNREFUSED;
+    if (err != 0) {
+      p.result.error_errno = err;
+      finish(fd, p);
+      return;
+    }
+    auto now = std::chrono::steady_clock::now();
+    p.result.connected = true;
+    p.result.connect_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - p.start).count();
+    if (p.out.empty()) {  // connect-only probe
+      finish(fd, p);
+      return;
+    }
+    p.state = State::kSending;
+    p.payload_start = now;
+    // fall through to send
+  }
+
+  if (p.state == State::kSending) {
+    while (p.out_off < p.out.size()) {
+      ssize_t n = ::send(fd, p.out.data() + p.out_off, p.out.size() - p.out_off,
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        p.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        reactor_.modify(fd, EPOLLOUT);
+        return;
+      }
+      if (errno == EINTR) continue;
+      p.result.error_errno = errno;
+      finish(fd, p);
+      return;
+    }
+    p.state = State::kReadingEcho;
+    reactor_.modify(fd, EPOLLIN);
+    return;
+  }
+
+  if (p.state == State::kReadingEcho && (events & (EPOLLIN | EPOLLHUP | EPOLLERR))) {
+    std::uint8_t buf[16 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        p.in.insert(p.in.end(), buf, buf + n);
+        if (p.in.size() >= p.expect_in) {
+          p.result.payload_ok = true;
+          p.result.payload_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - p.payload_start)
+                                    .count();
+          finish(fd, p);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // server closed before full echo
+        p.result.error_errno = ECONNRESET;
+        finish(fd, p);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      p.result.error_errno = errno;
+      finish(fd, p);
+      return;
+    }
+  }
+}
+
+}  // namespace pingmesh::net

@@ -1,0 +1,121 @@
+// Asynchronous TCP probing: the measurement primitive of the Pingmesh Agent
+// (paper §3.4). Every probe is a brand-new connection from a fresh ephemeral
+// source port — "to explore the multi-path nature of the network as much as
+// possible, and ... reduce the number of concurrent TCP connections".
+//
+// Two probe shapes:
+//  - connect-only: RTT of SYN / SYN-ACK (the connect() completion time);
+//  - payload echo: after connect, send a length-prefixed payload; the
+//    responder echoes it back; the echo round-trip is measured separately.
+//
+// Wire format of the echo protocol: 4-byte big-endian payload length, then
+// that many bytes. The server echoes the same frame back.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fd.h"
+#include "net/reactor.h"
+#include "net/sockaddr.h"
+
+namespace pingmesh::net {
+
+/// Responder side: accepts connections and echoes length-prefixed frames.
+/// Plays the "server part" of the agent (§3.4.1: "the Pingmesh Agent needs
+/// to act as both client and server").
+class TcpProbeServer {
+ public:
+  /// Binds and listens immediately; port 0 selects an ephemeral port.
+  TcpProbeServer(Reactor& reactor, const SockAddr& bind_addr, int backlog = 128);
+  ~TcpProbeServer();
+  TcpProbeServer(const TcpProbeServer&) = delete;
+  TcpProbeServer& operator=(const TcpProbeServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t connections_accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t frames_echoed() const { return echoed_; }
+  [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+
+  /// Maximum accepted frame size; larger frames close the connection
+  /// (agent safety: probe payload length is hard-limited, §3.4.2).
+  static constexpr std::uint32_t kMaxFrame = 64 * 1024;
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+  };
+
+  void on_accept(std::uint32_t events);
+  void on_conn(int fd, std::uint32_t events);
+  void close_conn(int fd);
+
+  Reactor& reactor_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t echoed_ = 0;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+};
+
+struct TcpProbeResult {
+  bool connected = false;
+  std::int64_t connect_ns = 0;  ///< SYN -> established
+  bool payload_ok = false;
+  std::int64_t payload_ns = 0;  ///< payload sent -> echo fully received
+  bool timed_out = false;
+  int error_errno = 0;          ///< errno when the probe failed locally
+  std::uint16_t src_port = 0;   ///< ephemeral port actually used
+};
+
+/// Client side: fires one-shot probes; many may be in flight concurrently.
+class TcpProber {
+ public:
+  using Callback = std::function<void(const TcpProbeResult&)>;
+
+  explicit TcpProber(Reactor& reactor) : reactor_(reactor) {}
+  ~TcpProber();
+  TcpProber(const TcpProber&) = delete;
+  TcpProber& operator=(const TcpProber&) = delete;
+
+  /// Launch a probe to `dst`. `payload_bytes` 0 = connect-only. The
+  /// callback is invoked exactly once (success, error, or timeout).
+  void probe(const SockAddr& dst, int payload_bytes, std::chrono::milliseconds timeout,
+             Callback cb);
+
+  [[nodiscard]] std::size_t inflight() const { return probes_.size(); }
+  [[nodiscard]] std::uint64_t launched() const { return launched_; }
+
+ private:
+  enum class State { kConnecting, kSending, kReadingEcho };
+
+  struct Probe {
+    Fd fd;
+    State state = State::kConnecting;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point payload_start;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    std::vector<std::uint8_t> in;
+    std::size_t expect_in = 0;
+    Reactor::TimerId timer = 0;
+    Callback cb;
+    TcpProbeResult result;
+  };
+
+  void on_event(int fd, std::uint32_t events);
+  void finish(int fd, Probe& p);
+
+  Reactor& reactor_;
+  std::unordered_map<int, std::unique_ptr<Probe>> probes_;
+  std::uint64_t launched_ = 0;
+};
+
+}  // namespace pingmesh::net

@@ -1,0 +1,78 @@
+#include "netsim/ecmp.h"
+
+#include "common/rng.h"
+
+namespace pingmesh::netsim {
+
+std::size_t EcmpRouter::ecmp_index(const FiveTuple& tuple, std::uint64_t stage_salt,
+                                   std::size_t n_choices) {
+  if (n_choices == 0) return 0;
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(tuple.src_ip.v) << 32) | tuple.dst_ip.v);
+  h = mix64(h ^ ((static_cast<std::uint64_t>(tuple.src_port) << 24) |
+                 (static_cast<std::uint64_t>(tuple.dst_port) << 8) | tuple.protocol));
+  h = mix64(h ^ stage_salt);
+  return static_cast<std::size_t>(h % n_choices);
+}
+
+Path EcmpRouter::resolve(const FiveTuple& tuple) const {
+  const topo::Topology& t = *topo_;
+  ServerId src = t.server_by_ip(tuple.src_ip);
+  ServerId dst = t.server_by_ip(tuple.dst_ip);
+  Path path;
+  if (src == dst) return path;  // loopback, no network hops
+
+  const topo::Server& s = t.server(src);
+  const topo::Server& d = t.server(dst);
+
+  if (s.pod == d.pod) {
+    // Same ToR: up and straight back down.
+    path.hops.push_back(Hop{s.tor});
+    return path;
+  }
+  path.cross_pod = true;
+
+  if (s.podset == d.podset) {
+    // ToR -> Leaf (ECMP among podset leaves) -> ToR.
+    const auto& leaves = t.podset(s.podset).leaves;
+    std::size_t li = ecmp_index(tuple, /*stage=*/0x1eaf, leaves.size());
+    path.hops.push_back(Hop{s.tor});
+    path.hops.push_back(Hop{leaves[li]});
+    path.hops.push_back(Hop{d.tor});
+    return path;
+  }
+  path.cross_podset = true;
+
+  if (s.dc == d.dc) {
+    // ToR -> Leaf(src podset) -> Spine -> Leaf(dst podset) -> ToR.
+    const auto& up_leaves = t.podset(s.podset).leaves;
+    const auto& spines = t.dc(s.dc).spines;
+    const auto& down_leaves = t.podset(d.podset).leaves;
+    path.hops.push_back(Hop{s.tor});
+    path.hops.push_back(Hop{up_leaves[ecmp_index(tuple, 0x1eaf'0001, up_leaves.size())]});
+    path.hops.push_back(Hop{spines[ecmp_index(tuple, 0x5b1e, spines.size())]});
+    path.hops.push_back(Hop{down_leaves[ecmp_index(tuple, 0x1eaf'0002, down_leaves.size())]});
+    path.hops.push_back(Hop{d.tor});
+    return path;
+  }
+  path.cross_dc = true;
+
+  // Cross-DC: climb to a border router, cross the WAN, descend.
+  const auto& up_leaves = t.podset(s.podset).leaves;
+  const auto& up_spines = t.dc(s.dc).spines;
+  const auto& up_borders = t.dc(s.dc).borders;
+  const auto& down_borders = t.dc(d.dc).borders;
+  const auto& down_spines = t.dc(d.dc).spines;
+  const auto& down_leaves = t.podset(d.podset).leaves;
+
+  path.hops.push_back(Hop{s.tor});
+  path.hops.push_back(Hop{up_leaves[ecmp_index(tuple, 0x1eaf'0001, up_leaves.size())]});
+  path.hops.push_back(Hop{up_spines[ecmp_index(tuple, 0x5b1e'0001, up_spines.size())]});
+  path.hops.push_back(Hop{up_borders[ecmp_index(tuple, 0xb0d0'0001, up_borders.size())]});
+  path.hops.push_back(Hop{down_borders[ecmp_index(tuple, 0xb0d0'0002, down_borders.size())]});
+  path.hops.push_back(Hop{down_spines[ecmp_index(tuple, 0x5b1e'0002, down_spines.size())]});
+  path.hops.push_back(Hop{down_leaves[ecmp_index(tuple, 0x1eaf'0002, down_leaves.size())]});
+  path.hops.push_back(Hop{d.tor});
+  return path;
+}
+
+}  // namespace pingmesh::netsim

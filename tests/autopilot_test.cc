@@ -1,0 +1,128 @@
+// Tests for the Autopilot substrate: watchdogs and the repair service.
+#include <gtest/gtest.h>
+
+#include "autopilot/repair.h"
+#include "autopilot/service_manager.h"
+#include "autopilot/watchdog.h"
+
+namespace pingmesh::autopilot {
+namespace {
+
+TEST(Watchdog, RunsAllChecksAndStamps) {
+  WatchdogService ws;
+  ws.register_check("always-ok", [](SimTime) {
+    CheckResult r;
+    r.health = Health::kOk;
+    r.message = "fine";
+    return r;
+  });
+  ws.register_check("always-bad", [](SimTime) {
+    CheckResult r;
+    r.health = Health::kError;
+    r.message = "broken";
+    return r;
+  });
+  const auto& results = ws.run_checks(seconds(42));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "always-ok");
+  EXPECT_EQ(results[0].checked_at, seconds(42));
+  EXPECT_FALSE(ws.all_healthy());
+  EXPECT_EQ(ws.runs(), 1u);
+}
+
+TEST(Watchdog, ThresholdCheckHelper) {
+  double value = 10.0;
+  auto check = WatchdogService::threshold_check([&] { return value; }, 45.0, "MB");
+  EXPECT_EQ(check(0).health, Health::kOk);
+  value = 50.0;
+  EXPECT_EQ(check(0).health, Health::kError);
+}
+
+TEST(Repair, ExecutesReloadAndAppliesEffect) {
+  std::vector<std::uint32_t> reloaded;
+  RepairService rs(RepairConfig{}, [&](SwitchId sw) { reloaded.push_back(sw.value); },
+                   nullptr);
+  EXPECT_TRUE(rs.request_reload(SwitchId{7}, "blackhole", hours(1)));
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded[0], 7u);
+  ASSERT_EQ(rs.history().size(), 1u);
+  EXPECT_TRUE(rs.history()[0].executed);
+  EXPECT_EQ(rs.history()[0].reason, "blackhole");
+}
+
+TEST(Repair, DailyBudgetEnforced) {
+  // "we limit the algorithm to reload at most 20 switches per day"
+  int applied = 0;
+  RepairService rs(RepairConfig{.max_reloads_per_day = 20},
+                   [&](SwitchId) { ++applied; }, nullptr);
+  int executed = 0;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    if (rs.request_reload(SwitchId{i}, "bh", hours(1))) ++executed;
+  }
+  EXPECT_EQ(executed, 20);
+  EXPECT_EQ(applied, 20);
+  EXPECT_EQ(rs.reloads_remaining_today(hours(1)), 0);
+  EXPECT_EQ(rs.history().size(), 30u);  // deferred requests are recorded
+}
+
+TEST(Repair, BudgetResetsNextDay) {
+  RepairService rs(RepairConfig{.max_reloads_per_day = 2}, nullptr, nullptr);
+  EXPECT_TRUE(rs.request_reload(SwitchId{1}, "bh", hours(1)));
+  EXPECT_TRUE(rs.request_reload(SwitchId{2}, "bh", hours(2)));
+  EXPECT_FALSE(rs.request_reload(SwitchId{3}, "bh", hours(3)));
+  // Next day.
+  EXPECT_TRUE(rs.request_reload(SwitchId{3}, "bh", days(1) + hours(1)));
+  EXPECT_EQ(rs.reloads_remaining_today(days(1) + hours(1)), 1);
+}
+
+TEST(Repair, RmaIsolatesImmediatelyAndUnbudgeted) {
+  std::vector<std::uint32_t> isolated;
+  RepairService rs(RepairConfig{.max_reloads_per_day = 0}, nullptr,
+                   [&](SwitchId sw) { isolated.push_back(sw.value); });
+  rs.isolate_and_rma(SwitchId{5}, "silent random drops", hours(1));
+  ASSERT_EQ(isolated.size(), 1u);
+  ASSERT_EQ(rs.rma_queue().size(), 1u);
+  EXPECT_EQ(rs.rma_queue()[0], SwitchId{5});
+}
+
+TEST(ServiceManager, TerminatesOverBudgetService) {
+  // "Once the maximum memory usage exceeds the cap, the Pingmesh Agent will
+  // be terminated."
+  ServiceManager sm;
+  std::size_t memory = 10 * 1024 * 1024;
+  int killed = 0;
+  sm.manage("pingmesh-agent", ResourceBudget{.max_memory_bytes = 45 * 1024 * 1024},
+            [&] { return memory; }, nullptr, [&] {
+              ++killed;
+              memory = 1024;  // restart resets usage
+            });
+  EXPECT_EQ(sm.enforce(minutes(1)), 0);
+  memory = 100 * 1024 * 1024;  // leak!
+  EXPECT_EQ(sm.enforce(minutes(2)), 1);
+  EXPECT_EQ(killed, 1);
+  EXPECT_EQ(sm.enforce(minutes(3)), 0);  // healthy after restart
+  EXPECT_EQ(sm.total_terminations(), 1u);
+  EXPECT_EQ(sm.services()[0].terminations, 1u);
+}
+
+TEST(ServiceManager, CpuBudgetEnforced) {
+  ServiceManager sm;
+  double cpu = 0.01;
+  int killed = 0;
+  sm.manage("agent", ResourceBudget{.max_cpu_fraction = 0.05}, nullptr,
+            [&] { return cpu; }, [&] { ++killed; cpu = 0.0; });
+  sm.enforce(0);
+  EXPECT_EQ(killed, 0);
+  cpu = 0.80;  // busy loop bug
+  sm.enforce(seconds(1));
+  EXPECT_EQ(killed, 1);
+}
+
+TEST(ServiceManager, MissingProbesAreUnchecked) {
+  ServiceManager sm;
+  sm.manage("opaque", ResourceBudget{.max_memory_bytes = 1}, nullptr, nullptr, nullptr);
+  EXPECT_EQ(sm.enforce(0), 0);  // nothing to measure, nothing to kill
+}
+
+}  // namespace
+}  // namespace pingmesh::autopilot

@@ -1,0 +1,275 @@
+// End-to-end integration tests over the full closed loop:
+// controller -> agents -> simulated network -> Cosmos -> SCOPE jobs ->
+// database -> alerts/analyses, all on virtual time.
+#include <gtest/gtest.h>
+
+#include "analysis/heatmap.h"
+#include "analysis/sla.h"
+#include "core/scenarios.h"
+#include "core/simulation.h"
+#include "dsa/scopeql.h"
+
+namespace pingmesh::core {
+namespace {
+
+TEST(Integration, FullLoopProducesDataEverywhere) {
+  PingmeshSimulation sim(small_test_config(1));
+  sim.run_for(hours(1));
+
+  // Agents probed.
+  EXPECT_GT(sim.total_probes(), 10'000u);
+  // Records reached Cosmos.
+  const dsa::CosmosStream* stream = sim.cosmos().find(dsa::kLatencyStream);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_GT(stream->total_records(), 0u);
+  // 10-min jobs produced pod-pair rows; PA produced counter rows.
+  EXPECT_FALSE(sim.db().pod_pair_stats.empty());
+  EXPECT_FALSE(sim.db().pa_counters.empty());
+  // No alerts on a healthy network.
+  EXPECT_TRUE(sim.db().alerts.empty());
+  // Watchdogs healthy.
+  sim.watchdogs().run_checks(sim.now());
+  EXPECT_TRUE(sim.watchdogs().all_healthy());
+}
+
+TEST(Integration, AgentsAdoptPinglistsAndStayActive) {
+  PingmeshSimulation sim(small_test_config(2));
+  sim.run_for(minutes(30));
+  const auto& topo = sim.topology();
+  for (const auto& server : topo.servers()) {
+    const agent::PingmeshAgent& ag = sim.agent(server.id);
+    EXPECT_TRUE(ag.probing_active()) << server.name;
+    EXPECT_GT(ag.probes_launched(), 0u) << server.name;
+    EXPECT_GT(ag.target_count(), 0u);
+  }
+}
+
+TEST(Integration, SlaRowsCoverScopes) {
+  SimulationConfig cfg = small_test_config(3);
+  PingmeshSimulation sim(cfg);
+  // Register a service over the first pod.
+  const auto& pod = sim.topology().pods()[0];
+  sim.services().add_service("Search", pod.servers);
+  sim.run_for(hours(2));
+  bool has_pod = false, has_dc = false, has_service = false;
+  for (const auto& row : sim.db().sla_rows) {
+    if (row.scope == dsa::SlaScope::kPod) has_pod = true;
+    if (row.scope == dsa::SlaScope::kDc) has_dc = true;
+    if (row.scope == dsa::SlaScope::kService) has_service = true;
+  }
+  EXPECT_TRUE(has_pod);
+  EXPECT_TRUE(has_dc);
+  EXPECT_TRUE(has_service);
+
+  // The network-issue judge says "not the network" on a healthy run.
+  analysis::IssueVerdict v = analysis::judge_network_issue(
+      sim.db(), dsa::SlaScope::kService, 0, 0, sim.now());
+  EXPECT_FALSE(v.network_issue);
+  EXPECT_GT(v.probes, 0u);
+}
+
+TEST(Integration, CongestionFiresAlerts) {
+  SimulationConfig cfg = small_test_config(4);
+  PingmeshSimulation sim(cfg);
+  // Congest every spine: queueing x50 and 2% drops — a real incident.
+  for (SwitchId spine : sim.topology().dcs()[0].spines) {
+    sim.faults().add_congestion(spine, 50.0, 0.02, minutes(10));
+  }
+  sim.run_for(hours(2));
+  EXPECT_FALSE(sim.db().alerts.empty());
+}
+
+TEST(Integration, FailClosedWhenControllerWithdraws) {
+  SimulationConfig cfg = small_test_config(5);
+  cfg.agent.pinglist_refresh = minutes(2);
+  PingmeshSimulation sim(cfg);
+  sim.run_for(minutes(10));
+  ServerId probe_server = sim.topology().servers()[0].id;
+  EXPECT_TRUE(sim.agent(probe_server).probing_active());
+
+  // Operator kill switch: withdraw all pinglists.
+  sim.pinglist_source().set_serving(false);
+  sim.run_for(minutes(10));
+  for (const auto& server : sim.topology().servers()) {
+    EXPECT_FALSE(sim.agent(server.id).probing_active()) << server.name;
+  }
+
+  // Re-serve: the fleet resumes on its own.
+  sim.pinglist_source().set_serving(true);
+  sim.run_for(minutes(10));
+  EXPECT_TRUE(sim.agent(probe_server).probing_active());
+}
+
+TEST(Integration, PodsetDownShowsWhiteCrossPattern) {
+  SimulationConfig cfg = small_test_config(6);
+  PingmeshSimulation sim(cfg);
+  sim.run_for(minutes(30));
+  PodsetId down = sim.topology().podsets()[0].id;
+  sim.faults().add_podset_down(down, sim.now(), netsim::FaultInjector::kForever);
+  sim.run_for(minutes(40));
+
+  // Build the heatmap from the latest complete 10-min window.
+  analysis::Heatmap map(sim.topology(), DcId{0});
+  map.load(sim.db().latest_pod_pair_window());
+  analysis::PatternResult pattern = analysis::classify_pattern(map);
+  EXPECT_EQ(pattern.pattern, analysis::LatencyPattern::kPodsetDown);
+  EXPECT_EQ(pattern.podset, down);
+}
+
+TEST(Integration, VipMonitoringProbesDips) {
+  SimulationConfig cfg = small_test_config(7);
+  cfg.agent.pinglist_refresh = minutes(2);
+  PingmeshSimulation sim(cfg);
+  // VIP fronting two servers of pod 1.
+  IpAddr vip(172, 16, 0, 1);
+  const auto& pod1 = sim.topology().pods()[1];
+  sim.register_vip(vip, {pod1.servers[0], pod1.servers[1]});
+  sim.run_for(minutes(20));
+
+  // Some records must target the VIP and succeed (delivered to a DIP).
+  auto records = sim.records_between(0, sim.now());
+  std::uint64_t vip_probes = 0, vip_ok = 0;
+  for (const auto& r : records) {
+    if (r.dst_ip == vip) {
+      ++vip_probes;
+      if (r.success) ++vip_ok;
+    }
+  }
+  EXPECT_GT(vip_probes, 0u);
+  EXPECT_GT(vip_ok, vip_probes * 9 / 10);
+}
+
+TEST(Integration, CosmosRetentionBoundsMemory) {
+  SimulationConfig cfg = small_test_config(8);
+  cfg.cosmos_retention = minutes(30);
+  PingmeshSimulation sim(cfg);
+  sim.run_for(hours(2));
+  const dsa::CosmosStream* stream = sim.cosmos().find(dsa::kLatencyStream);
+  ASSERT_NE(stream, nullptr);
+  // Oldest retained extent is no older than retention + slack.
+  for (const auto& extent : stream->extents()) {
+    EXPECT_GE(extent.last_ts, sim.now() - cfg.cosmos_retention - minutes(10));
+  }
+}
+
+TEST(Integration, DeterministicForSeed) {
+  PingmeshSimulation a(small_test_config(99));
+  PingmeshSimulation b(small_test_config(99));
+  a.run_for(minutes(30));
+  b.run_for(minutes(30));
+  EXPECT_EQ(a.total_probes(), b.total_probes());
+  ASSERT_EQ(a.db().pod_pair_stats.size(), b.db().pod_pair_stats.size());
+  for (std::size_t i = 0; i < a.db().pod_pair_stats.size(); ++i) {
+    EXPECT_EQ(a.db().pod_pair_stats[i].p99_ns, b.db().pod_pair_stats[i].p99_ns);
+    EXPECT_EQ(a.db().pod_pair_stats[i].probes, b.db().pod_pair_stats[i].probes);
+  }
+}
+
+TEST(Integration, UploaderOutageDiscardsButRecovers) {
+  // Cosmos front-end outage: agents retry-then-discard (bounded memory,
+  // §3.4.2) and the pipeline resumes once the store is back.
+  SimulationConfig cfg = small_test_config(11);
+  cfg.agent.upload_interval = seconds(30);
+  cfg.agent.upload_max_retries = 2;
+  PingmeshSimulation sim(cfg);
+  sim.run_for(minutes(20));
+  std::uint64_t records_before = sim.cosmos().total_records();
+  ASSERT_GT(records_before, 0u);
+
+  // Outage: uploads fail for 20 minutes.
+  sim.uploader_for_test().set_available(false);
+  sim.run_for(minutes(20));
+  std::uint64_t discarded = 0;
+  std::size_t max_buffered = 0;
+  for (const auto& server : sim.topology().servers()) {
+    discarded += sim.agent(server.id).records_discarded();
+    max_buffered = std::max(max_buffered, sim.agent(server.id).buffered_records());
+  }
+  EXPECT_GT(discarded, 0u);  // retry-then-discard kicked in
+  EXPECT_LE(max_buffered, cfg.agent.max_buffered_records);
+
+  // Recovery.
+  sim.uploader_for_test().set_available(true);
+  sim.run_for(minutes(10));
+  EXPECT_GT(sim.cosmos().total_records(), records_before);
+}
+
+TEST(Integration, PaPathAlertsWhileCosmosIsDown) {
+  // §3.5 availability story: kill the Cosmos path entirely, inject a real
+  // incident — alerts still fire through the 5-minute PA counter path.
+  SimulationConfig cfg = small_test_config(13);
+  PingmeshSimulation sim(cfg);
+  sim.uploader_for_test().set_available(false);  // SCOPE path starved from t=0
+  for (SwitchId spine : sim.topology().dcs()[0].spines) {
+    sim.faults().add_congestion(spine, 50.0, 0.02, minutes(10));
+  }
+  sim.run_for(hours(1));
+  ASSERT_EQ(sim.cosmos().total_records(), 0u);  // Cosmos really is down
+  bool pa_alert = false;
+  for (const auto& alert : sim.db().alerts) {
+    if (alert.rule.rfind("pa:", 0) == 0) pa_alert = true;
+  }
+  EXPECT_TRUE(pa_alert);
+}
+
+TEST(Integration, PinglistVersionPropagatesOnRefresh) {
+  // "a full fledged Pingmesh Controller which automatically updates
+  // pinglists once network topology is updated or configuration is
+  // adjusted" — agents pick up the new generation on their periodic fetch.
+  SimulationConfig cfg = small_test_config(12);
+  cfg.agent.pinglist_refresh = minutes(3);
+  PingmeshSimulation sim(cfg);
+  sim.run_for(minutes(5));
+  ServerId probe_server = sim.topology().servers()[0].id;
+  std::uint64_t v1 = sim.agent(probe_server).pinglist_version();
+
+  // Configuration change: register a VIP (bumps the generator version).
+  sim.register_vip(IpAddr(172, 16, 1, 1), {sim.topology().pods()[1].servers[0]});
+  sim.run_for(minutes(5));
+  std::uint64_t v2 = sim.agent(probe_server).pinglist_version();
+  EXPECT_GT(v2, v1);
+}
+
+TEST(Integration, ScopeQlOverLivePipelineData) {
+  // The declarative layer answers ad-hoc questions over what the agents
+  // actually uploaded.
+  SimulationConfig cfg = small_test_config(14);
+  PingmeshSimulation sim(cfg);
+  sim.run_for(minutes(40));
+  auto records = sim.records_between(0, sim.now());
+  ASSERT_FALSE(records.empty());
+
+  dsa::scopeql::Interpreter ql(&sim.topology());
+  auto per_pod = ql.run(
+      "SELECT pod(src_ip), COUNT(*), P99(rtt) FROM latency WHERE success "
+      "GROUP BY pod(src_ip) ORDER BY COUNT DESC",
+      records);
+  // Every pod of the small DC shows up, busiest first.
+  EXPECT_EQ(per_pod.rows.size(), sim.topology().pods().size());
+  EXPECT_GE(per_pod.raw_rows.front()[1], per_pod.raw_rows.back()[1]);
+  for (const auto& row : per_pod.raw_rows) {
+    EXPECT_GT(row[2], micros(100));  // P99 in a sane band
+    EXPECT_LT(row[2], seconds(1));
+  }
+
+  auto totals = ql.run("SELECT COUNT(*), DROPRATE() FROM latency", records);
+  EXPECT_EQ(static_cast<std::size_t>(totals.raw_rows[0][0]), records.size());
+}
+
+TEST(Integration, JobFreshnessMatchesPaperShape) {
+  // 10-min jobs consume data ~20 minutes after generation (§3.5).
+  SimulationConfig cfg = small_test_config(10);
+  cfg.ingestion_delay = minutes(10);
+  PingmeshSimulation sim(cfg);
+  sim.run_for(hours(1));
+  for (const auto& job : sim.jobs().stats()) {
+    if (job.name == "pod-pair-10min") {
+      EXPECT_GT(job.runs, 0u);
+      EXPECT_GE(job.last_e2e_delay(), minutes(20));
+      EXPECT_LE(job.last_e2e_delay(), minutes(35));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pingmesh::core

@@ -1,0 +1,291 @@
+// Tests for the real-socket layer: reactor, TCP probe client/server, HTTP.
+// Everything runs over loopback with ephemeral ports.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "net/http.h"
+#include "net/reactor.h"
+#include "net/sockaddr.h"
+#include "net/tcp_probe.h"
+
+namespace pingmesh::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SockAddr, Parsing) {
+  SockAddr a = SockAddr::ipv4("127.0.0.1", 8080);
+  EXPECT_EQ(a.port(), 8080);
+  EXPECT_EQ(a.str(), "127.0.0.1:8080");
+  EXPECT_EQ(a.ip().str(), "127.0.0.1");
+  EXPECT_THROW(SockAddr::ipv4("not-an-ip", 1), std::invalid_argument);
+}
+
+TEST(SockAddr, FromIpAddr) {
+  SockAddr a = SockAddr::ipv4(IpAddr(10, 1, 2, 3), 99);
+  EXPECT_EQ(a.str(), "10.1.2.3:99");
+}
+
+TEST(Fd, MoveSemantics) {
+  Fd a(::dup(0));
+  ASSERT_TRUE(a.valid());
+  int raw = a.get();
+  Fd b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.get(), raw);
+  b.reset();
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(Reactor, TimerFires) {
+  Reactor r;
+  bool fired = false;
+  r.add_timer_after(10ms, [&] { fired = true; });
+  bool ok = r.run_until([&] { return fired; }, Reactor::Clock::now() + 2s);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Reactor, TimerCancel) {
+  Reactor r;
+  bool fired = false;
+  auto id = r.add_timer_after(10ms, [&] { fired = true; });
+  r.cancel_timer(id);
+  r.run_until([] { return false; }, Reactor::Clock::now() + 50ms);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Reactor, TimersFireInOrder) {
+  Reactor r;
+  std::vector<int> order;
+  r.add_timer_after(30ms, [&] { order.push_back(3); });
+  r.add_timer_after(10ms, [&] { order.push_back(1); });
+  r.add_timer_after(20ms, [&] { order.push_back(2); });
+  r.run_until([&] { return order.size() == 3; }, Reactor::Clock::now() + 2s);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// TCP probing over loopback
+// ---------------------------------------------------------------------------
+
+class TcpProbeTest : public ::testing::Test {
+ protected:
+  TcpProbeTest() : server_(reactor_, SockAddr::loopback(0)), prober_(reactor_) {}
+
+  SockAddr server_addr() const { return SockAddr::loopback(server_.port()); }
+
+  Reactor reactor_;
+  TcpProbeServer server_;
+  TcpProber prober_;
+};
+
+TEST_F(TcpProbeTest, ConnectOnlyProbe) {
+  std::optional<TcpProbeResult> result;
+  prober_.probe(server_addr(), 0, 2000ms, [&](const TcpProbeResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  EXPECT_TRUE(result->connected);
+  EXPECT_GT(result->connect_ns, 0);
+  EXPECT_LT(result->connect_ns, 1'000'000'000);
+  EXPECT_FALSE(result->payload_ok);
+  EXPECT_GT(result->src_port, 0);
+}
+
+TEST_F(TcpProbeTest, PayloadEchoProbe) {
+  std::optional<TcpProbeResult> result;
+  prober_.probe(server_addr(), 1000, 2000ms, [&](const TcpProbeResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  EXPECT_TRUE(result->connected);
+  EXPECT_TRUE(result->payload_ok);
+  EXPECT_GT(result->payload_ns, 0);
+  EXPECT_EQ(server_.frames_echoed(), 1u);
+}
+
+TEST_F(TcpProbeTest, FreshSourcePortPerProbe) {
+  std::vector<std::uint16_t> ports;
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    prober_.probe(server_addr(), 0, 2000ms, [&](const TcpProbeResult& r) {
+      ports.push_back(r.src_port);
+      ++done;
+    });
+  }
+  ASSERT_TRUE(reactor_.run_until([&] { return done == 5; }, Reactor::Clock::now() + 3s));
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(std::unique(ports.begin(), ports.end()), ports.end());
+}
+
+TEST_F(TcpProbeTest, ManyConcurrentProbes) {
+  const int kProbes = 200;
+  int done = 0, ok = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    prober_.probe(server_addr(), (i % 3 == 0) ? 256 : 0, 5000ms,
+                  [&](const TcpProbeResult& r) {
+                    ++done;
+                    if (r.connected) ++ok;
+                  });
+  }
+  ASSERT_TRUE(
+      reactor_.run_until([&] { return done == kProbes; }, Reactor::Clock::now() + 10s));
+  EXPECT_EQ(ok, kProbes);
+  EXPECT_EQ(prober_.inflight(), 0u);
+}
+
+TEST_F(TcpProbeTest, ConnectionRefusedReported) {
+  // Bind a listener, grab its port, then close it so connects are refused.
+  std::uint16_t dead_port;
+  {
+    Reactor tmp;
+    TcpProbeServer victim(tmp, SockAddr::loopback(0));
+    dead_port = victim.port();
+  }
+  std::optional<TcpProbeResult> result;
+  prober_.probe(SockAddr::loopback(dead_port), 0, 2000ms,
+                [&](const TcpProbeResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  EXPECT_FALSE(result->connected);
+  EXPECT_NE(result->error_errno, 0);
+}
+
+TEST_F(TcpProbeTest, OversizedFrameClosesConnection) {
+  // The server rejects frames above its hard cap (agent safety).
+  std::optional<TcpProbeResult> result;
+  prober_.probe(server_addr(), static_cast<int>(TcpProbeServer::kMaxFrame) + 1, 2000ms,
+                [&](const TcpProbeResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  EXPECT_TRUE(result->connected);
+  EXPECT_FALSE(result->payload_ok);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP
+// ---------------------------------------------------------------------------
+
+TEST(HttpParse, Request) {
+  auto req = parse_request("GET /pinglist/10.0.0.1 HTTP/1.1\r\nhost: x\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/pinglist/10.0.0.1");
+  EXPECT_EQ(req->headers.at("host"), "x");
+}
+
+TEST(HttpParse, RequestWithBody) {
+  auto req = parse_request("POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->body, "hello");
+}
+
+TEST(HttpParse, IncompleteReturnsNullopt) {
+  EXPECT_FALSE(parse_request("GET /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nhe").has_value());
+  EXPECT_FALSE(parse_request("GET /x HT").has_value());
+}
+
+TEST(HttpParse, Response) {
+  auto resp = parse_response("HTTP/1.1 404 Not Found\r\ncontent-length: 3\r\n\r\nnah");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_EQ(resp->reason, "Not Found");
+  EXPECT_EQ(resp->body, "nah");
+}
+
+TEST(HttpParse, SerializeRoundTrip) {
+  HttpResponse r = HttpResponse::ok("payload", "application/xml");
+  auto parsed = parse_response(serialize(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->body, "payload");
+  EXPECT_EQ(parsed->headers.at("content-type"), "application/xml");
+}
+
+class HttpTest : public ::testing::Test {
+ protected:
+  HttpTest() : server_(reactor_, SockAddr::loopback(0)), client_(reactor_) {
+    server_.route("/hello", [](const HttpRequest&) { return HttpResponse::ok("world"); });
+    server_.route("/echo", [](const HttpRequest& req) { return HttpResponse::ok(req.body); });
+  }
+
+  SockAddr addr() const { return SockAddr::loopback(server_.port()); }
+
+  Reactor reactor_;
+  HttpServer server_;
+  HttpClient client_;
+};
+
+TEST_F(HttpTest, GetOk) {
+  std::optional<HttpResult> result;
+  client_.get(addr(), "/hello", 2000ms, [&](const HttpResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  ASSERT_TRUE(result->ok);
+  EXPECT_EQ(result->response.status, 200);
+  EXPECT_EQ(result->response.body, "world");
+  EXPECT_GT(result->total_ns, 0);
+}
+
+TEST_F(HttpTest, NotFoundForUnknownRoute) {
+  std::optional<HttpResult> result;
+  client_.get(addr(), "/nope", 2000ms, [&](const HttpResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  ASSERT_TRUE(result->ok);
+  EXPECT_EQ(result->response.status, 404);
+}
+
+TEST_F(HttpTest, PostBodyEchoed) {
+  std::optional<HttpResult> result;
+  HttpRequest req{"POST", "/echo", {}, "ping-body"};
+  client_.request(addr(), req, 2000ms, [&](const HttpResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  ASSERT_TRUE(result->ok);
+  EXPECT_EQ(result->response.body, "ping-body");
+}
+
+TEST_F(HttpTest, LongestPrefixWins) {
+  server_.route("/", [](const HttpRequest&) { return HttpResponse::ok("root"); });
+  server_.route("/hello/world", [](const HttpRequest&) { return HttpResponse::ok("deep"); });
+  std::optional<HttpResult> r1, r2;
+  client_.get(addr(), "/hello/world", 2000ms, [&](const HttpResult& r) { r1 = r; });
+  client_.get(addr(), "/other", 2000ms, [&](const HttpResult& r) { r2 = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return r1 && r2; }, Reactor::Clock::now() + 3s));
+  EXPECT_EQ(r1->response.body, "deep");
+  EXPECT_EQ(r2->response.body, "root");
+}
+
+TEST_F(HttpTest, ManyConcurrentRequests) {
+  const int kCalls = 100;
+  int done = 0, ok = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    client_.get(addr(), "/hello", 5000ms, [&](const HttpResult& r) {
+      ++done;
+      if (r.ok && r.response.status == 200) ++ok;
+    });
+  }
+  ASSERT_TRUE(
+      reactor_.run_until([&] { return done == kCalls; }, Reactor::Clock::now() + 10s));
+  EXPECT_EQ(ok, kCalls);
+  EXPECT_EQ(server_.requests_served(), static_cast<std::uint64_t>(kCalls));
+}
+
+TEST_F(HttpTest, ConnectionRefused) {
+  std::uint16_t dead_port;
+  {
+    Reactor tmp;
+    HttpServer victim(tmp, SockAddr::loopback(0));
+    dead_port = victim.port();
+  }
+  std::optional<HttpResult> result;
+  client_.get(SockAddr::loopback(dead_port), "/x", 1000ms,
+              [&](const HttpResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error_errno, 0);
+}
+
+}  // namespace
+}  // namespace pingmesh::net

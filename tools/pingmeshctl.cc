@@ -1,0 +1,350 @@
+// pingmeshctl — the operator's command-line companion.
+//
+//   pingmeshctl pinglist <server-index> [--size small|medium|large] [--dcs N]
+//       print the pinglist XML the controller would serve to that server
+//   pingmeshctl simulate [--hours H] [--seed S] [--size ...] [--save FILE]
+//       run the full closed loop and print the network report
+//   pingmeshctl report --load FILE [--size ...]
+//       re-run the SCOPE jobs over an archived Cosmos store and report
+//   pingmeshctl heatmap [--scenario normal|podset-down|podset-failure|spine-failure]
+//                       [--ppm FILE]
+//       probe a scenario, render the Figure-8 heatmap, classify the pattern
+//   pingmeshctl traceroute <src-index> <dst-index> [--port P] [--seed S]
+//       resolve and print the ECMP path a probe five-tuple takes
+//   pingmeshctl drops [--rounds N] [--seed S]
+//       print the per-DC intra/inter-pod drop-rate table
+//   pingmeshctl query --load FILE "SELECT ... FROM latency ..."
+//       run a ScopeQL query over an archived Cosmos store
+//       (e.g. "SELECT pod(src_ip), COUNT(*), P99(rtt), DROPRATE()
+//              FROM latency WHERE success GROUP BY pod(src_ip)
+//              ORDER BY DROPRATE DESC LIMIT 10")
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/droprate.h"
+#include "analysis/heatmap.h"
+#include "controller/generator.h"
+#include "core/fleet.h"
+#include "core/scenarios.h"
+#include "core/simulation.h"
+#include "dsa/cosmos_io.h"
+#include "dsa/report.h"
+#include "dsa/scope.h"
+#include "dsa/scopeql.h"
+#include "netsim/simnet.h"
+
+namespace {
+
+using namespace pingmesh;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        std::string key = a.substr(2);
+        std::string value = "true";
+        if (i + 1 < argc && argv[i + 1][0] != '-') value = argv[++i];
+        args.flags[key] = value;
+      } else {
+        args.positional.push_back(a);
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::string flag(const std::string& key, const std::string& def) const {
+    auto it = flags.find(key);
+    return it != flags.end() ? it->second : def;
+  }
+  [[nodiscard]] long flag_int(const std::string& key, long def) const {
+    auto it = flags.find(key);
+    return it != flags.end() ? std::stol(it->second) : def;
+  }
+};
+
+topo::Topology build_topology(const Args& args) {
+  std::string size = args.flag("size", "small");
+  int dcs = static_cast<int>(args.flag_int("dcs", 1));
+  std::vector<topo::DcSpec> specs;
+  for (int d = 0; d < dcs; ++d) {
+    std::string name = "DC" + std::to_string(d + 1);
+    if (size == "large") {
+      specs.push_back(topo::large_dc_spec(name, "region-" + std::to_string(d)));
+    } else if (size == "medium") {
+      specs.push_back(topo::medium_dc_spec(name, "region-" + std::to_string(d)));
+    } else {
+      specs.push_back(topo::small_dc_spec(name, "region-" + std::to_string(d)));
+    }
+  }
+  return topo::Topology::build(specs);
+}
+
+int cmd_pinglist(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: pingmeshctl pinglist <server-index> [--size ...]\n");
+    return 2;
+  }
+  topo::Topology topo = build_topology(args);
+  auto index = static_cast<std::uint32_t>(std::stoul(args.positional[0]));
+  if (index >= topo.server_count()) {
+    std::fprintf(stderr, "server index out of range (fleet has %zu servers)\n",
+                 topo.server_count());
+    return 2;
+  }
+  controller::GeneratorConfig cfg;
+  cfg.enable_inter_dc = topo.dcs().size() > 1;
+  controller::PinglistGenerator gen(topo, cfg);
+  std::fputs(gen.generate_for(ServerId{index}).to_xml().c_str(), stdout);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  core::SimulationConfig cfg = core::small_test_config(
+      static_cast<std::uint64_t>(args.flag_int("seed", 42)));
+  core::PingmeshSimulation sim(cfg);
+  const auto& pod0 = sim.topology().pods()[0];
+  sim.services().add_service("Search", pod0.servers);
+  long hours_to_run = args.flag_int("hours", 2);
+  std::printf("simulating %ld hour(s) of %zu servers...\n", hours_to_run,
+              sim.topology().server_count());
+  // A little slack past the last window so the hourly SCOPE jobs fire.
+  sim.run_for(hours(hours_to_run) + minutes(15));
+  std::printf("%lu probes, %lu records, %zu db rows\n\n",
+              static_cast<unsigned long>(sim.total_probes()),
+              static_cast<unsigned long>(sim.cosmos().total_records()),
+              sim.db().total_rows());
+  dsa::ReportOptions opts;
+  std::fputs(dsa::render_network_report(sim.db(), sim.topology(), &sim.services(), opts)
+                 .c_str(),
+             stdout);
+  std::string save = args.flag("save", "");
+  if (!save.empty()) {
+    if (dsa::save_store(sim.cosmos(), save)) {
+      std::printf("\ncosmos store archived to %s\n", save.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", save.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  std::string path = args.flag("load", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: pingmeshctl report --load FILE [--size ...]\n");
+    return 2;
+  }
+  auto loaded = dsa::load_store(path);
+  if (!loaded) {
+    std::fprintf(stderr, "cannot load cosmos store from %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu stream(s), %zu extent(s), %zu corrupt dropped\n",
+              loaded->streams, loaded->extents, loaded->corrupt_dropped);
+  topo::Topology topo = build_topology(args);
+  const dsa::CosmosStream* stream = loaded->store.find(dsa::kLatencyStream);
+  if (stream == nullptr) {
+    std::fprintf(stderr, "no latency stream in the archive\n");
+    return 1;
+  }
+  SimTime last = 0;
+  for (const auto& e : stream->extents()) last = std::max(last, e.last_ts);
+  dsa::Database db;
+  dsa::JobContext ctx{&topo, nullptr, &db};
+  dsa::run_sla_job(*stream, ctx, 0, last + 1, /*include_server_rows=*/false);
+  dsa::run_pod_pair_job(*stream, ctx, 0, last + 1);
+  std::fputs(dsa::render_network_report(db, topo, nullptr).c_str(), stdout);
+  return 0;
+}
+
+int cmd_heatmap(const Args& args) {
+  topo::Topology topo = build_topology(args);
+  netsim::SimNetwork net(topo, static_cast<std::uint64_t>(args.flag_int("seed", 8)));
+  std::string scenario = args.flag("scenario", "normal");
+  if (scenario == "podset-down") {
+    net.faults().add_podset_down(topo.podsets()[0].id);
+  } else if (scenario == "podset-failure") {
+    for (SwitchId leaf : topo.podsets()[1].leaves) {
+      net.faults().add_congestion(leaf, 120.0, 0.003);
+    }
+    for (PodId pod : topo.podsets()[1].pods) {
+      net.faults().add_congestion(topo.pod(pod).tor, 120.0, 0.003);
+    }
+  } else if (scenario == "spine-failure") {
+    for (SwitchId spine : topo.dcs()[0].spines) {
+      net.faults().add_congestion(spine, 150.0, 0.002);
+    }
+  } else if (scenario != "normal") {
+    std::fprintf(stderr, "unknown scenario %s\n", scenario.c_str());
+    return 2;
+  }
+
+  controller::GeneratorConfig gcfg;
+  gcfg.enable_inter_dc = false;
+  controller::PinglistGenerator gen(topo, gcfg);
+  core::FleetProbeDriver driver(topo, net, gen);
+  std::vector<agent::LatencyRecord> records;
+  driver.run_dense(0, 60, seconds(10), [&](const core::FleetProbe& p) {
+    agent::LatencyRecord r;
+    r.timestamp = p.time;
+    r.src_ip = topo.server(p.src).ip;
+    r.dst_ip = p.target->ip;
+    r.success = p.outcome.success;
+    r.rtt = p.outcome.rtt;
+    records.push_back(r);
+  });
+  dsa::CosmosStore store;
+  dsa::CosmosStream& stream = store.stream(dsa::kLatencyStream);
+  stream.append(agent::encode_batch(records), records.size(), 0, minutes(10), minutes(10));
+  dsa::Database db;
+  dsa::JobContext ctx{&topo, nullptr, &db};
+  dsa::run_pod_pair_job(stream, ctx, 0, minutes(10));
+
+  analysis::Heatmap map(topo, DcId{0});
+  map.load(db.latest_pod_pair_window());
+  std::fputs(map.ascii().c_str(), stdout);
+  analysis::PatternResult pattern = analysis::classify_pattern(map);
+  std::printf("pattern: %s\n", analysis::latency_pattern_name(pattern.pattern));
+  std::string ppm = args.flag("ppm", "");
+  if (!ppm.empty()) {
+    std::ofstream(ppm, std::ios::binary) << map.to_ppm(8);
+    std::printf("wrote %s\n", ppm.c_str());
+  }
+  return 0;
+}
+
+int cmd_traceroute(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: pingmeshctl traceroute <src-index> <dst-index>\n");
+    return 2;
+  }
+  topo::Topology topo = build_topology(args);
+  auto src = static_cast<std::uint32_t>(std::stoul(args.positional[0]));
+  auto dst = static_cast<std::uint32_t>(std::stoul(args.positional[1]));
+  if (src >= topo.server_count() || dst >= topo.server_count()) {
+    std::fprintf(stderr, "server index out of range\n");
+    return 2;
+  }
+  netsim::SimNetwork net(topo, static_cast<std::uint64_t>(args.flag_int("seed", 1)));
+  auto port = static_cast<std::uint16_t>(args.flag_int("port", 40000));
+  FiveTuple tuple{topo.server(ServerId{src}).ip, topo.server(ServerId{dst}).ip, port,
+                  33100, 6};
+  std::printf("traceroute %s -> %s (src port %u)\n",
+              topo.server(ServerId{src}).name.c_str(),
+              topo.server(ServerId{dst}).name.c_str(), port);
+  netsim::Path path = net.router().resolve(tuple);
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    const topo::Switch& sw = topo.sw(path.hops[i].sw);
+    std::printf("  %2zu  %-14s (%s)\n", i + 1, sw.name.c_str(),
+                topo::switch_kind_name(sw.kind));
+  }
+  if (path.hops.empty()) std::printf("  (loopback)\n");
+  return 0;
+}
+
+int cmd_drops(const Args& args) {
+  topo::Topology topo = build_topology(args);
+  netsim::SimNetwork net(topo, static_cast<std::uint64_t>(args.flag_int("seed", 5)));
+  controller::GeneratorConfig gcfg;
+  gcfg.enable_inter_dc = false;
+  controller::PinglistGenerator gen(topo, gcfg);
+  core::FleetProbeDriver driver(topo, net, gen);
+  long rounds = args.flag_int("rounds", 20);
+
+  struct Acc {
+    analysis::DropEstimate intra, inter;
+  };
+  std::vector<Acc> acc(topo.dcs().size());
+  driver.run_dense(0, static_cast<int>(rounds), seconds(10),
+                   [&](const core::FleetProbe& p) {
+                     if (!p.dst.valid()) return;
+                     const topo::Server& s = topo.server(p.src);
+                     const topo::Server& d = topo.server(p.dst);
+                     analysis::DropEstimate& e =
+                         s.pod == d.pod ? acc[s.dc.value].intra : acc[s.dc.value].inter;
+                     if (!p.outcome.success) {
+                       ++e.failed_probes;
+                       return;
+                     }
+                     ++e.successful_probes;
+                     if (p.outcome.syn_transmissions == 2) ++e.probes_3s;
+                     if (p.outcome.syn_transmissions == 3) ++e.probes_9s;
+                   });
+  std::printf("%-8s %14s %14s\n", "DC", "intra-pod", "inter-pod");
+  for (std::size_t d = 0; d < acc.size(); ++d) {
+    std::printf("%-8s %14s %14s\n", topo.dc(DcId{static_cast<std::uint32_t>(d)}).name.c_str(),
+                format_rate(acc[d].intra.rate()).c_str(),
+                format_rate(acc[d].inter.rate()).c_str());
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  std::string path = args.flag("load", "");
+  if (path.empty() || args.positional.empty()) {
+    std::fprintf(stderr, "usage: pingmeshctl query --load FILE \"SELECT ...\"\n");
+    return 2;
+  }
+  auto loaded = dsa::load_store(path);
+  if (!loaded) {
+    std::fprintf(stderr, "cannot load cosmos store from %s\n", path.c_str());
+    return 1;
+  }
+  const dsa::CosmosStream* stream = loaded->store.find(dsa::kLatencyStream);
+  if (stream == nullptr) {
+    std::fprintf(stderr, "no latency stream in the archive\n");
+    return 1;
+  }
+  SimTime last = 0;
+  for (const auto& e : stream->extents()) last = std::max(last, e.last_ts);
+  auto records = dsa::scope::extract_records(*stream, 0, last + 1).rows();
+
+  topo::Topology topo = build_topology(args);
+  dsa::scopeql::Interpreter ql(&topo);
+  try {
+    auto result = ql.run(args.positional[0], records);
+    std::fputs(result.to_table().c_str(), stdout);
+    std::printf("(%zu rows over %zu records)\n", result.rows.size(), records.size());
+  } catch (const dsa::scopeql::QueryError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "pingmeshctl <command> [args]\n"
+               "commands: pinglist simulate report heatmap traceroute drops query\n"
+               "see the header of tools/pingmeshctl.cc for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  Args args = Args::parse(argc, argv);
+  std::string cmd = argv[1];
+  if (cmd == "pinglist") return cmd_pinglist(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "report") return cmd_report(args);
+  if (cmd == "heatmap") return cmd_heatmap(args);
+  if (cmd == "traceroute") return cmd_traceroute(args);
+  if (cmd == "drops") return cmd_drops(args);
+  if (cmd == "query") return cmd_query(args);
+  usage();
+  return 2;
+}
