@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsa_pipeline.dir/bench_dsa_pipeline.cc.o"
+  "CMakeFiles/bench_dsa_pipeline.dir/bench_dsa_pipeline.cc.o.d"
+  "bench_dsa_pipeline"
+  "bench_dsa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

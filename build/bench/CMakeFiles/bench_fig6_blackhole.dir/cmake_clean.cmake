@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_blackhole.dir/bench_fig6_blackhole.cc.o"
+  "CMakeFiles/bench_fig6_blackhole.dir/bench_fig6_blackhole.cc.o.d"
+  "bench_fig6_blackhole"
+  "bench_fig6_blackhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_blackhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

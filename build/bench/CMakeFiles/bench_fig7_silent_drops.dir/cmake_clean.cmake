@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_silent_drops.dir/bench_fig7_silent_drops.cc.o"
+  "CMakeFiles/bench_fig7_silent_drops.dir/bench_fig7_silent_drops.cc.o.d"
+  "bench_fig7_silent_drops"
+  "bench_fig7_silent_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_silent_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

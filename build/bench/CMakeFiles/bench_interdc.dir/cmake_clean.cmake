@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interdc.dir/bench_interdc.cc.o"
+  "CMakeFiles/bench_interdc.dir/bench_interdc.cc.o.d"
+  "bench_interdc"
+  "bench_interdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

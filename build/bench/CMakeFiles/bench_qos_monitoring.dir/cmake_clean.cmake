@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qos_monitoring.dir/bench_qos_monitoring.cc.o"
+  "CMakeFiles/bench_qos_monitoring.dir/bench_qos_monitoring.cc.o.d"
+  "bench_qos_monitoring"
+  "bench_qos_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

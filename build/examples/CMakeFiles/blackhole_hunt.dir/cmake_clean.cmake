@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackhole_hunt.dir/blackhole_hunt.cpp.o"
+  "CMakeFiles/blackhole_hunt.dir/blackhole_hunt.cpp.o.d"
+  "blackhole_hunt"
+  "blackhole_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackhole_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal.dir/portal.cpp.o"
+  "CMakeFiles/portal.dir/portal.cpp.o.d"
+  "portal"
+  "portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent.cc" "src/agent/CMakeFiles/pm_agent.dir/agent.cc.o" "gcc" "src/agent/CMakeFiles/pm_agent.dir/agent.cc.o.d"
+  "/root/repo/src/agent/counters.cc" "src/agent/CMakeFiles/pm_agent.dir/counters.cc.o" "gcc" "src/agent/CMakeFiles/pm_agent.dir/counters.cc.o.d"
+  "/root/repo/src/agent/record.cc" "src/agent/CMakeFiles/pm_agent.dir/record.cc.o" "gcc" "src/agent/CMakeFiles/pm_agent.dir/record.cc.o.d"
+  "/root/repo/src/agent/rotating_log.cc" "src/agent/CMakeFiles/pm_agent.dir/rotating_log.cc.o" "gcc" "src/agent/CMakeFiles/pm_agent.dir/rotating_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/pm_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

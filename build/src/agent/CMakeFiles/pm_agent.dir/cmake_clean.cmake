@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_agent.dir/agent.cc.o"
+  "CMakeFiles/pm_agent.dir/agent.cc.o.d"
+  "CMakeFiles/pm_agent.dir/counters.cc.o"
+  "CMakeFiles/pm_agent.dir/counters.cc.o.d"
+  "CMakeFiles/pm_agent.dir/record.cc.o"
+  "CMakeFiles/pm_agent.dir/record.cc.o.d"
+  "CMakeFiles/pm_agent.dir/rotating_log.cc.o"
+  "CMakeFiles/pm_agent.dir/rotating_log.cc.o.d"
+  "libpm_agent.a"
+  "libpm_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

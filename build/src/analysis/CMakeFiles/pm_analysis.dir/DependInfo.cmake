@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blackhole.cc" "src/analysis/CMakeFiles/pm_analysis.dir/blackhole.cc.o" "gcc" "src/analysis/CMakeFiles/pm_analysis.dir/blackhole.cc.o.d"
+  "/root/repo/src/analysis/droprate.cc" "src/analysis/CMakeFiles/pm_analysis.dir/droprate.cc.o" "gcc" "src/analysis/CMakeFiles/pm_analysis.dir/droprate.cc.o.d"
+  "/root/repo/src/analysis/heatmap.cc" "src/analysis/CMakeFiles/pm_analysis.dir/heatmap.cc.o" "gcc" "src/analysis/CMakeFiles/pm_analysis.dir/heatmap.cc.o.d"
+  "/root/repo/src/analysis/length_dependence.cc" "src/analysis/CMakeFiles/pm_analysis.dir/length_dependence.cc.o" "gcc" "src/analysis/CMakeFiles/pm_analysis.dir/length_dependence.cc.o.d"
+  "/root/repo/src/analysis/server_selection.cc" "src/analysis/CMakeFiles/pm_analysis.dir/server_selection.cc.o" "gcc" "src/analysis/CMakeFiles/pm_analysis.dir/server_selection.cc.o.d"
+  "/root/repo/src/analysis/silentdrop.cc" "src/analysis/CMakeFiles/pm_analysis.dir/silentdrop.cc.o" "gcc" "src/analysis/CMakeFiles/pm_analysis.dir/silentdrop.cc.o.d"
+  "/root/repo/src/analysis/sla.cc" "src/analysis/CMakeFiles/pm_analysis.dir/sla.cc.o" "gcc" "src/analysis/CMakeFiles/pm_analysis.dir/sla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/pm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsa/CMakeFiles/pm_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/pm_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

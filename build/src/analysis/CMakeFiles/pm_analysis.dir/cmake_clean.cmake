@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_analysis.dir/blackhole.cc.o"
+  "CMakeFiles/pm_analysis.dir/blackhole.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/droprate.cc.o"
+  "CMakeFiles/pm_analysis.dir/droprate.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/heatmap.cc.o"
+  "CMakeFiles/pm_analysis.dir/heatmap.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/length_dependence.cc.o"
+  "CMakeFiles/pm_analysis.dir/length_dependence.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/server_selection.cc.o"
+  "CMakeFiles/pm_analysis.dir/server_selection.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/silentdrop.cc.o"
+  "CMakeFiles/pm_analysis.dir/silentdrop.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/sla.cc.o"
+  "CMakeFiles/pm_analysis.dir/sla.cc.o.d"
+  "libpm_analysis.a"
+  "libpm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

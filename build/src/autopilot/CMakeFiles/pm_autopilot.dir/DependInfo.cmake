@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autopilot/repair.cc" "src/autopilot/CMakeFiles/pm_autopilot.dir/repair.cc.o" "gcc" "src/autopilot/CMakeFiles/pm_autopilot.dir/repair.cc.o.d"
+  "/root/repo/src/autopilot/service_manager.cc" "src/autopilot/CMakeFiles/pm_autopilot.dir/service_manager.cc.o" "gcc" "src/autopilot/CMakeFiles/pm_autopilot.dir/service_manager.cc.o.d"
+  "/root/repo/src/autopilot/watchdog.cc" "src/autopilot/CMakeFiles/pm_autopilot.dir/watchdog.cc.o" "gcc" "src/autopilot/CMakeFiles/pm_autopilot.dir/watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_autopilot.dir/repair.cc.o"
+  "CMakeFiles/pm_autopilot.dir/repair.cc.o.d"
+  "CMakeFiles/pm_autopilot.dir/service_manager.cc.o"
+  "CMakeFiles/pm_autopilot.dir/service_manager.cc.o.d"
+  "CMakeFiles/pm_autopilot.dir/watchdog.cc.o"
+  "CMakeFiles/pm_autopilot.dir/watchdog.cc.o.d"
+  "libpm_autopilot.a"
+  "libpm_autopilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

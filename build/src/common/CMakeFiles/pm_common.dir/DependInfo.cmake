@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/ascii_chart.cc" "src/common/CMakeFiles/pm_common.dir/ascii_chart.cc.o" "gcc" "src/common/CMakeFiles/pm_common.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/common/CMakeFiles/pm_common.dir/clock.cc.o" "gcc" "src/common/CMakeFiles/pm_common.dir/clock.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/pm_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/pm_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/pm_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/pm_common.dir/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/pm_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/pm_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/common/CMakeFiles/pm_common.dir/types.cc.o" "gcc" "src/common/CMakeFiles/pm_common.dir/types.cc.o.d"
+  "/root/repo/src/common/xml.cc" "src/common/CMakeFiles/pm_common.dir/xml.cc.o" "gcc" "src/common/CMakeFiles/pm_common.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

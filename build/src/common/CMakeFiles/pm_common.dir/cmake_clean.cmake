@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_common.dir/ascii_chart.cc.o"
+  "CMakeFiles/pm_common.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/pm_common.dir/clock.cc.o"
+  "CMakeFiles/pm_common.dir/clock.cc.o.d"
+  "CMakeFiles/pm_common.dir/csv.cc.o"
+  "CMakeFiles/pm_common.dir/csv.cc.o.d"
+  "CMakeFiles/pm_common.dir/log.cc.o"
+  "CMakeFiles/pm_common.dir/log.cc.o.d"
+  "CMakeFiles/pm_common.dir/stats.cc.o"
+  "CMakeFiles/pm_common.dir/stats.cc.o.d"
+  "CMakeFiles/pm_common.dir/types.cc.o"
+  "CMakeFiles/pm_common.dir/types.cc.o.d"
+  "CMakeFiles/pm_common.dir/xml.cc.o"
+  "CMakeFiles/pm_common.dir/xml.cc.o.d"
+  "libpm_common.a"
+  "libpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/generator.cc" "src/controller/CMakeFiles/pm_controller.dir/generator.cc.o" "gcc" "src/controller/CMakeFiles/pm_controller.dir/generator.cc.o.d"
+  "/root/repo/src/controller/pinglist.cc" "src/controller/CMakeFiles/pm_controller.dir/pinglist.cc.o" "gcc" "src/controller/CMakeFiles/pm_controller.dir/pinglist.cc.o.d"
+  "/root/repo/src/controller/service.cc" "src/controller/CMakeFiles/pm_controller.dir/service.cc.o" "gcc" "src/controller/CMakeFiles/pm_controller.dir/service.cc.o.d"
+  "/root/repo/src/controller/slb.cc" "src/controller/CMakeFiles/pm_controller.dir/slb.cc.o" "gcc" "src/controller/CMakeFiles/pm_controller.dir/slb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

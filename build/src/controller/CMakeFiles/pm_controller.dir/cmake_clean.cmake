@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_controller.dir/generator.cc.o"
+  "CMakeFiles/pm_controller.dir/generator.cc.o.d"
+  "CMakeFiles/pm_controller.dir/pinglist.cc.o"
+  "CMakeFiles/pm_controller.dir/pinglist.cc.o.d"
+  "CMakeFiles/pm_controller.dir/service.cc.o"
+  "CMakeFiles/pm_controller.dir/service.cc.o.d"
+  "CMakeFiles/pm_controller.dir/slb.cc.o"
+  "CMakeFiles/pm_controller.dir/slb.cc.o.d"
+  "libpm_controller.a"
+  "libpm_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

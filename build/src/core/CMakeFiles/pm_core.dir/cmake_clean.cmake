@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_core.dir/fleet.cc.o"
+  "CMakeFiles/pm_core.dir/fleet.cc.o.d"
+  "CMakeFiles/pm_core.dir/scenarios.cc.o"
+  "CMakeFiles/pm_core.dir/scenarios.cc.o.d"
+  "CMakeFiles/pm_core.dir/simulation.cc.o"
+  "CMakeFiles/pm_core.dir/simulation.cc.o.d"
+  "libpm_core.a"
+  "libpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsa/cosmos.cc" "src/dsa/CMakeFiles/pm_dsa.dir/cosmos.cc.o" "gcc" "src/dsa/CMakeFiles/pm_dsa.dir/cosmos.cc.o.d"
+  "/root/repo/src/dsa/cosmos_io.cc" "src/dsa/CMakeFiles/pm_dsa.dir/cosmos_io.cc.o" "gcc" "src/dsa/CMakeFiles/pm_dsa.dir/cosmos_io.cc.o.d"
+  "/root/repo/src/dsa/database.cc" "src/dsa/CMakeFiles/pm_dsa.dir/database.cc.o" "gcc" "src/dsa/CMakeFiles/pm_dsa.dir/database.cc.o.d"
+  "/root/repo/src/dsa/jobs.cc" "src/dsa/CMakeFiles/pm_dsa.dir/jobs.cc.o" "gcc" "src/dsa/CMakeFiles/pm_dsa.dir/jobs.cc.o.d"
+  "/root/repo/src/dsa/pa.cc" "src/dsa/CMakeFiles/pm_dsa.dir/pa.cc.o" "gcc" "src/dsa/CMakeFiles/pm_dsa.dir/pa.cc.o.d"
+  "/root/repo/src/dsa/report.cc" "src/dsa/CMakeFiles/pm_dsa.dir/report.cc.o" "gcc" "src/dsa/CMakeFiles/pm_dsa.dir/report.cc.o.d"
+  "/root/repo/src/dsa/scopeql.cc" "src/dsa/CMakeFiles/pm_dsa.dir/scopeql.cc.o" "gcc" "src/dsa/CMakeFiles/pm_dsa.dir/scopeql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/pm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/pm_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

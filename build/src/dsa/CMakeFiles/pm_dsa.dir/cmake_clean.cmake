@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_dsa.dir/cosmos.cc.o"
+  "CMakeFiles/pm_dsa.dir/cosmos.cc.o.d"
+  "CMakeFiles/pm_dsa.dir/cosmos_io.cc.o"
+  "CMakeFiles/pm_dsa.dir/cosmos_io.cc.o.d"
+  "CMakeFiles/pm_dsa.dir/database.cc.o"
+  "CMakeFiles/pm_dsa.dir/database.cc.o.d"
+  "CMakeFiles/pm_dsa.dir/jobs.cc.o"
+  "CMakeFiles/pm_dsa.dir/jobs.cc.o.d"
+  "CMakeFiles/pm_dsa.dir/pa.cc.o"
+  "CMakeFiles/pm_dsa.dir/pa.cc.o.d"
+  "CMakeFiles/pm_dsa.dir/report.cc.o"
+  "CMakeFiles/pm_dsa.dir/report.cc.o.d"
+  "CMakeFiles/pm_dsa.dir/scopeql.cc.o"
+  "CMakeFiles/pm_dsa.dir/scopeql.cc.o.d"
+  "libpm_dsa.a"
+  "libpm_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

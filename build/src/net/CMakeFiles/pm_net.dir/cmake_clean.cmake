@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_net.dir/http.cc.o"
+  "CMakeFiles/pm_net.dir/http.cc.o.d"
+  "CMakeFiles/pm_net.dir/reactor.cc.o"
+  "CMakeFiles/pm_net.dir/reactor.cc.o.d"
+  "CMakeFiles/pm_net.dir/tcp_probe.cc.o"
+  "CMakeFiles/pm_net.dir/tcp_probe.cc.o.d"
+  "libpm_net.a"
+  "libpm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

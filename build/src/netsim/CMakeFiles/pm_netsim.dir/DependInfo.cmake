@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/ecmp.cc" "src/netsim/CMakeFiles/pm_netsim.dir/ecmp.cc.o" "gcc" "src/netsim/CMakeFiles/pm_netsim.dir/ecmp.cc.o.d"
+  "/root/repo/src/netsim/fault.cc" "src/netsim/CMakeFiles/pm_netsim.dir/fault.cc.o" "gcc" "src/netsim/CMakeFiles/pm_netsim.dir/fault.cc.o.d"
+  "/root/repo/src/netsim/simnet.cc" "src/netsim/CMakeFiles/pm_netsim.dir/simnet.cc.o" "gcc" "src/netsim/CMakeFiles/pm_netsim.dir/simnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pm_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

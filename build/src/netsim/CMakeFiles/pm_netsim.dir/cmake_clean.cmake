@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_netsim.dir/ecmp.cc.o"
+  "CMakeFiles/pm_netsim.dir/ecmp.cc.o.d"
+  "CMakeFiles/pm_netsim.dir/fault.cc.o"
+  "CMakeFiles/pm_netsim.dir/fault.cc.o.d"
+  "CMakeFiles/pm_netsim.dir/simnet.cc.o"
+  "CMakeFiles/pm_netsim.dir/simnet.cc.o.d"
+  "libpm_netsim.a"
+  "libpm_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

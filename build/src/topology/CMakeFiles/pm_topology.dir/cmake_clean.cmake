@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_topology.dir/topology.cc.o"
+  "CMakeFiles/pm_topology.dir/topology.cc.o.d"
+  "libpm_topology.a"
+  "libpm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

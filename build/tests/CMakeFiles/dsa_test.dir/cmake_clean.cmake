@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_test.dir/dsa_test.cc.o"
+  "CMakeFiles/dsa_test.dir/dsa_test.cc.o.d"
+  "dsa_test"
+  "dsa_test.pdb"
+  "dsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

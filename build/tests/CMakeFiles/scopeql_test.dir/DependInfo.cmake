@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scopeql_test.cc" "tests/CMakeFiles/scopeql_test.dir/scopeql_test.cc.o" "gcc" "tests/CMakeFiles/scopeql_test.dir/scopeql_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/autopilot/CMakeFiles/pm_autopilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsa/CMakeFiles/pm_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/pm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/pm_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scopeql_test.dir/scopeql_test.cc.o"
+  "CMakeFiles/scopeql_test.dir/scopeql_test.cc.o.d"
+  "scopeql_test"
+  "scopeql_test.pdb"
+  "scopeql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scopeql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

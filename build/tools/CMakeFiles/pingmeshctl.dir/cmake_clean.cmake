@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pingmeshctl.dir/pingmeshctl.cc.o"
+  "CMakeFiles/pingmeshctl.dir/pingmeshctl.cc.o.d"
+  "pingmeshctl"
+  "pingmeshctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pingmeshctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
