@@ -180,7 +180,8 @@ void ablation_thresholds() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("Ablations of Pingmesh design choices");
   ablation_participation();
   ablation_source_ports();

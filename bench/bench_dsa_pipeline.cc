@@ -14,7 +14,8 @@
 #include "core/scenarios.h"
 #include "core/simulation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   using namespace pingmesh;
   bench::heading("DSA pipeline shape (paper section 3.5)");
 

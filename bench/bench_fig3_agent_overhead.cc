@@ -46,7 +46,8 @@ double rss_mb() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("Figure 3: Pingmesh Agent CPU and memory overhead (real sockets)");
 
   net::Reactor reactor;

@@ -34,7 +34,8 @@ struct DcHists {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("Figure 4: intra-DC latency distributions (DC1 vs DC2)");
 
   topo::Topology topo = topo::Topology::build(core::two_dc_specs(/*medium=*/true));

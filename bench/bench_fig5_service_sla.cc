@@ -20,7 +20,8 @@
 #include "core/scenarios.h"
 #include "core/simulation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   using namespace pingmesh;
   bench::heading("Figure 5: per-service network SLA over a normal period");
 

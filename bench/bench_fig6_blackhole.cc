@@ -22,7 +22,8 @@
 #include "core/scenarios.h"
 #include "netsim/simnet.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   using namespace pingmesh;
   bench::heading("Figure 6: number of ToR switches with packet black-holes detected");
 

@@ -23,7 +23,8 @@
 #include "core/scenarios.h"
 #include "netsim/simnet.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   using namespace pingmesh;
   bench::heading("Figure 7: silent random packet drops of a Spine switch");
 

@@ -79,7 +79,8 @@ analysis::PatternResult run_scenario(const Scenario& scenario, int index) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("Figure 8: network latency patterns through visualization");
 
   std::vector<Scenario> scenarios = {

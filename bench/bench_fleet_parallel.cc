@@ -1,0 +1,101 @@
+// Sharded fleet engine: parallel speedup with bit-identical results.
+//
+// The same medium deployment is simulated twice — worker_threads=1 and
+// worker_threads=8 — over identical virtual time. Probe outcomes are pure
+// functions of (seed, five-tuple, launch time) under the counter-based RNG,
+// and deferred uploads drain in server-id order after the shard barrier, so
+// the two runs must produce byte-identical Cosmos record streams and SLA
+// tables. That identity is the hard check here (the harness exits non-zero
+// on divergence); the wall-clock speedup depends on the cores the host
+// actually has and is reported, not asserted.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "agent/record.h"
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/scenarios.h"
+#include "core/simulation.h"
+
+namespace {
+
+struct RunResult {
+  double wall_seconds = 0;
+  std::uint64_t probes = 0;
+  int workers = 1;
+  std::string records;  // CSV-encoded retained record stream
+  std::string sla;      // serialized SLA table
+};
+
+RunResult run(int workers, pingmesh::SimTime duration) {
+  using namespace pingmesh;
+  core::SimulationConfig cfg = core::default_config(7);
+  cfg.worker_threads = workers;
+  cfg.include_server_sla_rows = true;
+  core::PingmeshSimulation sim(cfg);
+
+  auto t0 = std::chrono::steady_clock::now();
+  sim.run_for(duration);
+  auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.probes = sim.total_probes();
+  r.workers = sim.worker_threads();
+  r.records = agent::encode_batch(sim.records_between(0, sim.now() + 1));
+  std::ostringstream sla;
+  for (const auto& row : sim.db().sla_rows) {
+    sla << row.window_start << ',' << row.window_end << ','
+        << static_cast<int>(row.scope) << ',' << row.scope_id << ',' << row.probes << ','
+        << row.successes << ',' << row.failures << ',' << row.drop_signatures << ','
+        << row.p50_ns << ',' << row.p99_ns << '\n';
+  }
+  r.sla = sla.str();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pingmesh;
+  bench::parse_args(argc, argv);
+  bench::heading("sharded fleet engine: speedup and determinism");
+
+  const int hw = ThreadPool::hardware_workers();
+  const int workers = 8;
+  const SimTime duration = hours(2);
+  std::printf("  hardware concurrency: %d, parallel run uses %d workers\n", hw, workers);
+
+  RunResult serial = run(1, duration);
+  std::printf("  serial   (1 worker):  %6.2fs wall, %lu probes\n", serial.wall_seconds,
+              static_cast<unsigned long>(serial.probes));
+  RunResult par = run(workers, duration);
+  std::printf("  parallel (%d workers): %6.2fs wall, %lu probes\n", par.workers,
+              par.wall_seconds, static_cast<unsigned long>(par.probes));
+
+  bool identical = serial.probes == par.probes && serial.records == par.records &&
+                   serial.sla == par.sla;
+  double speedup = par.wall_seconds > 0 ? serial.wall_seconds / par.wall_seconds : 0.0;
+
+  bench::heading("results");
+  bench::compare_row("stored records + SLA rows, 1 vs 8 workers", "bit-identical",
+                     identical ? "bit-identical" : "DIVERGED");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx on %d cores", speedup, hw);
+  bench::compare_row("tick_agents speedup at 8 workers", ">=3x (8 cores)", buf);
+  bench::json_metric("speedup_8_workers", speedup, "x");
+  bench::json_metric("hardware_concurrency", hw);
+  bench::json_metric("bit_identical", identical ? 1 : 0);
+  bench::json_metric("probes", static_cast<double>(serial.probes));
+
+  if (!identical) {
+    bench::note("FAIL: parallel run diverged from the serial run");
+    return 1;
+  }
+  if (hw >= 8 && speedup < 3.0) {
+    bench::note("warning: speedup below the 3x target despite >=8 cores");
+  }
+  return 0;
+}

@@ -34,7 +34,8 @@ struct PairKey {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("Inter-DC Pingmesh (paper section 6.2)");
 
   topo::Topology topo = topo::Topology::build(core::five_dc_specs());

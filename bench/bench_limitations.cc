@@ -85,7 +85,8 @@ IcwResult run_icw(const topo::Topology& topo, int icw, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("Paper section 6.4: what Pingmesh cannot see (negative results)");
 
   topo::Topology topo = topo::Topology::build(core::two_dc_specs(/*medium=*/false));

@@ -58,7 +58,8 @@ ClassStats run_mesh(const topo::Topology& topo, bool congested, std::uint64_t se
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("QoS monitoring (paper section 6.2): dual-class pinglists");
 
   topo::Topology topo = topo::Topology::build({topo::small_dc_spec("DC1", "US West")});

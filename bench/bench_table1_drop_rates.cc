@@ -49,7 +49,8 @@ std::string rate9(double r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pingmesh::bench::parse_args(argc, argv);
   bench::heading("Table 1: intra-pod and inter-pod packet drop rates, 5 DCs");
 
   topo::Topology topo = topo::Topology::build(core::five_dc_specs());

@@ -130,6 +130,23 @@ void PingmeshAgent::maybe_upload(SimTime now, bool force) {
   bool batch_full = buffer_.size() >= config_.upload_batch_records;
   bool timer_due = now >= next_upload_ && !buffer_.empty();
   if (!force && !batch_full && !timer_due) return;
+  if (defer_uploads_) {
+    // The trigger fired, but the actual upload waits for the driver's
+    // serial phase (service_uploads) so the Uploader is never entered from
+    // a worker thread.
+    upload_pending_ = true;
+    return;
+  }
+  perform_upload(now);
+}
+
+void PingmeshAgent::service_uploads(SimTime now) {
+  if (!upload_pending_) return;
+  upload_pending_ = false;
+  perform_upload(now);
+}
+
+void PingmeshAgent::perform_upload(SimTime now) {
   if (buffer_.empty()) {
     next_upload_ = now + config_.upload_interval;
     return;

@@ -99,6 +99,18 @@ class PingmeshAgent {
   /// Force an upload attempt of whatever is buffered (shutdown path).
   void flush(SimTime now);
 
+  /// Deferred-upload mode for multi-threaded drivers: while enabled, upload
+  /// triggers (batch full / timer due) only mark the agent upload-pending
+  /// instead of calling the Uploader. The driver runs many agents' probe
+  /// work in parallel, then — after its barrier — drains pending uploads in
+  /// server-id order via service_uploads(), so the Uploader and everything
+  /// behind it stay single-threaded and see a deterministic record stream.
+  void set_deferred_uploads(bool on) { defer_uploads_ = on; }
+  /// Perform the upload marked pending during this tick, if any. Must be
+  /// called from the (single) driver thread, outside any parallel section.
+  void service_uploads(SimTime now);
+  [[nodiscard]] bool upload_pending() const { return upload_pending_; }
+
   // --- introspection -------------------------------------------------------
   [[nodiscard]] bool probing_active() const { return probing_active_; }
   [[nodiscard]] std::size_t target_count() const { return targets_.size(); }
@@ -130,6 +142,7 @@ class PingmeshAgent {
   void adopt_pinglist(const controller::Pinglist& pl, SimTime now);
   void fail_closed();
   void maybe_upload(SimTime now, bool force);
+  void perform_upload(SimTime now);
   std::uint16_t next_src_port();
 
   std::string name_;
@@ -149,6 +162,8 @@ class PingmeshAgent {
   SimTime next_upload_ = 0;
   bool upload_timer_armed_ = false;
   int upload_failures_ = 0;
+  bool defer_uploads_ = false;
+  bool upload_pending_ = false;
 
   PerfCounters counters_;
   std::uint16_t ephemeral_port_ = 32768;

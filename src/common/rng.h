@@ -1,7 +1,17 @@
 // Deterministic pseudo-random number generation for reproducible
-// experiments. PCG32 (O'Neill 2014) keeps state small and splits cheaply so
-// every simulated entity can own an independent stream derived from the
-// experiment seed.
+// experiments. Two generator families share one set of distribution
+// helpers:
+//
+//  - Rng: PCG32 (O'Neill 2014), a classic sequential stream. State is
+//    small and splits cheaply so every simulated entity can own an
+//    independent stream derived from the experiment seed.
+//  - CounterRng: a counter-based (splitmix64-style) stream whose entire
+//    state is the key it was constructed from. Because the n-th draw is a
+//    pure function of (key, n), code that derives its key from stable
+//    inputs — e.g. (seed, five-tuple hash, timestamp) — produces the same
+//    values no matter which thread runs it or in what order. This is what
+//    makes the network simulator's probe path const-callable and
+//    embarrassingly parallel while staying bit-reproducible.
 #pragma once
 
 #include <cmath>
@@ -10,42 +20,35 @@
 
 namespace pingmesh {
 
-/// PCG32 generator: 64-bit state, 64-bit stream selector, 32-bit output.
-class Rng {
+/// 64-bit mix (splitmix64 finalizer) used for hashing tuples, ECMP, etc.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine values into one well-mixed 64-bit key (for CounterRng keys).
+constexpr std::uint64_t mix_key(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ mix64(b));
+}
+constexpr std::uint64_t mix_key(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix64(mix_key(a, b) ^ mix64(c));
+}
+constexpr std::uint64_t mix_key(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                                std::uint64_t d) {
+  return mix64(mix_key(a, b, c) ^ mix64(d));
+}
+
+/// Distribution helpers layered over any generator exposing next_u32().
+/// CRTP so Rng and CounterRng share one implementation with no virtual
+/// dispatch on the simulator's hottest path.
+template <class Derived>
+class RngDistributions {
  public:
-  using result_type = std::uint32_t;
-
-  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
-               std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
-    state_ = 0;
-    inc_ = (stream << 1u) | 1u;
-    next_u32();
-    state_ += seed;
-    next_u32();
-  }
-
-  /// Derive an independent child generator; `salt` distinguishes siblings.
-  [[nodiscard]] Rng split(std::uint64_t salt) const {
-    std::uint64_t s = state_ ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
-    std::uint64_t c = inc_ ^ (0xbf58476d1ce4e5b9ULL * (salt + 0x1234567));
-    return Rng(s, c >> 1);
-  }
-
-  std::uint32_t next_u32() {
-    std::uint64_t old = state_;
-    state_ = old * 6364136223846793005ULL + inc_;
-    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-    auto rot = static_cast<std::uint32_t>(old >> 59u);
-    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
-  }
-
-  std::uint64_t next_u64() {
-    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
-  }
-
   /// Uniform in [0, 1).
   double uniform() {
-    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+    return static_cast<double>(self().next_u32()) * (1.0 / 4294967296.0);
   }
 
   /// Uniform in [lo, hi).
@@ -54,12 +57,12 @@ class Rng {
   /// Uniform integer in [0, n). n must be > 0.
   std::uint32_t uniform_u32(std::uint32_t n) {
     // Lemire's multiply-shift rejection method (unbiased).
-    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * n;
+    std::uint64_t m = static_cast<std::uint64_t>(self().next_u32()) * n;
     auto lo = static_cast<std::uint32_t>(m);
     if (lo < n) {
       std::uint32_t t = (0u - n) % n;
       while (lo < t) {
-        m = static_cast<std::uint64_t>(next_u32()) * n;
+        m = static_cast<std::uint64_t>(self().next_u32()) * n;
         lo = static_cast<std::uint32_t>(m);
       }
     }
@@ -96,6 +99,43 @@ class Rng {
     return xm / std::pow(u, 1.0 / alpha);
   }
 
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+/// PCG32 generator: 64-bit state, 64-bit stream selector, 32-bit output.
+class Rng : public RngDistributions<Rng> {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Derive an independent child generator; `salt` distinguishes siblings.
+  [[nodiscard]] Rng split(std::uint64_t salt) const {
+    std::uint64_t s = state_ ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
+    std::uint64_t c = inc_ ^ (0xbf58476d1ce4e5b9ULL * (salt + 0x1234567));
+    return Rng(s, c >> 1);
+  }
+
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
   // UniformRandomBitGenerator interface for <algorithm> shuffles.
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return 0xffffffffu; }
@@ -106,12 +146,33 @@ class Rng {
   std::uint64_t inc_;
 };
 
-/// 64-bit mix (splitmix64 finalizer) used for hashing tuples, ECMP, etc.
-constexpr std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+/// Counter-based generator: draw i is mix64(key + i * golden) — the
+/// splitmix64 sequence starting from `key`. A value type with no shared
+/// state; construct one wherever a local stream is needed. Streams with
+/// distinct keys are independent; the same key always replays the same
+/// sequence regardless of thread or call order.
+class CounterRng : public RngDistributions<CounterRng> {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit CounterRng(std::uint64_t key) : key_(key) {}
+
+  std::uint64_t next_u64() { return mix64(key_ + 0x9e3779b97f4a7c15ULL * counter_++); }
+
+  /// High half of the 64-bit draw (the best-mixed bits of the finalizer).
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+  [[nodiscard]] std::uint64_t draws() const { return counter_; }
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_ = 0;
+};
 
 }  // namespace pingmesh

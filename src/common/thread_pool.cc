@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace pingmesh {
+
+ThreadPool::ThreadPool(int workers) : workers_(std::max(1, workers)) {
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::hardware_workers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::shard_bounds(int shard) const {
+  auto w = static_cast<std::size_t>(workers_);
+  auto s = static_cast<std::size_t>(shard);
+  return {task_n_ * s / w, task_n_ * (s + 1) / w};
+}
+
+void ThreadPool::worker_loop(int shard_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const ShardFn* body = nullptr;
+    std::size_t begin = 0, end = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      body = task_body_;
+      std::tie(begin, end) = shard_bounds(shard_index);
+    }
+    if (begin < end) (*body)(begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const ShardFn& body) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    body(0, n);
+    return;
+  }
+  std::size_t begin0 = 0, end0 = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_n_ = n;
+    task_body_ = &body;
+    remaining_ = static_cast<int>(threads_.size());
+    ++epoch_;
+    std::tie(begin0, end0) = shard_bounds(0);
+  }
+  work_ready_.notify_all();
+  if (begin0 < end0) body(begin0, end0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [&] { return remaining_ == 0; });
+  task_body_ = nullptr;
+}
+
+}  // namespace pingmesh

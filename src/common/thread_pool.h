@@ -1,0 +1,69 @@
+// A small persistent thread pool with static sharding, built for the fleet
+// tick path: the same parallel_for is invoked every simulated tick, so
+// workers stay parked on a condition variable between calls instead of
+// being respawned.
+//
+// Design rules (enforced by construction, relied on by callers):
+//  - parallel_for splits [0, n) into exactly `worker_count()` contiguous
+//    shards, deterministically: shard i covers [n*i/W, n*(i+1)/W). The
+//    caller's thread runs shard 0, spawned workers run shards 1..W-1.
+//  - parallel_for is a barrier: it returns only after every shard finished.
+//  - Shard boundaries depend only on (n, W) — never on timing — so any
+//    per-shard accumulation drained in shard order is deterministic.
+//  - worker_count() == 1 means no threads are spawned and parallel_for runs
+//    the body inline: the serial path and the parallel path are the same
+//    code.
+//
+// Not reentrant: parallel_for must not be called from inside a body.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pingmesh {
+
+class ThreadPool {
+ public:
+  /// Body invoked per shard with its half-open index range [begin, end).
+  using ShardFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// `workers` is the total parallelism including the calling thread;
+  /// values < 1 are clamped to 1. A pool of 1 spawns no threads.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int worker_count() const { return workers_; }
+
+  /// Run `body` over [0, n) in worker_count() static shards; blocks until
+  /// all shards complete. Exceptions thrown by shard 0 propagate; a spawned
+  /// worker's exception terminates (bodies must not throw).
+  void parallel_for(std::size_t n, const ShardFn& body);
+
+  /// A sensible default worker count for this machine.
+  static int hardware_workers();
+
+ private:
+  void worker_loop(int shard_index);
+  [[nodiscard]] std::pair<std::size_t, std::size_t> shard_bounds(int shard) const;
+
+  int workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::uint64_t epoch_ = 0;     // bumped per parallel_for; workers watch it
+  std::size_t task_n_ = 0;      // current task's range size
+  const ShardFn* task_body_ = nullptr;
+  int remaining_ = 0;           // spawned workers still running the epoch
+  bool stopping_ = false;
+};
+
+}  // namespace pingmesh

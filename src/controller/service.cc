@@ -9,7 +9,7 @@ namespace pingmesh::controller {
 // ---------------------------------------------------------------------------
 
 FetchResult DirectPinglistSource::fetch(IpAddr server_ip) {
-  ++fetches_;
+  fetches_.fetch_add(1, std::memory_order_relaxed);
   if (!reachable_) return FetchResult{FetchStatus::kUnreachable, std::nullopt};
   if (!serving_) return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
   auto server = topo_->find_server_by_ip(server_ip);

@@ -7,6 +7,7 @@
 // Controller does not push any data".
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -45,6 +46,10 @@ class PinglistSource {
 /// In-process controller: wraps the generator; can simulate outage
 /// (unreachable) and pinglist withdrawal ("we can stop the Pingmesh Agent
 /// from working by simply removing all the pinglist files").
+///
+/// fetch() is safe to call from concurrent driver shards: generation is
+/// const over immutable state and the fetch counter is atomic. The
+/// reachable/serving toggles must only be flipped between ticks.
 class DirectPinglistSource final : public PinglistSource {
  public:
   DirectPinglistSource(const topo::Topology& topo, const PinglistGenerator& gen)
@@ -54,14 +59,16 @@ class DirectPinglistSource final : public PinglistSource {
 
   void set_reachable(bool reachable) { reachable_ = reachable; }
   void set_serving(bool serving) { serving_ = serving; }
-  [[nodiscard]] std::uint64_t fetches() const { return fetches_; }
+  [[nodiscard]] std::uint64_t fetches() const {
+    return fetches_.load(std::memory_order_relaxed);
+  }
 
  private:
   const topo::Topology* topo_;
   const PinglistGenerator* gen_;
   bool reachable_ = true;
   bool serving_ = true;
-  std::uint64_t fetches_ = 0;
+  std::atomic<std::uint64_t> fetches_{0};
 };
 
 /// The controller's RESTful web service. Serves:

@@ -22,13 +22,21 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
   job_ctx_.topo = &topo_;
   job_ctx_.services = &services_;
   job_ctx_.db = &db_;
+  job_ctx_.scan_cache = &scan_cache_;
   jobs_.register_standard_jobs(cosmos_.stream(dsa::kLatencyStream), job_ctx_,
                                config_.thresholds, config_.include_server_sla_rows);
+
+  if (config_.worker_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
+  }
 
   agents_.reserve(topo_.server_count());
   for (const topo::Server& s : topo_.servers()) {
     agents_.push_back(std::make_unique<agent::PingmeshAgent>(s.name, s.ip, config_.agent,
                                                              uploader_));
+    // Uploads always drain in the serial phase of tick_agents, whatever the
+    // worker count, so serial and parallel runs take the identical path.
+    agents_.back()->set_deferred_uploads(true);
   }
 
   // Standard watchdogs (§3.5): pinglists generated, data stored, SLAs fresh.
@@ -92,7 +100,7 @@ void PingmeshSimulation::register_vip(IpAddr vip, std::vector<ServerId> dips) {
 agent::ProbeResult PingmeshSimulation::execute_probe(ServerId src,
                                                      const agent::ProbeRequest& req,
                                                      SimTime now) {
-  ++total_probes_;
+  total_probes_.fetch_add(1, std::memory_order_relaxed);
   IpAddr dst_ip = req.target.ip;
   // VIP targets resolve to a DIP by source-port hash (the SLB data plane).
   auto vip_it = vips_.find(dst_ip);
@@ -124,19 +132,42 @@ agent::ProbeResult PingmeshSimulation::execute_probe(ServerId src,
 }
 
 void PingmeshSimulation::tick_agents(SimTime now) {
-  for (const topo::Server& s : topo_.servers()) {
-    if (!net_.server_up(s.id, now)) continue;  // podset power-down: agent is gone
-    agent::PingmeshAgent& ag = *agents_[s.id.value];
-    agent::PingmeshAgent::TickActions actions = ag.tick(now);
-    if (actions.fetch_pinglist) {
-      ag.on_pinglist(source_.fetch(s.ip), now);
-      // Newly adopted pinglists may have probes due immediately.
-      auto more = ag.tick(now);
-      for (const auto& req : more.probes) actions.probes.push_back(req);
+  // Parallel phase: every server's agent work (pinglist fetch, probe
+  // scheduling, probe execution, record buffering) touches only that
+  // agent's state plus thread-safe shared components (const SimNetwork
+  // probe path, const generator, atomic counters). Static sharding keeps
+  // shard membership deterministic; probe outcomes are pure functions of
+  // (seed, tuple, now), so the result is bit-identical for any thread count.
+  const auto& servers = topo_.servers();
+  auto shard = [this, now, &servers](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const topo::Server& s = servers[i];
+      if (!net_.server_up(s.id, now)) continue;  // podset power-down: agent is gone
+      agent::PingmeshAgent& ag = *agents_[s.id.value];
+      agent::PingmeshAgent::TickActions actions = ag.tick(now);
+      if (actions.fetch_pinglist) {
+        ag.on_pinglist(source_.fetch(s.ip), now);
+        // Newly adopted pinglists may have probes due immediately.
+        auto more = ag.tick(now);
+        for (const auto& req : more.probes) actions.probes.push_back(req);
+      }
+      for (const agent::ProbeRequest& req : actions.probes) {
+        ag.on_probe_result(req, execute_probe(s.id, req, now), now);
+      }
     }
-    for (const agent::ProbeRequest& req : actions.probes) {
-      ag.on_probe_result(req, execute_probe(s.id, req, now), now);
-    }
+  };
+  if (pool_) {
+    pool_->parallel_for(servers.size(), shard);
+  } else {
+    shard(0, servers.size());
+  }
+
+  // Serial phase (after the barrier): drain deferred uploads in server-id
+  // order so the single-threaded Uploader/CosmosStore sees a deterministic
+  // record stream.
+  for (const topo::Server& s : servers) {
+    if (!net_.server_up(s.id, now)) continue;
+    agents_[s.id.value]->service_uploads(now);
   }
 }
 
@@ -157,14 +188,17 @@ void PingmeshSimulation::tick_jobs(SimTime now) {
   // months at production scale; the simulation keeps enough for the jobs
   // plus slack).
   SimTime horizon = now - config_.cosmos_retention;
-  if (horizon > 0) cosmos_.stream(dsa::kLatencyStream).expire_before(horizon);
+  if (horizon > 0) {
+    cosmos_.stream(dsa::kLatencyStream).expire_before(horizon);
+    scan_cache_.expire_before(horizon);
+  }
 }
 
 std::vector<agent::LatencyRecord> PingmeshSimulation::records_between(SimTime from,
                                                                       SimTime to) const {
   const dsa::CosmosStream* s = cosmos_.find(dsa::kLatencyStream);
   if (s == nullptr) return {};
-  return dsa::scope::extract_records(*s, from, to).rows();
+  return dsa::scope::extract_records(*s, from, to, scan_cache_).rows();
 }
 
 }  // namespace pingmesh::core

@@ -14,6 +14,7 @@
 // the seed.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -22,12 +23,14 @@
 #include "autopilot/repair.h"
 #include "autopilot/watchdog.h"
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "controller/generator.h"
 #include "controller/service.h"
 #include "dsa/cosmos.h"
 #include "dsa/database.h"
 #include "dsa/jobs.h"
 #include "dsa/pa.h"
+#include "dsa/scan_cache.h"
 #include "dsa/uploader.h"
 #include "netsim/simnet.h"
 #include "topology/topology.h"
@@ -46,6 +49,11 @@ struct SimulationConfig {
   SimTime cosmos_retention = hours(1);    ///< expire raw data older than this
   bool include_server_sla_rows = false;
   dsa::AlertThresholds thresholds;
+  /// Worker threads for the agent tick path (1 = serial). Results are
+  /// bit-identical for any value: probe outcomes are pure functions of
+  /// (seed, five-tuple, time) and uploads drain in server-id order after a
+  /// barrier, so the thread count only changes wall-clock time.
+  int worker_threads = 1;
 };
 
 class PingmeshSimulation {
@@ -86,7 +94,13 @@ class PingmeshSimulation {
                                                                   SimTime to) const;
 
   // --- aggregate statistics -------------------------------------------------
-  [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
+  [[nodiscard]] std::uint64_t total_probes() const {
+    return total_probes_.load(std::memory_order_relaxed);
+  }
+  /// Decoded-extent cache statistics (SCOPE scan path).
+  [[nodiscard]] const dsa::DecodedExtentCache& scan_cache() const { return scan_cache_; }
+  /// Worker parallelism actually in use (>= 1).
+  [[nodiscard]] int worker_threads() const { return pool_ ? pool_->worker_count() : 1; }
 
  private:
   void tick_agents(SimTime now);
@@ -110,9 +124,11 @@ class PingmeshSimulation {
   autopilot::RepairService repair_;
   autopilot::WatchdogService watchdogs_;
   dsa::JobContext job_ctx_;
+  mutable dsa::DecodedExtentCache scan_cache_;
+  std::unique_ptr<ThreadPool> pool_;  // null when worker_threads == 1
   std::vector<std::unique_ptr<agent::PingmeshAgent>> agents_;  // by ServerId
   std::unordered_map<IpAddr, std::vector<ServerId>> vips_;
-  std::uint64_t total_probes_ = 0;
+  std::atomic<std::uint64_t> total_probes_{0};
   SimTime last_pa_alert_check_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "dsa/cosmos.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace pingmesh::dsa {
 
@@ -27,6 +28,7 @@ std::uint64_t CosmosStream::append(std::string_view blob, std::uint64_t record_c
     e.last_ts = last_ts;
     e.appended_at = now;
     extents_.push_back(std::move(e));
+    prefix_max_last_ts_.push_back(std::numeric_limits<SimTime>::min());
   }
   Extent& e = extents_.back();
   bool was_empty = e.record_count == 0;
@@ -39,12 +41,22 @@ std::uint64_t CosmosStream::append(std::string_view blob, std::uint64_t record_c
   e.appended_at = now;
   total_bytes_ += blob.size();
   total_records_ += record_count;
+  SimTime prev = prefix_max_last_ts_.size() >= 2
+                     ? prefix_max_last_ts_[prefix_max_last_ts_.size() - 2]
+                     : std::numeric_limits<SimTime>::min();
+  prefix_max_last_ts_.back() = std::max(prev, e.last_ts);
   return e.id;
 }
 
 void CosmosStream::scan(SimTime from, SimTime to,
                         const std::function<void(const Extent&)>& fn) const {
-  for (const Extent& e : extents_) {
+  // Binary-search past the prefix of extents wholly older than the window:
+  // every index before `start` has prefix-max last_ts < from, so each of
+  // those extents would fail the `e.last_ts < from` test anyway.
+  auto first = std::lower_bound(prefix_max_last_ts_.begin(), prefix_max_last_ts_.end(), from);
+  auto start = static_cast<std::size_t>(first - prefix_max_last_ts_.begin());
+  for (std::size_t i = start; i < extents_.size(); ++i) {
+    const Extent& e = extents_[i];
     if (e.last_ts < from || e.first_ts >= to) continue;
     if (!e.verify()) {
       ++corrupt_skipped_;
@@ -63,6 +75,9 @@ void CosmosStream::restore_extent(Extent extent) {
   total_bytes_ += extent.data.size();
   total_records_ += extent.record_count;
   next_extent_id_ = std::max(next_extent_id_, extent.id + 1);
+  SimTime prev = prefix_max_last_ts_.empty() ? std::numeric_limits<SimTime>::min()
+                                             : prefix_max_last_ts_.back();
+  prefix_max_last_ts_.push_back(std::max(prev, extent.last_ts));
   extents_.push_back(std::move(extent));
 }
 
@@ -75,7 +90,11 @@ std::uint64_t CosmosStream::expire_before(SimTime horizon) {
     total_bytes_ -= keep_from->data.size();
     total_records_ -= keep_from->record_count;
   }
+  auto erased = static_cast<std::size_t>(keep_from - extents_.begin());
   extents_.erase(extents_.begin(), keep_from);
+  prefix_max_last_ts_.erase(prefix_max_last_ts_.begin(),
+                            prefix_max_last_ts_.begin() +
+                                static_cast<std::ptrdiff_t>(erased));
   return reclaimed;
 }
 

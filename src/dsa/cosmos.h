@@ -49,7 +49,9 @@ class CosmosStream {
                        SimTime first_ts, SimTime last_ts, SimTime now);
 
   /// Scan all extents overlapping [from, to); calls fn(extent). Corrupt
-  /// extents (checksum mismatch) are skipped and counted.
+  /// extents (checksum mismatch) are skipped and counted. The prefix of
+  /// extents wholly older than `from` is skipped by binary search rather
+  /// than visited.
   void scan(SimTime from, SimTime to, const std::function<void(const Extent&)>& fn) const;
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -73,6 +75,13 @@ class CosmosStream {
   std::string name_;
   std::size_t extent_limit_;
   std::vector<Extent> extents_;
+  /// prefix_max_last_ts_[i] >= max(extents_[0..i].last_ts). Nondecreasing by
+  /// construction, so scan() can lower_bound the first extent that may
+  /// overlap a query window. Per-extent last_ts is NOT monotone (batches
+  /// from different agents interleave), hence the parallel vector. Values
+  /// left over after expire_before are conservative upper bounds, which is
+  /// safe: a too-large maximum only means fewer extents get skipped.
+  std::vector<SimTime> prefix_max_last_ts_;
   std::uint64_t next_extent_id_ = 1;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_records_ = 0;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "agent/counters.h"
+#include "dsa/scan_cache.h"
 
 namespace pingmesh::dsa {
 
@@ -44,12 +45,21 @@ struct PodPairKey {
   auto operator<=>(const PodPairKey&) const = default;
 };
 
+/// EXTRACT through the context's decoded-extent cache when one is wired.
+scope::DataSet<agent::LatencyRecord> extract(const CosmosStream& stream,
+                                             const JobContext& ctx, SimTime from,
+                                             SimTime to) {
+  return ctx.scan_cache != nullptr
+             ? scope::extract_records(stream, from, to, *ctx.scan_cache)
+             : scope::extract_records(stream, from, to);
+}
+
 }  // namespace
 
 void run_pod_pair_job(const CosmosStream& stream, const JobContext& ctx, SimTime from,
                       SimTime to) {
   const topo::Topology& topo = *ctx.topo;
-  auto data = scope::extract_records(stream, from, to);
+  auto data = extract(stream, ctx, from, to);
   auto groups = data.where([&](const agent::LatencyRecord& r) {
                       return topo.find_server_by_ip(r.src_ip).has_value() &&
                              topo.find_server_by_ip(r.dst_ip).has_value();
@@ -99,7 +109,7 @@ void emit_sla_rows(const JobContext& ctx, SimTime from, SimTime to, SlaScope sco
 void run_sla_job(const CosmosStream& stream, const JobContext& ctx, SimTime from,
                  SimTime to, bool include_server_rows) {
   const topo::Topology& topo = *ctx.topo;
-  auto data = scope::extract_records(stream, from, to)
+  auto data = extract(stream, ctx, from, to)
                   .where([&](const agent::LatencyRecord& r) {
                     return topo.find_server_by_ip(r.src_ip).has_value();
                   });
@@ -155,7 +165,7 @@ void run_dc_drop_job(const CosmosStream& stream, const JobContext& ctx, SimTime 
   };
   std::vector<DcAcc> acc(topo.dcs().size());
 
-  auto data = scope::extract_records(stream, from, to);
+  auto data = extract(stream, ctx, from, to);
   for (const agent::LatencyRecord& r : data.rows()) {
     auto src = topo.find_server_by_ip(r.src_ip);
     auto dst = topo.find_server_by_ip(r.dst_ip);

@@ -56,10 +56,13 @@ class LatencyAggregator {
   LatencyHistogram hist_;
 };
 
+class DecodedExtentCache;
+
 struct JobContext {
   const topo::Topology* topo = nullptr;
   const topo::ServiceMap* services = nullptr;  // may be null (no service SLAs)
   Database* db = nullptr;
+  DecodedExtentCache* scan_cache = nullptr;  // may be null (decode every scan)
 };
 
 /// 10-minute job: pod-pair aggregation -> PodPairStatRow.

@@ -1,0 +1,40 @@
+#include "dsa/scan_cache.h"
+
+namespace pingmesh::dsa {
+
+const std::vector<agent::LatencyRecord>& DecodedExtentCache::rows(const Extent& e) {
+  auto it = entries_.find(e.id);
+  if (it != entries_.end() && it->second.checksum == e.checksum) {
+    ++hits_;
+    return it->second.rows;
+  }
+  ++misses_;
+  Entry entry;
+  entry.checksum = e.checksum;
+  entry.last_ts = e.last_ts;
+  entry.rows = agent::decode_batch(e.data);
+  if (it != entries_.end()) {
+    // Stale entry for a grown tail extent: replace in place.
+    it->second = std::move(entry);
+    return it->second.rows;
+  }
+  while (max_entries_ > 0 && entries_.size() >= max_entries_) {
+    entries_.erase(entries_.begin());
+    ++evictions_;
+  }
+  return entries_.emplace(e.id, std::move(entry)).first->second.rows;
+}
+
+void DecodedExtentCache::expire_before(SimTime horizon) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.last_ts < horizon) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DecodedExtentCache::clear() { entries_.clear(); }
+
+}  // namespace pingmesh::dsa

@@ -9,17 +9,36 @@ namespace {
 
 constexpr double kNsPerUs = 1000.0;
 
+// Context salts separating the counter streams of draws that can share a
+// (tuple, time) pair.
+constexpr std::uint64_t kSaltPacket = 0x70616b74;      // "pakt"
+constexpr std::uint64_t kSaltEcho = 0x6563686f;        // "echo"
+constexpr std::uint64_t kSaltTraceroute = 0x74726163;  // "trac"
+
 std::uint64_t wan_key(DcId a, DcId b) {
   std::uint32_t lo = std::min(a.value, b.value);
   std::uint32_t hi = std::max(a.value, b.value);
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
+std::uint64_t tuple_key(const FiveTuple& t) {
+  std::uint64_t ips = (static_cast<std::uint64_t>(t.src_ip.v) << 32) | t.dst_ip.v;
+  std::uint64_t rest = (static_cast<std::uint64_t>(t.src_port) << 32) |
+                       (static_cast<std::uint64_t>(t.dst_port) << 16) | t.protocol;
+  return mix_key(ips, rest);
+}
+
 }  // namespace
 
 SimNetwork::SimNetwork(const topo::Topology& topo, std::uint64_t seed)
-    : topo_(&topo), router_(topo), rng_(seed, 0x9ec7) {
+    : topo_(&topo), router_(topo), seed_(seed) {
   dc_profiles_.assign(topo.dcs().size(), DcProfile{});
+}
+
+CounterRng SimNetwork::stream_for(const FiveTuple& tuple, SimTime now,
+                                  std::uint64_t salt) const {
+  return CounterRng(
+      mix_key(seed_, tuple_key(tuple), static_cast<std::uint64_t>(now), salt));
 }
 
 void SimNetwork::set_dc_profile(DcId dc, const DcProfile& profile) {
@@ -52,18 +71,18 @@ double SimNetwork::element_baseline_drop(const topo::Switch& sw,
   return 0.0;
 }
 
-SimTime SimNetwork::sample_host_tx(const DcProfile& prof) {
-  double us = prof.host_tx_us + rng_.exponential(prof.host_tx_exp_us * (0.5 + prof.host_load));
+SimTime SimNetwork::sample_host_tx(const DcProfile& prof, CounterRng& rng) {
+  double us = prof.host_tx_us + rng.exponential(prof.host_tx_exp_us * (0.5 + prof.host_load));
   return static_cast<SimTime>(us * kNsPerUs);
 }
 
-SimTime SimNetwork::sample_host_rx(const DcProfile& prof) {
-  double us = prof.host_rx_us + rng_.exponential(prof.host_rx_exp_us * (0.5 + prof.host_load));
-  if (rng_.chance(prof.host_stall_prob)) {
+SimTime SimNetwork::sample_host_rx(const DcProfile& prof, CounterRng& rng) {
+  double us = prof.host_rx_us + rng.exponential(prof.host_rx_exp_us * (0.5 + prof.host_load));
+  if (rng.chance(prof.host_stall_prob)) {
     // Non-realtime OS under load: the receiving process does not get
     // scheduled for a long time (paper §4.1: "the server OS is not a
     // real-time operating system").
-    double stall_ms = rng_.pareto(prof.host_stall_xm_ms, prof.host_stall_alpha);
+    double stall_ms = rng.pareto(prof.host_stall_xm_ms, prof.host_stall_alpha);
     stall_ms = std::min(stall_ms, prof.host_stall_cap_ms);
     us += stall_ms * 1000.0;
   }
@@ -71,11 +90,11 @@ SimTime SimNetwork::sample_host_rx(const DcProfile& prof) {
 }
 
 SimTime SimNetwork::sample_hop_latency(const DcProfile& prof, double queue_scale,
-                                       int size_bytes) {
+                                       int size_bytes, CounterRng& rng) {
   double us = prof.hop_base_us + prof.per_kb_us * (static_cast<double>(size_bytes) / 1024.0);
-  us += rng_.exponential(prof.queue_exp_us) * queue_scale;
-  if (rng_.chance(std::min(1.0, prof.burst_prob * queue_scale))) {
-    us += rng_.exponential(prof.burst_queue_us) * queue_scale;
+  us += rng.exponential(prof.queue_exp_us) * queue_scale;
+  if (rng.chance(std::min(1.0, prof.burst_prob * queue_scale))) {
+    us += rng.exponential(prof.burst_queue_us) * queue_scale;
   }
   return static_cast<SimTime>(us * kNsPerUs);
 }
@@ -85,8 +104,8 @@ bool SimNetwork::server_up(ServerId server, SimTime now) const {
 }
 
 PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, SimTime now,
-                                     bool low_priority) {
-  ++packets_sent_;
+                                     bool low_priority) const {
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
   PacketResult r;
 
   ServerId src = topo_->server_by_ip(tuple.src_ip);
@@ -101,13 +120,18 @@ PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, Sim
   const DcProfile& src_prof = dc_profiles_[s.dc.value];
   const DcProfile& dst_prof = dc_profiles_[d.dc.value];
 
+  // All randomness for this packet comes from one counter stream keyed by
+  // (seed, tuple, launch time): the packet's fate is a pure function of its
+  // identity, independent of what other packets are in flight.
+  CounterRng rng = stream_for(tuple, now, kSaltPacket);
+
   // Source NIC / host send-side drop.
-  if (rng_.chance(src_prof.nic_drop)) {
+  if (rng.chance(src_prof.nic_drop)) {
     r.drop_site = DropSite::kSrcHost;
     return r;
   }
 
-  SimTime latency = sample_host_tx(src_prof);
+  SimTime latency = sample_host_tx(src_prof, rng);
   Path path = router_.resolve(tuple);
 
   for (std::size_t i = 0; i < path.hops.size(); ++i) {
@@ -123,7 +147,7 @@ PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, Sim
     }
     double p_drop = element_baseline_drop(sw, hop_prof) + eff.extra_drop_prob +
                     eff.per_kb_drop * (static_cast<double>(size_bytes) / 1024.0);
-    if (rng_.chance(std::min(1.0, p_drop))) {
+    if (rng.chance(std::min(1.0, p_drop))) {
       r.drop_site = DropSite::kSwitch;
       r.drop_switch = sw.id;
       return r;
@@ -131,7 +155,7 @@ PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, Sim
     // DSCP low priority waits behind the high-priority queue; the penalty
     // grows with whatever congestion the hop is under.
     double queue_scale = eff.queue_scale * (low_priority ? 1.0 + eff.queue_scale : 1.0);
-    latency += sample_hop_latency(hop_prof, queue_scale, size_bytes);
+    latency += sample_hop_latency(hop_prof, queue_scale, size_bytes, rng);
 
     // WAN segment between the two border routers.
     if (path.cross_dc && i + 1 < path.hops.size()) {
@@ -139,23 +163,23 @@ PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, Sim
       if (sw.kind == topo::SwitchKind::kBorder &&
           next_sw.kind == topo::SwitchKind::kBorder && sw.dc != next_sw.dc) {
         const WanProfile& wan = wan_between(sw.dc, next_sw.dc);
-        if (rng_.chance(wan.drop)) {
+        if (rng.chance(wan.drop)) {
           r.drop_site = DropSite::kSwitch;
           r.drop_switch = sw.id;  // attribute to the egress border
           return r;
         }
-        double wan_ms = wan.propagation_ms_oneway + rng_.exponential(wan.jitter_ms);
+        double wan_ms = wan.propagation_ms_oneway + rng.exponential(wan.jitter_ms);
         latency += static_cast<SimTime>(wan_ms * 1'000'000.0);
       }
     }
   }
 
   // Destination NIC / receive-side drop, then receive-path latency.
-  if (rng_.chance(dst_prof.nic_drop)) {
+  if (rng.chance(dst_prof.nic_drop)) {
     r.drop_site = DropSite::kDstHost;
     return r;
   }
-  latency += sample_host_rx(dst_prof);
+  latency += sample_host_rx(dst_prof, rng);
 
   r.delivered = true;
   r.latency = latency;
@@ -164,7 +188,7 @@ PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, Sim
 
 ProbeOutcome SimNetwork::tcp_probe(ServerId src, ServerId dst, std::uint16_t src_port,
                                    std::uint16_t dst_port, const ProbeSpec& spec,
-                                   SimTime now) {
+                                   SimTime now) const {
   ProbeOutcome out;
   const topo::Server& s = topo_->server(src);
   const topo::Server& d = topo_->server(dst);
@@ -211,8 +235,10 @@ ProbeOutcome SimNetwork::tcp_probe(ServerId src, ServerId dst, std::uint16_t src
       PacketResult data = send_packet(fwd, spec.payload_bytes, start + pwait, spec.low_priority);
       if (data.delivered) {
         // User-space processing at the responder before echoing back.
-        double echo_us = dst_prof.user_echo_base_us +
-                         rng_.exponential(dst_prof.user_echo_load_us * (0.5 + dst_prof.host_load));
+        CounterRng erng = stream_for(fwd, start + pwait, kSaltEcho);
+        double echo_us =
+            dst_prof.user_echo_base_us +
+            erng.exponential(dst_prof.user_echo_load_us * (0.5 + dst_prof.host_load));
         SimTime echo_proc = static_cast<SimTime>(echo_us * kNsPerUs);
         PacketResult echo = send_packet(rev, spec.payload_bytes,
                                         start + pwait + data.latency + echo_proc,
@@ -235,7 +261,7 @@ ProbeOutcome SimNetwork::tcp_probe(ServerId src, ServerId dst, std::uint16_t src
 
 SessionOutcome SimNetwork::tcp_session(ServerId src, ServerId dst, std::uint16_t src_port,
                                        std::uint16_t dst_port, const SessionSpec& spec,
-                                       SimTime now) {
+                                       SimTime now) const {
   SessionOutcome out;
   ProbeOutcome connect = tcp_probe(src, dst, src_port, dst_port, ProbeSpec{}, now);
   if (!connect.success) return out;
@@ -278,7 +304,7 @@ SessionOutcome SimNetwork::tcp_session(ServerId src, ServerId dst, std::uint16_t
 }
 
 std::optional<SwitchId> SimNetwork::traceroute_hop(const FiveTuple& tuple, int ttl,
-                                                   SimTime now) {
+                                                   SimTime now) const {
   if (ttl < 1) return std::nullopt;
   ServerId src = topo_->server_by_ip(tuple.src_ip);
   ServerId dst = topo_->server_by_ip(tuple.dst_ip);
@@ -290,7 +316,8 @@ std::optional<SwitchId> SimNetwork::traceroute_hop(const FiveTuple& tuple, int t
   Path path = router_.resolve(tuple);
   if (static_cast<std::size_t>(ttl) > path.hops.size()) return std::nullopt;
 
-  ++packets_sent_;
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
+  CounterRng rng = stream_for(tuple, now, kSaltTraceroute);
   // The probe must survive hops 1..ttl-1; the hop at `ttl` answers.
   for (int i = 0; i < ttl; ++i) {
     const topo::Switch& sw = topo_->sw(path.hops[static_cast<std::size_t>(i)].sw);
@@ -300,7 +327,7 @@ std::optional<SwitchId> SimNetwork::traceroute_hop(const FiveTuple& tuple, int t
     if (!is_answering_hop) {
       if (eff.blackholed) return std::nullopt;
       double p_drop = element_baseline_drop(sw, prof) + eff.extra_drop_prob;
-      if (rng_.chance(std::min(1.0, p_drop))) return std::nullopt;
+      if (rng.chance(std::min(1.0, p_drop))) return std::nullopt;
     }
     // The answering hop replies even if it black-holes transit traffic of
     // this pattern (TTL-expired handling is control-plane).

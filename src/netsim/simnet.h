@@ -9,8 +9,16 @@
 // Ground truth (which element dropped which packet) is carried in the
 // outcome so tests can validate the inference heuristics against it, the
 // same way the paper validated against NIC/ToR counters.
+//
+// Thread safety: the probe path (tcp_probe, send_packet, tcp_session,
+// traceroute_hop) is const and safe to call concurrently. Randomness comes
+// from counter-based streams keyed by (seed, five-tuple hash, launch time,
+// context salt), so every probe's outcome is a pure function of its inputs
+// — bit-identical no matter how many threads fire probes or in what order.
+// Mutators (set_dc_profile, faults()) must not race with in-flight probes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -94,9 +102,10 @@ class SimNetwork {
   [[nodiscard]] const EcmpRouter& router() const { return router_; }
   [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
 
-  /// Full TCP probe: connect (+ optional payload echo).
+  /// Full TCP probe: connect (+ optional payload echo). Thread-safe.
   ProbeOutcome tcp_probe(ServerId src, ServerId dst, std::uint16_t src_port,
-                         std::uint16_t dst_port, const ProbeSpec& spec, SimTime now);
+                         std::uint16_t dst_port, const ProbeSpec& spec,
+                         SimTime now) const;
 
   /// Bulk transfer with slow start from the configured ICW: connect, then
   /// send windows that double per round trip (no-loss approximation with
@@ -104,42 +113,51 @@ class SimNetwork {
   /// perceive; Pingmesh's single-RTT probes cannot see ICW changes (§6.4).
   SessionOutcome tcp_session(ServerId src, ServerId dst, std::uint16_t src_port,
                              std::uint16_t dst_port, const SessionSpec& spec,
-                             SimTime now);
+                             SimTime now) const;
 
   /// One-way transmission of a single packet along the tuple's ECMP path.
   /// Low-priority (DSCP-marked) packets queue behind high-priority traffic:
-  /// their queueing delay scales up with congestion.
+  /// their queueing delay scales up with congestion. Thread-safe.
   PacketResult send_packet(const FiveTuple& tuple, int size_bytes, SimTime now,
-                           bool low_priority = false);
+                           bool low_priority = false) const;
 
   /// Traceroute support: deliverability and responding hop for a TTL-limited
   /// packet. Returns the switch at position `ttl` (1-based) if the packet
   /// survives that far, nullopt if it is dropped earlier or the path is
   /// shorter. Silent random drops apply; this is how combining Pingmesh with
   /// TCP traceroute pinpoints a faulty switch (§5.2).
-  std::optional<SwitchId> traceroute_hop(const FiveTuple& tuple, int ttl, SimTime now);
+  std::optional<SwitchId> traceroute_hop(const FiveTuple& tuple, int ttl,
+                                         SimTime now) const;
 
   /// Is this server responsive (its podset not powered down)?
   [[nodiscard]] bool server_up(ServerId server, SimTime now) const;
 
   /// Number of packets simulated so far (throughput accounting in benches).
-  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_sent() const {
+    return packets_sent_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
  private:
   double element_baseline_drop(const topo::Switch& sw, const DcProfile& prof) const;
-  SimTime sample_host_tx(const DcProfile& prof);
-  SimTime sample_host_rx(const DcProfile& prof);
-  SimTime sample_hop_latency(const DcProfile& prof, double queue_scale, int size_bytes);
+  /// Counter stream for one packet/context: (seed, tuple, launch time, salt).
+  [[nodiscard]] CounterRng stream_for(const FiveTuple& tuple, SimTime now,
+                                      std::uint64_t salt) const;
+  static SimTime sample_host_tx(const DcProfile& prof, CounterRng& rng);
+  static SimTime sample_host_rx(const DcProfile& prof, CounterRng& rng);
+  static SimTime sample_hop_latency(const DcProfile& prof, double queue_scale,
+                                    int size_bytes, CounterRng& rng);
   const WanProfile& wan_between(DcId a, DcId b) const;
 
   const topo::Topology* topo_;
   EcmpRouter router_;
   FaultInjector faults_;
-  Rng rng_;
+  std::uint64_t seed_;
   std::vector<DcProfile> dc_profiles_;
   std::unordered_map<std::uint64_t, WanProfile> wan_profiles_;
   WanProfile default_wan_;
-  std::uint64_t packets_sent_ = 0;
+  mutable std::atomic<std::uint64_t> packets_sent_{0};
 };
 
 }  // namespace pingmesh::netsim

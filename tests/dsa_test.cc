@@ -8,6 +8,7 @@
 #include "dsa/database.h"
 #include "dsa/jobs.h"
 #include "dsa/pa.h"
+#include "dsa/scan_cache.h"
 #include "dsa/scope.h"
 #include "dsa/uploader.h"
 #include "topology/topology.h"
@@ -95,6 +96,56 @@ TEST(Cosmos, ExpireReclaims) {
   EXPECT_EQ(s.total_records(), 1u);
 }
 
+TEST(Cosmos, ScanSkipsOldPrefixAfterInterleavedAppends) {
+  // last_ts is not monotone across extents (batches from different agents
+  // interleave); the prefix-max skip must still visit every overlapping
+  // extent.
+  CosmosStore store(4);
+  CosmosStream& s = store.stream("t");
+  s.append("aaaa", 1, seconds(10), seconds(10), 0);
+  s.append("bbbb", 1, seconds(2), seconds(2), 0);  // older than its predecessor
+  s.append("cccc", 1, seconds(20), seconds(20), 0);
+  s.append("dddd", 1, seconds(15), seconds(15), 0);
+
+  std::string seen;
+  s.scan(seconds(1), seconds(30), [&](const Extent& e) { seen += e.data; });
+  EXPECT_EQ(seen, "aaaabbbbccccdddd");
+
+  seen.clear();
+  s.scan(seconds(12), seconds(30), [&](const Extent& e) { seen += e.data; });
+  EXPECT_EQ(seen, "ccccdddd");
+
+  seen.clear();
+  s.scan(seconds(14), seconds(16), [&](const Extent& e) { seen += e.data; });
+  EXPECT_EQ(seen, "dddd");
+}
+
+TEST(Cosmos, ScanSkipStaysCorrectAfterExpire) {
+  CosmosStore store(4);
+  CosmosStream& s = store.stream("t");
+  s.append("aaaa", 1, seconds(1), seconds(1), 0);
+  s.append("bbbb", 1, seconds(50), seconds(50), 0);
+  s.append("cccc", 1, seconds(5), seconds(5), 0);
+  s.expire_before(seconds(2));  // drops only the first extent
+  ASSERT_EQ(s.extents().size(), 2u);
+
+  std::string seen;
+  s.scan(seconds(3), seconds(60), [&](const Extent& e) { seen += e.data; });
+  EXPECT_EQ(seen, "bbbbcccc");
+}
+
+TEST(Cosmos, ScanSkipHandlesRestoredExtents) {
+  CosmosStream donor("d", 4);
+  donor.append("xxxx", 1, seconds(7), seconds(7), 0);
+
+  CosmosStream s("t", 4);
+  s.append("aaaa", 1, seconds(3), seconds(3), 0);
+  s.restore_extent(donor.extents()[0]);
+  std::string seen;
+  s.scan(seconds(5), seconds(10), [&](const Extent& e) { seen += e.data; });
+  EXPECT_EQ(seen, "xxxx");
+}
+
 TEST(Cosmos, StoreAggregates) {
   CosmosStore store;
   store.stream("a").append("xx", 1, 0, 0, 0);
@@ -104,6 +155,90 @@ TEST(Cosmos, StoreAggregates) {
   EXPECT_EQ(store.stream_names().size(), 2u);
   EXPECT_EQ(store.find("a")->name(), "a");
   EXPECT_EQ(store.find("zzz"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// DecodedExtentCache
+// ---------------------------------------------------------------------------
+
+/// Append one encoded record to the stream; returns the encoded blob.
+std::string append_record(CosmosStream& s, const topo::Topology& t, SimTime ts) {
+  LatencyRecord r = make_record(t, t.servers()[0].id, t.servers()[1].id, ts, millis(1));
+  std::string blob = agent::encode_batch({r});
+  s.append(blob, 1, ts, ts, ts);
+  return blob;
+}
+
+TEST(DecodedExtentCache, HitsAfterFirstDecode) {
+  topo::Topology t = small_dc();
+  CosmosStream s("t", /*extent_size_limit=*/16);  // one record per extent
+  append_record(s, t, seconds(1));
+  append_record(s, t, seconds(2));
+
+  DecodedExtentCache cache;
+  auto first = scope::extract_records(s, 0, seconds(10), cache);
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  auto second = scope::extract_records(s, 0, seconds(10), cache);
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(DecodedExtentCache, CachedScanMatchesUncachedScan) {
+  topo::Topology t = small_dc();
+  CosmosStream s("t", 64);
+  for (int i = 1; i <= 20; ++i) append_record(s, t, seconds(i));
+
+  DecodedExtentCache cache;
+  for (SimTime from : {seconds(0), seconds(5), seconds(12)}) {
+    auto plain = scope::extract_records(s, from, seconds(15));
+    auto cached = scope::extract_records(s, from, seconds(15), cache);
+    ASSERT_EQ(plain.size(), cached.size());
+    EXPECT_EQ(agent::encode_batch(plain.rows()), agent::encode_batch(cached.rows()));
+  }
+}
+
+TEST(DecodedExtentCache, GrownTailExtentIsRedecoded) {
+  topo::Topology t = small_dc();
+  CosmosStream s("t", 1 << 20);  // everything lands in one open extent
+  append_record(s, t, seconds(1));
+
+  DecodedExtentCache cache;
+  EXPECT_EQ(scope::extract_records(s, 0, seconds(10), cache).size(), 1u);
+  append_record(s, t, seconds(2));  // same extent, new checksum
+  EXPECT_EQ(scope::extract_records(s, 0, seconds(10), cache).size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);  // second scan re-decoded, not served stale
+}
+
+TEST(DecodedExtentCache, ExpireDropsOldEntries) {
+  topo::Topology t = small_dc();
+  CosmosStream s("t", 16);
+  append_record(s, t, seconds(1));
+  append_record(s, t, seconds(100));
+
+  DecodedExtentCache cache;
+  scope::extract_records(s, 0, seconds(200), cache);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.expire_before(seconds(50));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DecodedExtentCache, EvictsOldestWhenFull) {
+  topo::Topology t = small_dc();
+  CosmosStream s("t", 16);
+  for (int i = 1; i <= 5; ++i) append_record(s, t, seconds(i));
+
+  DecodedExtentCache cache(/*max_entries=*/3);
+  scope::extract_records(s, 0, seconds(10), cache);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // Results stay correct regardless of eviction.
+  EXPECT_EQ(scope::extract_records(s, 0, seconds(10), cache).size(), 5u);
 }
 
 // ---------------------------------------------------------------------------

@@ -462,11 +462,15 @@ TEST_F(SimNetworkTest, CrossDcLatencyIncludesWan) {
 
 TEST_F(SimNetworkTest, BaselineDropRateInPaperBand) {
   // §4.2: normal-condition drop rates live in 1e-4..1e-5. Estimate the
-  // probe-level drop frequency for inter-pod traffic.
+  // probe-level drop frequency for inter-pod traffic. Each probe launches at
+  // a distinct time: outcomes are a pure function of (tuple, launch time),
+  // so a repeated (tuple, time) pair would replay the identical packet
+  // rather than contribute an independent trial.
   std::uint64_t probes = 0, dropped = 0;
   for (int i = 0; i < 300000; ++i) {
     auto out = net_.tcp_probe(server(0, i % 8), server(4, (i + 1) % 8),
-                              static_cast<std::uint16_t>(32768 + (i % 28000)), 33100, {}, 0);
+                              static_cast<std::uint16_t>(32768 + (i % 28000)), 33100, {},
+                              millis(i));
     ++probes;
     if (!out.success || out.syn_transmissions > 1) ++dropped;
   }
