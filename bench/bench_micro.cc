@@ -15,6 +15,7 @@
 #include "dsa/jobs.h"
 #include "dsa/scope.h"
 #include "netsim/simnet.h"
+#include "streaming/sketch.h"
 #include "topology/topology.h"
 
 namespace {
@@ -108,6 +109,42 @@ void BM_HistogramQuantile(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(hist.p99());
 }
 BENCHMARK(BM_HistogramQuantile);
+
+void BM_SketchRecord(benchmark::State& state) {
+  streaming::LatencySketch sk;
+  Rng rng(7);
+  std::int64_t v = 250'000;
+  for (auto _ : state) {
+    sk.record(v);
+    v = static_cast<std::int64_t>(rng.uniform(10'000, 10'000'000));
+  }
+  benchmark::DoNotOptimize(sk.count());
+}
+BENCHMARK(BM_SketchRecord);
+
+void BM_SketchMerge(benchmark::State& state) {
+  streaming::LatencySketch a;
+  streaming::LatencySketch b;
+  Rng rng(9);
+  for (int i = 0; i < 100'000; ++i) {
+    b.record(static_cast<std::int64_t>(rng.uniform(10'000, 10'000'000)));
+  }
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a.count());
+  }
+}
+BENCHMARK(BM_SketchMerge);
+
+void BM_SketchQuantile(benchmark::State& state) {
+  streaming::LatencySketch sk;
+  Rng rng(10);
+  for (int i = 0; i < 1'000'000; ++i) {
+    sk.record(static_cast<std::int64_t>(rng.lognormal(12.5, 1.0)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(sk.p99());
+}
+BENCHMARK(BM_SketchQuantile);
 
 void BM_RecordCsvEncode(benchmark::State& state) {
   agent::LatencyRecord rec;

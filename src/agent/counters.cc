@@ -2,9 +2,10 @@
 
 namespace pingmesh::agent {
 
+// Default LatencySketch geometry: 1% relative error, 1 us .. 60 s. All
+// agents share it so the PA path can merge their window sketches directly.
 PerfCounters::PerfCounters(SimTime window_start)
-    : window_start_(window_start), hist_(/*min_value=*/1'000, /*octaves=*/32,
-                                         /*sub_buckets_per_octave=*/32) {
+    : window_start_(window_start), sketch_() {
   cur_.window_start = window_start;
 }
 
@@ -23,15 +24,16 @@ void PerfCounters::record_probe(bool success, SimTime rtt) {
       ++cur_.probes_9s;
       return;
     default:
-      hist_.record(rtt);
+      sketch_.record(rtt);
   }
 }
 
 CounterSnapshot PerfCounters::peek(SimTime now) const {
   CounterSnapshot s = cur_;
   s.window_end = now;
-  s.p50_ns = hist_.p50();
-  s.p99_ns = hist_.p99();
+  s.p50_ns = sketch_.p50();
+  s.p99_ns = sketch_.p99();
+  s.latency = sketch_;
   return s;
 }
 
@@ -39,7 +41,7 @@ CounterSnapshot PerfCounters::collect(SimTime now) {
   CounterSnapshot s = peek(now);
   cur_ = CounterSnapshot{};
   cur_.window_start = now;
-  hist_.clear();
+  sketch_.clear();
   window_start_ = now;
   return s;
 }

@@ -7,8 +7,8 @@
 
 #include <cstdint>
 
-#include "common/stats.h"
 #include "common/types.h"
+#include "streaming/sketch.h"
 
 namespace pingmesh::agent {
 
@@ -32,6 +32,12 @@ struct CounterSnapshot {
   std::uint64_t probes_9s = 0;     ///< two-SYN-drop signatures
   std::int64_t p50_ns = 0;
   std::int64_t p99_ns = 0;
+  /// Mergeable sketch of the window's clean RTTs. Lets the Perfcounter
+  /// Aggregator compute true pod-level percentiles by merging server
+  /// sketches instead of probe-weighted means of server p50/p99 (empty when
+  /// a snapshot was built by hand from bare counters — consumers fall back
+  /// to the scalar fields then).
+  streaming::LatencySketch latency;
 
   /// The paper's drop-rate estimator:
   ///   (probes with 3s rtt + probes with 9s rtt) / total successful probes.
@@ -55,13 +61,15 @@ class PerfCounters {
   [[nodiscard]] CounterSnapshot peek(SimTime now) const;
   CounterSnapshot collect(SimTime now);
 
-  /// Approximate memory footprint (agent memory budget accounting).
-  [[nodiscard]] std::size_t memory_bytes() const { return hist_.memory_bytes(); }
+  /// Approximate memory footprint (agent memory budget accounting). The
+  /// sketch is fixed-size, so agent memory is bounded regardless of probe
+  /// volume (§3.4.2 safety requirement).
+  [[nodiscard]] std::size_t memory_bytes() const { return sketch_.memory_bytes(); }
 
  private:
   SimTime window_start_;
   CounterSnapshot cur_{};
-  LatencyHistogram hist_;
+  streaming::LatencySketch sketch_;
 };
 
 }  // namespace pingmesh::agent

@@ -91,4 +91,13 @@ SimulationConfig small_test_config(std::uint64_t seed) {
   return cfg;
 }
 
+SimulationConfig streaming_test_config(std::uint64_t seed) {
+  SimulationConfig cfg = small_test_config(seed);
+  // Ingest freshness is bounded by the upload cadence: records sit in the
+  // agent buffer for at most upload_interval before the tap sees them.
+  cfg.agent.upload_interval = seconds(10);
+  cfg.streaming.enabled = true;
+  return cfg;
+}
+
 }  // namespace pingmesh::core

@@ -35,4 +35,9 @@ SimulationConfig default_config(std::uint64_t seed = 42);
 /// Small config for fast integration tests (one small DC).
 SimulationConfig small_test_config(std::uint64_t seed = 42);
 
+/// small_test_config with the streaming analytics path enabled and a fast
+/// upload cadence, so records reach the sliding windows with seconds-level
+/// freshness (the sub-minute-detection scenario; DESIGN.md §8).
+SimulationConfig streaming_test_config(std::uint64_t seed = 42);
+
 }  // namespace pingmesh::core

@@ -30,6 +30,20 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
     pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
   }
 
+  if (config_.streaming.enabled) {
+    // The tap runs in the serial upload-drain phase of tick_agents and the
+    // detector on its own scheduler event, so the whole streaming path is
+    // driver-thread-only regardless of worker_threads (DESIGN.md §7).
+    streaming_ = std::make_unique<streaming::StreamingPipeline>(topo_, db_,
+                                                                config_.streaming);
+    uploader_.set_tap(streaming_.get());
+    scheduler_.schedule_every(config_.streaming.detector.eval_period,
+                              [this](SimTime now) {
+                                streaming_->tick(now);
+                                return true;
+                              });
+  }
+
   agents_.reserve(topo_.server_count());
   for (const topo::Server& s : topo_.servers()) {
     agents_.push_back(std::make_unique<agent::PingmeshAgent>(s.name, s.ip, config_.agent,

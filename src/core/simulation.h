@@ -33,6 +33,7 @@
 #include "dsa/scan_cache.h"
 #include "dsa/uploader.h"
 #include "netsim/simnet.h"
+#include "streaming/pipeline.h"
 #include "topology/topology.h"
 
 namespace pingmesh::core {
@@ -49,6 +50,9 @@ struct SimulationConfig {
   SimTime cosmos_retention = hours(1);    ///< expire raw data older than this
   bool include_server_sla_rows = false;
   dsa::AlertThresholds thresholds;
+  /// Near-real-time analytics path (off by default): taps record batches at
+  /// upload time into sliding windows + the online detector (DESIGN.md §8).
+  streaming::StreamingConfig streaming;
   /// Worker threads for the agent tick path (1 = serial). Results are
   /// bit-identical for any value: probe outcomes are pure functions of
   /// (seed, five-tuple, time) and uploads drain in server-id order after a
@@ -75,6 +79,11 @@ class PingmeshSimulation {
   dsa::Database& db() { return db_; }
   dsa::JobManager& jobs() { return jobs_; }
   dsa::PerfcounterAggregator& pa() { return pa_; }
+  /// The streaming pipeline; null unless config().streaming.enabled.
+  [[nodiscard]] streaming::StreamingPipeline* streaming() { return streaming_.get(); }
+  [[nodiscard]] const streaming::StreamingPipeline* streaming() const {
+    return streaming_.get();
+  }
   autopilot::RepairService& repair() { return repair_; }
   autopilot::WatchdogService& watchdogs() { return watchdogs_; }
   topo::ServiceMap& services() { return services_; }
@@ -121,6 +130,7 @@ class PingmeshSimulation {
   dsa::CosmosUploader uploader_;
   dsa::JobManager jobs_;
   dsa::PerfcounterAggregator pa_;
+  std::unique_ptr<streaming::StreamingPipeline> streaming_;  // null when disabled
   autopilot::RepairService repair_;
   autopilot::WatchdogService watchdogs_;
   dsa::JobContext job_ctx_;

@@ -43,4 +43,16 @@ std::vector<PodPairStatRow> Database::pod_pairs_between(SimTime from, SimTime to
   return out;
 }
 
+bool Database::open_alert(const std::string& scope, const std::string& rule, SimTime now) {
+  return open_alerts_.emplace(alert_key(scope, rule), now).second;
+}
+
+bool Database::close_alert(const std::string& scope, const std::string& rule) {
+  return open_alerts_.erase(alert_key(scope, rule)) > 0;
+}
+
+bool Database::alert_open(const std::string& scope, const std::string& rule) const {
+  return open_alerts_.contains(alert_key(scope, rule));
+}
+
 }  // namespace pingmesh::dsa

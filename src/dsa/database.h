@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -114,6 +115,25 @@ class Database {
     return pod_pair_stats.size() + sla_rows.size() + dc_drop_rows.size() + alerts.size() +
            pa_counters.size();
   }
+
+  // --- open-alert registry (deduplication) ---------------------------------
+  // A (scope, rule) pair that is "open" suppresses further AlertRow appends
+  // for the same condition: a persistent fault yields one row when it opens,
+  // not one per evaluation. Shared by every alerting path (PA, streaming).
+
+  /// Mark (scope, rule) open. Returns true if it was newly opened — the
+  /// caller should append its AlertRow exactly then.
+  bool open_alert(const std::string& scope, const std::string& rule, SimTime now);
+  /// Mark (scope, rule) closed (condition cleared). True if it was open.
+  bool close_alert(const std::string& scope, const std::string& rule);
+  [[nodiscard]] bool alert_open(const std::string& scope, const std::string& rule) const;
+  [[nodiscard]] std::size_t open_alert_count() const { return open_alerts_.size(); }
+
+ private:
+  static std::string alert_key(const std::string& scope, const std::string& rule) {
+    return rule + '\x1f' + scope;
+  }
+  std::unordered_map<std::string, SimTime> open_alerts_;  // key -> open time
 };
 
 }  // namespace pingmesh::dsa

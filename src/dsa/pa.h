@@ -39,10 +39,10 @@ class PerfcounterAggregator {
   void collect(ServerId server, const agent::CounterSnapshot& snapshot);
 
   /// Close the current bucket: aggregate per pod and write PaCounterRows.
-  /// Percentile merging caveat: snapshots expose only p50/p99, so pod-level
-  /// percentiles are probe-weighted means of server percentiles — an
-  /// approximation that is exactly what counter-based pipelines can offer
-  /// (the precise percentiles come from the Cosmos/SCOPE path).
+  /// Pod-level percentiles come from merging the servers' window
+  /// LatencySketches (true percentiles, bounded relative error). Snapshots
+  /// carrying no sketch — bare counters built by hand or by legacy agents —
+  /// fall back to the probe-weighted mean of server p50/p99.
   void flush(SimTime now);
 
   [[nodiscard]] std::uint64_t snapshots_collected() const { return collected_; }
@@ -52,8 +52,9 @@ class PerfcounterAggregator {
     std::uint64_t probes = 0;
     std::uint64_t successes = 0;
     std::uint64_t signatures = 0;
-    double p50_weighted = 0.0;  // sum of p50 * successes
+    double p50_weighted = 0.0;  // sum of p50 * successes (sketchless fallback)
     double p99_weighted = 0.0;
+    streaming::LatencySketch merged;  // union of server window sketches
   };
 
   const topo::Topology* topo_;

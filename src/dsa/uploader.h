@@ -14,6 +14,18 @@
 
 namespace pingmesh::dsa {
 
+/// Observer of record batches at ingest time. The streaming analytics
+/// pipeline registers one on the uploader: it sees every record the moment
+/// an agent's upload lands — before the batch SCOPE path, whose end-to-end
+/// freshness is ~20 minutes (paper §3.5/§5 "moving towards streaming").
+/// Called from the driver thread only (the serial upload-drain phase).
+class RecordTap {
+ public:
+  virtual ~RecordTap() = default;
+  virtual void on_records(const std::vector<agent::LatencyRecord>& batch,
+                          SimTime now) = 0;
+};
+
 class CosmosUploader final : public agent::Uploader {
  public:
   CosmosUploader(CosmosStore& store, std::string stream_name, const Clock& clock)
@@ -35,8 +47,14 @@ class CosmosUploader final : public agent::Uploader {
     store_->stream(stream_name_)
         .append(agent::encode_batch(batch), batch.size(), first, last, clock_->now());
     ++uploads_;
+    if (tap_ != nullptr) tap_->on_records(batch, clock_->now());
     return true;
   }
+
+  /// Streaming ingest tap: observes every batch that lands (null to detach).
+  /// Invoked after the Cosmos append, so a tapped batch is exactly a stored
+  /// batch — the streaming and SCOPE paths see the same record set.
+  void set_tap(RecordTap* tap) { tap_ = tap; }
 
   /// Availability control (Cosmos front-end outage simulation).
   void set_available(bool available) { available_ = available; }
@@ -49,6 +67,7 @@ class CosmosUploader final : public agent::Uploader {
   CosmosStore* store_;
   std::string stream_name_;
   const Clock* clock_;
+  RecordTap* tap_ = nullptr;
   bool available_ = true;
   int fail_next_ = 0;
   std::uint64_t uploads_ = 0;

@@ -1,0 +1,120 @@
+#include "streaming/detector.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace pingmesh::streaming {
+
+OnlineDetector::OnlineDetector(const topo::Topology& topo, dsa::Database& db,
+                               DetectorConfig cfg)
+    : topo_(&topo), db_(&db), cfg_(cfg) {}
+
+const char* OnlineDetector::rule_name(Rule r) {
+  switch (r) {
+    case kLatencyBoost: return "stream:latency_boost";
+    case kDropSpike: return "stream:drop_spike";
+    case kSilentPair: return "stream:silent_pair";
+    default: return "stream:?";
+  }
+}
+
+std::string OnlineDetector::pair_scope(PodId src, PodId dst) const {
+  auto name = [this](PodId p) {
+    return p.value < topo_->pods().size() ? topo_->sw(topo_->pod(p).tor).name
+                                          : "#" + std::to_string(p.value);
+  };
+  return "pair " + name(src) + "->" + name(dst);
+}
+
+int OnlineDetector::step_rule(PairTrack& track, Rule rule, bool breach,
+                              const std::string& scope, dsa::AlertSeverity severity,
+                              double value, const std::string& message, SimTime now) {
+  if (breach) {
+    track.clean_streak[rule] = 0;
+    if (++track.breach_streak[rule] < cfg_.open_after) return 0;
+    if (!db_->open_alert(scope, rule_name(rule), now)) return 0;  // already open
+    dsa::AlertRow a;
+    a.time = now;
+    a.severity = severity;
+    a.rule = rule_name(rule);
+    a.scope = scope;
+    a.value = value;
+    a.message = message;
+    db_->alerts.push_back(std::move(a));
+    ++opened_;
+    return 1;
+  }
+  track.breach_streak[rule] = 0;
+  if (++track.clean_streak[rule] >= cfg_.close_after) {
+    if (db_->close_alert(scope, rule_name(rule))) ++closed_;
+  }
+  return 0;
+}
+
+int OnlineDetector::evaluate(const WindowedAggregator& windows, SimTime now) {
+  ++evaluations_;
+  int fired = 0;
+  for (const WindowedAggregator::PairWindow& pw : windows.snapshot(now)) {
+    const WindowStats& s = pw.stats;
+    if (s.probes < cfg_.min_probes) continue;
+    PairTrack& track = tracks_[(static_cast<std::uint64_t>(pw.src_pod.value) << 32) |
+                               pw.dst_pod.value];
+    std::string scope = pair_scope(pw.src_pod, pw.dst_pod);
+
+    // Silent pair: probes flowing, no connect landing for silent_after
+    // (blackhole shape). Lifetime last-success, not the windowed success
+    // count: detection must not wait for pre-fault successes to age out of
+    // the ring (that alone would cost the whole horizon).
+    std::optional<SimTime> last_ok = windows.last_success(pw.src_pod, pw.dst_pod);
+    bool silent = s.probes >= cfg_.silent_min_probes &&
+                  (!last_ok.has_value() || now - *last_ok >= cfg_.silent_after);
+    fired += step_rule(track, kSilentPair, silent, scope, dsa::AlertSeverity::kCritical,
+                       s.failure_rate(),
+                       "no successful probe since " +
+                           (last_ok ? std::to_string(to_seconds(*last_ok)) + "s" : "boot") +
+                           " (" + std::to_string(s.probes) + " probes in live window)",
+                       now);
+
+    // Drop-signature spike (§4.2 estimator, PA-style signature floor).
+    bool drop_spike = s.drop_signatures() >= cfg_.min_drop_signatures &&
+                      s.drop_rate() > cfg_.drop_rate_threshold;
+    fired += step_rule(track, kDropSpike, drop_spike, scope, dsa::AlertSeverity::kCritical,
+                       s.drop_rate(),
+                       "drop rate " + format_rate(s.drop_rate()) + " over live window",
+                       now);
+
+    // Latency boost: windowed *median* vs EWMA baseline. The median, not
+    // the tail — a sub-minute pair window holds tens of samples, so its P99
+    // is the max sample and routine queueing spikes would page constantly.
+    // Only clean samples carry latency.
+    std::uint64_t clean = s.successes - std::min(s.successes, s.drop_signatures());
+    if (clean > 0 && s.p50_ns > 0) {
+      bool boost = false;
+      if (track.baseline_init) {
+        boost = static_cast<double>(s.p50_ns) >
+                    cfg_.latency_boost_factor * track.p50_baseline &&
+                s.p50_ns > cfg_.latency_abs_floor;
+      }
+      fired += step_rule(track, kLatencyBoost, boost, scope, dsa::AlertSeverity::kWarning,
+                         static_cast<double>(s.p50_ns),
+                         "P50 " + format_latency_ns(s.p50_ns) + " vs baseline " +
+                             format_latency_ns(static_cast<std::int64_t>(track.p50_baseline)),
+                         now);
+      // Baseline learns only from non-breaching windows: an incident must
+      // not absorb itself into its own baseline.
+      if (!boost) {
+        if (!track.baseline_init) {
+          track.p50_baseline = static_cast<double>(s.p50_ns);
+          track.baseline_init = true;
+        } else {
+          track.p50_baseline = cfg_.ewma_weight * static_cast<double>(s.p50_ns) +
+                               (1.0 - cfg_.ewma_weight) * track.p50_baseline;
+        }
+      }
+    }
+  }
+  return fired;
+}
+
+}  // namespace pingmesh::streaming

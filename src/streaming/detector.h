@@ -1,0 +1,105 @@
+// OnlineDetector — sub-minute alerting over the sliding-window aggregates.
+//
+// Evaluated every few seconds against WindowedAggregator snapshots, it fires
+// into the same Database::alerts surface the PA and SCOPE paths use, one to
+// two orders of magnitude sooner than the 10-min batch job (whose end-to-end
+// freshness is ~20 minutes, paper §3.5) and well under the PA path's 5-min
+// cadence. Three rules, matching the failure classes of §4–§5:
+//
+//  - latency boost: windowed *median* RTT above a multiplicative EWMA
+//    baseline (baseline frozen while breaching, so an incident cannot
+//    absorb itself into the baseline). The median, not the P99: a pair's
+//    sub-minute window holds tens of samples, so its P99 is the max sample
+//    and routine queueing spikes would page constantly. Sustained median
+//    elevation is the congestion shape; precise tail alerting belongs to
+//    the large-aggregate SCOPE path (same division of labor as the PA
+//    path's drop-rate-only rule);
+//  - drop-signature spike: the §4.2 estimator (3 s / 9 s SYN-loss
+//    signatures over successes) over the live window, with the same
+//    signature floor the PA path uses against small-window noise;
+//  - silent pair: probes flowing but no connect landing for `silent_after`
+//    — the blackhole shape (deterministic SYN loss produces failures, not
+//    retransmit signatures). Judged against the pair's lifetime
+//    last-success time, not the windowed success count, so detection does
+//    not wait for pre-fault successes to age out of the ring.
+//
+// Hysteresis + dedup: a rule must breach `open_after` consecutive
+// evaluations to open, and an open (scope, rule) suppresses further rows
+// until `close_after` consecutive clean evaluations close it — a persistent
+// fault yields exactly one AlertRow, not one per evaluation (shared
+// open-alert registry in dsa::Database; the PA path uses the same registry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "dsa/database.h"
+#include "streaming/window.h"
+#include "topology/topology.h"
+
+namespace pingmesh::streaming {
+
+struct DetectorConfig {
+  SimTime eval_period = seconds(10);  ///< cadence the driver ticks evaluate()
+
+  // Latency-boost rule (windowed median vs learned baseline).
+  double latency_boost_factor = 3.0;  ///< open when p50 > factor * baseline
+  SimTime latency_abs_floor = millis(1);  ///< and p50 above this absolute floor
+  double ewma_weight = 0.2;           ///< baseline <- w * p50 + (1-w) * baseline
+
+  // Drop-spike rule (mirrors the PA path's thresholds).
+  double drop_rate_threshold = 1e-3;
+  std::uint64_t min_drop_signatures = 3;
+
+  // Silent-pair rule.
+  std::uint64_t silent_min_probes = 6;  ///< window probes before "silent" is trusted
+  SimTime silent_after = seconds(30);   ///< open when now - last success exceeds this
+
+  std::uint64_t min_probes = 6;  ///< window probes before any metric is trusted
+  int open_after = 2;   ///< consecutive breaching evaluations to open
+  int close_after = 3;  ///< consecutive clean evaluations to close
+};
+
+class OnlineDetector {
+ public:
+  OnlineDetector(const topo::Topology& topo, dsa::Database& db, DetectorConfig cfg = {});
+
+  /// Evaluate every live pair window; appends deduplicated AlertRows.
+  /// Returns the number of alerts newly opened this evaluation.
+  int evaluate(const WindowedAggregator& windows, SimTime now);
+
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  [[nodiscard]] std::uint64_t alerts_opened() const { return opened_; }
+  [[nodiscard]] std::uint64_t alerts_closed() const { return closed_; }
+  [[nodiscard]] const DetectorConfig& config() const { return cfg_; }
+
+ private:
+  enum Rule : std::size_t { kLatencyBoost = 0, kDropSpike = 1, kSilentPair = 2, kRuleCount };
+
+  struct PairTrack {
+    double p50_baseline = 0.0;
+    bool baseline_init = false;
+    int breach_streak[kRuleCount] = {0, 0, 0};
+    int clean_streak[kRuleCount] = {0, 0, 0};
+  };
+
+  static const char* rule_name(Rule r);
+  [[nodiscard]] std::string pair_scope(PodId src, PodId dst) const;
+  /// Advance one rule's hysteresis; fires/clears through the database's
+  /// open-alert registry. Returns 1 if an alert was newly opened.
+  int step_rule(PairTrack& track, Rule rule, bool breach, const std::string& scope,
+                dsa::AlertSeverity severity, double value, const std::string& message,
+                SimTime now);
+
+  const topo::Topology* topo_;
+  dsa::Database* db_;
+  DetectorConfig cfg_;
+  std::unordered_map<std::uint64_t, PairTrack> tracks_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_ = 0;
+};
+
+}  // namespace pingmesh::streaming

@@ -1,0 +1,53 @@
+// StreamingPipeline — the near-real-time analytics path, end to end.
+//
+// Taps LatencyRecord batches at upload time (dsa::RecordTap on the
+// CosmosUploader: the moment an agent's upload lands, ~20 minutes before
+// the batch SCOPE job would consume the same records), folds them into the
+// sliding-window aggregator, and runs the online detector on a seconds
+// cadence. The third data path of DESIGN.md §8, coexisting with the PA
+// 5-min and SCOPE 10-min+ paths for availability (paper §3.5).
+#pragma once
+
+#include <memory>
+
+#include "dsa/database.h"
+#include "dsa/uploader.h"
+#include "streaming/detector.h"
+#include "streaming/window.h"
+#include "topology/topology.h"
+
+namespace pingmesh::streaming {
+
+struct StreamingConfig {
+  bool enabled = false;  ///< simulation wiring flag (off: zero overhead)
+  WindowedAggregator::Config windows;
+  DetectorConfig detector;
+};
+
+class StreamingPipeline final : public dsa::RecordTap {
+ public:
+  StreamingPipeline(const topo::Topology& topo, dsa::Database& db, StreamingConfig cfg)
+      : cfg_(cfg), windows_(topo, cfg.windows), detector_(topo, db, cfg.detector) {}
+
+  /// dsa::RecordTap: a record batch just landed in Cosmos.
+  void on_records(const std::vector<agent::LatencyRecord>& batch, SimTime) override {
+    for (const agent::LatencyRecord& r : batch) windows_.ingest(r);
+  }
+
+  /// Driver cadence (DetectorConfig::eval_period): run the online rules.
+  /// Returns alerts newly opened.
+  int tick(SimTime now) { return detector_.evaluate(windows_, now); }
+
+  [[nodiscard]] const StreamingConfig& config() const { return cfg_; }
+  [[nodiscard]] WindowedAggregator& windows() { return windows_; }
+  [[nodiscard]] const WindowedAggregator& windows() const { return windows_; }
+  [[nodiscard]] OnlineDetector& detector() { return detector_; }
+  [[nodiscard]] const OnlineDetector& detector() const { return detector_; }
+
+ private:
+  StreamingConfig cfg_;
+  WindowedAggregator windows_;
+  OnlineDetector detector_;
+};
+
+}  // namespace pingmesh::streaming

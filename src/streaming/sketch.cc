@@ -1,0 +1,91 @@
+#include "streaming/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pingmesh::streaming {
+
+LatencySketch::LatencySketch() : LatencySketch(Config{}) {}
+
+LatencySketch::LatencySketch(Config cfg) : cfg_(cfg) {
+  if (!(cfg_.relative_error > 0.0) || !(cfg_.relative_error < 0.5)) {
+    throw std::invalid_argument("LatencySketch relative_error must be in (0, 0.5)");
+  }
+  if (cfg_.min_value_ns <= 0 || cfg_.max_value_ns <= cfg_.min_value_ns) {
+    throw std::invalid_argument("LatencySketch requires 0 < min_value < max_value");
+  }
+  double gamma = (1.0 + cfg_.relative_error) / (1.0 - cfg_.relative_error);
+  double log2_gamma = std::log2(gamma);
+  inv_log2_gamma_ = 1.0 / log2_gamma;
+  log2_min_ = std::log2(static_cast<double>(cfg_.min_value_ns));
+  rel_error_bound_ = std::sqrt(gamma) - 1.0;
+  // Buckets covering [min, max) at gamma^k boundaries, plus one overflow
+  // bucket for values >= max.
+  double span = std::log2(static_cast<double>(cfg_.max_value_ns)) - log2_min_;
+  auto regular = static_cast<std::size_t>(std::ceil(span * inv_log2_gamma_));
+  counts_.assign(regular + 1, 0);
+}
+
+std::size_t LatencySketch::bucket_index(std::int64_t value) const {
+  if (value <= cfg_.min_value_ns) return 0;
+  double pos = (std::log2(static_cast<double>(value)) - log2_min_) * inv_log2_gamma_;
+  auto idx = static_cast<std::size_t>(pos);  // pos >= 0 here
+  return idx < counts_.size() - 1 ? idx : counts_.size() - 1;
+}
+
+std::int64_t LatencySketch::bucket_representative(std::size_t idx) const {
+  if (idx >= counts_.size() - 1) return cfg_.max_value_ns;  // saturating top
+  // Geometric midpoint of [min * gamma^idx, min * gamma^(idx+1)): the value
+  // whose worst-case ratio against any bucket member is sqrt(gamma).
+  double lo = std::exp2(log2_min_ + static_cast<double>(idx) / inv_log2_gamma_);
+  return static_cast<std::int64_t>(lo * (1.0 + rel_error_bound_));
+}
+
+void LatencySketch::record(std::int64_t value_ns, std::uint64_t count) {
+  if (count == 0) return;
+  if (value_ns < 1) value_ns = 1;
+  counts_[bucket_index(value_ns)] += count;
+  total_ += count;
+  sum_ += static_cast<double>(value_ns) * static_cast<double>(count);
+  observed_min_ = std::min(observed_min_, value_ns);
+  observed_max_ = std::max(observed_max_, value_ns);
+}
+
+void LatencySketch::merge(const LatencySketch& other) {
+  if (!mergeable_with(other)) {
+    throw std::invalid_argument("LatencySketch geometry mismatch in merge");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  if (other.total_ > 0) {
+    observed_min_ = std::min(observed_min_, other.observed_min_);
+    observed_max_ = std::max(observed_max_, other.observed_max_);
+  }
+}
+
+std::int64_t LatencySketch::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      return std::clamp(bucket_representative(i), observed_min_, observed_max_);
+    }
+  }
+  return observed_max_;
+}
+
+void LatencySketch::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  observed_min_ = std::numeric_limits<std::int64_t>::max();
+  observed_max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+}  // namespace pingmesh::streaming

@@ -1,0 +1,153 @@
+#include "streaming/window.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "agent/counters.h"
+
+namespace pingmesh::streaming {
+
+WindowedAggregator::WindowedAggregator(const topo::Topology& topo, Config cfg)
+    : topo_(&topo), cfg_(cfg), scratch_(cfg.sketch) {
+  if (cfg_.sub_window <= 0) throw std::invalid_argument("sub_window must be positive");
+  if (cfg_.sub_window_count < 1 || cfg_.sub_window_count > 4096) {
+    throw std::invalid_argument("sub_window_count out of range");
+  }
+}
+
+void WindowedAggregator::ingest(const agent::LatencyRecord& r) {
+  auto src = topo_->find_server_by_ip(r.src_ip);
+  auto dst = topo_->find_server_by_ip(r.dst_ip);
+  if (!src || !dst) {
+    ++skipped_;
+    return;
+  }
+  PodId src_pod = topo_->server(*src).pod;
+  PodId dst_pod = topo_->server(*dst).pod;
+
+  auto& slot = pairs_[key(src_pod, dst_pod)];
+  if (slot == nullptr) {  // warm-up: the only allocation on the ingest path
+    slot = std::make_unique<PairState>();
+    slot->ring.reserve(static_cast<std::size_t>(cfg_.sub_window_count));
+    for (int i = 0; i < cfg_.sub_window_count; ++i) slot->ring.emplace_back(cfg_.sketch);
+  }
+  PairState& pair = *slot;
+
+  SimTime ts = std::max<SimTime>(r.timestamp, 0);
+  SimTime window_start = ts - ts % cfg_.sub_window;
+  auto idx = static_cast<std::size_t>((ts / cfg_.sub_window) %
+                                      cfg_.sub_window_count);
+  SubWindow& sub = pair.ring[idx];
+  if (sub.start != window_start) {
+    if (sub.start != kUnset && sub.start > window_start) {
+      // The slot already advanced past this record's window: older than the
+      // retained horizon, drop rather than pollute a newer sub-window.
+      ++late_dropped_;
+      return;
+    }
+    sub.reset(window_start);
+  }
+
+  ++ingested_;
+  ++pair.lifetime_probes;
+  pair.last_probe_ts = std::max(pair.last_probe_ts, ts);
+  ++sub.probes;
+  if (!r.success) {
+    ++sub.failures;
+    return;
+  }
+  pair.last_success_ts = std::max(pair.last_success_ts, ts);
+  ++sub.successes;
+  // Identical classification to the batch LatencyAggregator: retransmit
+  // artifacts count as drop signatures, never as latency samples.
+  switch (agent::syn_drop_signature(r.rtt)) {
+    case 1:
+      ++sub.probes_3s;
+      break;
+    case 2:
+      ++sub.probes_9s;
+      break;
+    default:
+      sub.sketch.record(r.rtt);
+  }
+}
+
+const WindowedAggregator::PairState* WindowedAggregator::find(PodId src, PodId dst) const {
+  auto it = pairs_.find(key(src, dst));
+  return it == pairs_.end() ? nullptr : it->second.get();
+}
+
+std::optional<WindowStats> WindowedAggregator::merge_range(const PairState& pair,
+                                                           SimTime from, SimTime to) const {
+  WindowStats out;
+  out.window_start = from;
+  out.window_end = to;
+  scratch_.clear();
+  for (const SubWindow& sub : pair.ring) {
+    if (sub.start == kUnset || sub.start < from || sub.start >= to) continue;
+    out.probes += sub.probes;
+    out.successes += sub.successes;
+    out.failures += sub.failures;
+    out.probes_3s += sub.probes_3s;
+    out.probes_9s += sub.probes_9s;
+    scratch_.merge(sub.sketch);
+  }
+  out.p50_ns = scratch_.p50();
+  out.p99_ns = scratch_.p99();
+  out.p999_ns = scratch_.p999();
+  return out;
+}
+
+std::optional<WindowStats> WindowedAggregator::query(PodId src, PodId dst,
+                                                     SimTime now) const {
+  SimTime newest_start = now - now % cfg_.sub_window;
+  SimTime from = newest_start - cfg_.sub_window * (cfg_.sub_window_count - 1);
+  return query_range(src, dst, from, newest_start + cfg_.sub_window);
+}
+
+std::optional<WindowStats> WindowedAggregator::query_range(PodId src, PodId dst,
+                                                           SimTime from, SimTime to) const {
+  const PairState* pair = find(src, dst);
+  if (pair == nullptr) return std::nullopt;
+  // Round outward to sub-window boundaries.
+  from -= ((from % cfg_.sub_window) + cfg_.sub_window) % cfg_.sub_window;
+  if (to % cfg_.sub_window != 0) to += cfg_.sub_window - to % cfg_.sub_window;
+  return merge_range(*pair, from, to);
+}
+
+std::vector<WindowedAggregator::PairWindow> WindowedAggregator::snapshot(SimTime now) const {
+  std::vector<PairWindow> out;
+  out.reserve(pairs_.size());
+  for (const auto& [k, pair] : pairs_) {
+    PodId src{static_cast<std::uint32_t>(k >> 32)};
+    PodId dst{static_cast<std::uint32_t>(k & 0xffffffffu)};
+    auto stats = query(src, dst, now);
+    if (!stats || stats->probes == 0) continue;
+    out.push_back(PairWindow{src, dst, *stats});
+  }
+  std::sort(out.begin(), out.end(), [](const PairWindow& a, const PairWindow& b) {
+    return a.src_pod == b.src_pod ? a.dst_pod < b.dst_pod : a.src_pod < b.src_pod;
+  });
+  return out;
+}
+
+std::optional<SimTime> WindowedAggregator::last_success(PodId src, PodId dst) const {
+  const PairState* pair = find(src, dst);
+  if (pair == nullptr || pair->last_success_ts == kUnset) return std::nullopt;
+  return pair->last_success_ts;
+}
+
+std::optional<SimTime> WindowedAggregator::last_probe(PodId src, PodId dst) const {
+  const PairState* pair = find(src, dst);
+  if (pair == nullptr || pair->last_probe_ts == kUnset) return std::nullopt;
+  return pair->last_probe_ts;
+}
+
+std::size_t WindowedAggregator::memory_bytes() const {
+  std::size_t per_pair = sizeof(PairState) +
+                         static_cast<std::size_t>(cfg_.sub_window_count) *
+                             (sizeof(SubWindow) + scratch_.memory_bytes());
+  return sizeof(*this) + pairs_.size() * per_pair;
+}
+
+}  // namespace pingmesh::streaming

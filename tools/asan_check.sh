@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the address-sanitizer configuration (PINGMESH_SANITIZE=address:
+# ASan + UBSan) and run the test suite under it. The streaming path is the
+# motivating coverage — its ring-buffer reuse and allocation-free ingest
+# contract are exactly the kind of code ASan catches regressions in — but
+# by default the whole suite runs, since the sanitized build is cheap to
+# reuse.
+#
+# Usage: tools/asan_check.sh [ctest -R pattern]
+#   tools/asan_check.sh               # full suite under ASan/UBSan
+#   tools/asan_check.sh Streaming     # just the streaming tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+PATTERN=${1:-}
+
+cmake -B "$BUILD_DIR" -S . -DPINGMESH_SANITIZE=address
+cmake --build "$BUILD_DIR" -j
+if [[ -n "$PATTERN" ]]; then
+  (cd "$BUILD_DIR" && ctest --output-on-failure -R "$PATTERN")
+else
+  (cd "$BUILD_DIR" && ctest --output-on-failure)
+fi

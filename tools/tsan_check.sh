@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Build the thread-sanitizer configuration and run the concurrency tests:
-# the ThreadPool unit tests, the concurrent probe-path test, and the
-# serial-vs-parallel full-loop identity test. A clean run certifies the
-# fleet tick path (SimNetwork::tcp_probe and everything it reaches) is
-# race-free under real parallel execution.
+# the ThreadPool unit tests, the concurrent probe-path test, the
+# serial-vs-parallel full-loop identity test, and the streaming-path tests
+# (the upload-time tap runs in the serial drain phase; the determinism test
+# exercises it under 4 workers). A clean run certifies the fleet tick path
+# (SimNetwork::tcp_probe and everything it reaches) is race-free under real
+# parallel execution.
 #
 # Usage: tools/tsan_check.sh [extra ctest -R pattern]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
-PATTERN=${1:-'ThreadPool|Parallel'}
+PATTERN=${1:-'ThreadPool|Parallel|Streaming'}
 
 cmake -B "$BUILD_DIR" -S . -DPINGMESH_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target parallel_test
+cmake --build "$BUILD_DIR" -j --target parallel_test --target streaming_test
 (cd "$BUILD_DIR" && ctest --output-on-failure -R "$PATTERN")
