@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace pingmesh::agent {
@@ -119,6 +120,7 @@ void PingmeshAgent::on_probe_result(const ProbeRequest& request, const ProbeResu
     ++records_discarded_;
   }
   buffer_.push_back(rec);
+  PINGMESH_DCHECK(buffer_.size() <= config_.max_buffered_records);
   maybe_upload(now, /*force=*/false);
 }
 
@@ -169,6 +171,9 @@ void PingmeshAgent::perform_upload(SimTime now) {
       upload_failures_ = 0;
     }
   }
+  // Bounded-retry contract (§3.2): the failure counter never exceeds the
+  // configured retry budget, so buffered data cannot be retried forever.
+  PINGMESH_DCHECK(upload_failures_ <= config_.upload_max_retries);
   next_upload_ = now + config_.upload_interval;
 }
 

@@ -1,0 +1,54 @@
+// Contract macros for domain invariants (paper §3.2: the agent must be
+// safe — fail closed rather than compute on corrupted state).
+//
+// Policy (DESIGN.md §9.3):
+//  - PINGMESH_CHECK(cond): always on, in every build type. Use for cheap
+//    checks on boundaries crossed by untrusted or externally-derived data
+//    (public API argument ranges, decoded sizes) and for invariants whose
+//    violation would corrupt persisted data. Failure prints the expression
+//    with file:line and aborts — fail-closed, never limp along.
+//  - PINGMESH_DCHECK(cond): compiled out in NDEBUG builds unless
+//    PINGMESH_FORCE_DCHECK is defined (the sanitizer configurations define
+//    it, see the top-level CMakeLists). Use freely on hot paths — ring
+//    indices, bucket math, prefix-max monotonicity — where the check is
+//    per-record.
+//
+// Both evaluate `cond` exactly once when active; the inactive DCHECK does
+// not evaluate it but still compiles it, so variables stay used and the
+// expression keeps type-checking.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pingmesh::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr,
+                                      const char* msg) {
+  // The one legitimate stderr write outside the logging backend: the
+  // process is about to abort and the logger itself may be the component
+  // whose invariant failed.
+  std::fprintf(stderr, "PINGMESH_CHECK failed at %s:%d: %s%s%s\n",  // lint: allow(printf)
+               file, line, expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace pingmesh::detail
+
+#define PINGMESH_CHECK(cond)                                                      \
+  (static_cast<bool>(cond)                                                        \
+       ? static_cast<void>(0)                                                     \
+       : ::pingmesh::detail::check_failed(__FILE__, __LINE__, #cond, ""))
+
+#define PINGMESH_CHECK_MSG(cond, msg)                                             \
+  (static_cast<bool>(cond)                                                        \
+       ? static_cast<void>(0)                                                     \
+       : ::pingmesh::detail::check_failed(__FILE__, __LINE__, #cond, (msg)))
+
+#if defined(NDEBUG) && !defined(PINGMESH_FORCE_DCHECK)
+// Dead branch keeps the expression compiled (odr-used) without evaluating it.
+#define PINGMESH_DCHECK(cond) (false ? static_cast<void>(cond) : static_cast<void>(0))
+#else
+#define PINGMESH_DCHECK(cond) PINGMESH_CHECK(cond)
+#endif

@@ -13,7 +13,8 @@ std::mutex g_sink_mutex;
 Log::Sink g_sink;  // empty => default stderr sink
 
 void default_sink(LogLevel level, std::string_view component, std::string_view msg) {
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),
+  // The logging backend is the one place stderr writes belong.
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),  // lint: allow(printf)
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(msg.size()), msg.data());
 }

@@ -143,6 +143,9 @@ class Parser {
   explicit Parser(std::string_view doc) : doc_(doc) {}
 
   std::unique_ptr<Element> run() {
+    if (doc_.size() > kMaxDocumentBytes) {
+      fail("document exceeds size cap (" + std::to_string(kMaxDocumentBytes) + " bytes)");
+    }
     skip_ws_and_prolog();
     auto root = parse_element();
     skip_ws();
@@ -201,6 +204,17 @@ class Parser {
   }
 
   std::unique_ptr<Element> parse_element() {
+    // Bounded recursion: adversarial pinglists cannot run the parser off
+    // the stack (fuzz finding; see tests/corpus/xml/depth_bomb.xml).
+    if (++depth_ > kMaxDepth) {
+      fail("element nesting exceeds depth limit (" + std::to_string(kMaxDepth) + ")");
+    }
+    auto el = parse_element_body();
+    --depth_;
+    return el;
+  }
+
+  std::unique_ptr<Element> parse_element_body() {
     if (peek() != '<') fail("expected '<'");
     ++pos_;
     auto el = std::make_unique<Element>();
@@ -270,6 +284,7 @@ class Parser {
 
   std::string_view doc_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -66,8 +66,16 @@ struct Element {
   [[nodiscard]] double attr_double(std::string_view name, double def) const;
 };
 
+/// Adversarial-input bounds enforced by parse(). Pinglists for ~100k-server
+/// data centers serialize to tens of MB, so the size cap is generous; the
+/// depth cap is far above any legitimate pinglist (which nests 3-4 levels)
+/// and exists to keep recursive descent off the guard page.
+inline constexpr std::size_t kMaxDocumentBytes = 64 * 1024 * 1024;
+inline constexpr std::size_t kMaxDepth = 256;
+
 /// Parse a document; throws std::runtime_error with position info on
-/// malformed input. Returns the root element.
+/// malformed input, on documents larger than kMaxDocumentBytes, and on
+/// element nesting deeper than kMaxDepth. Returns the root element.
 std::unique_ptr<Element> parse(std::string_view doc);
 
 }  // namespace pingmesh::xml

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
+
 namespace pingmesh::dsa {
 
 std::uint32_t fnv1a_continue(std::uint32_t state, std::string_view data) {
@@ -45,6 +47,9 @@ std::uint64_t CosmosStream::append(std::string_view blob, std::uint64_t record_c
                      ? prefix_max_last_ts_[prefix_max_last_ts_.size() - 2]
                      : std::numeric_limits<SimTime>::min();
   prefix_max_last_ts_.back() = std::max(prev, e.last_ts);
+  // The scan-path binary search relies on these two invariants.
+  PINGMESH_DCHECK(prefix_max_last_ts_.size() == extents_.size());
+  PINGMESH_DCHECK(prefix_max_last_ts_.back() >= prev);
   return e.id;
 }
 
@@ -53,6 +58,7 @@ void CosmosStream::scan(SimTime from, SimTime to,
   // Binary-search past the prefix of extents wholly older than the window:
   // every index before `start` has prefix-max last_ts < from, so each of
   // those extents would fail the `e.last_ts < from` test anyway.
+  PINGMESH_DCHECK(prefix_max_last_ts_.size() == extents_.size());
   auto first = std::lower_bound(prefix_max_last_ts_.begin(), prefix_max_last_ts_.end(), from);
   auto start = static_cast<std::size_t>(first - prefix_max_last_ts_.begin());
   for (std::size_t i = start; i < extents_.size(); ++i) {

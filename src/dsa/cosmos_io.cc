@@ -64,6 +64,12 @@ std::optional<LoadResult> load_store(const std::string& path,
       eh >> etag >> e.id >> e.first_ts >> e.last_ts >> e.appended_at >> e.record_count >>
           e.checksum >> e.replicas >> size;
       if (etag != "extent" || !eh) return std::nullopt;
+      // A single oversized append can legitimately produce an extent larger
+      // than extent_size_limit, but only modestly so; an adversarial header
+      // demanding a giant allocation makes the file unparseable instead of
+      // taking the process down with bad_alloc (fuzz finding; see
+      // tests/corpus/cosmos_io/giant_extent.pmcosmos).
+      if (size > extent_size_limit * 4) return std::nullopt;
       e.data.resize(size);
       in.read(e.data.data(), static_cast<std::streamsize>(size));
       if (in.gcount() != static_cast<std::streamsize>(size)) return std::nullopt;

@@ -28,6 +28,8 @@ struct LoadResult {
 bool save_store(const CosmosStore& store, const std::string& path);
 
 /// Load a store written by save_store. nullopt on missing/unparseable file.
+/// An extent header declaring more than 4 * extent_size_limit bytes makes
+/// the file unparseable (adversarial headers must not drive allocations).
 std::optional<LoadResult> load_store(const std::string& path,
                                      std::size_t extent_size_limit = 4 * 1024 * 1024);
 

@@ -1,5 +1,7 @@
 #include "dsa/scan_cache.h"
 
+#include "common/check.h"
+
 namespace pingmesh::dsa {
 
 const std::vector<agent::LatencyRecord>& DecodedExtentCache::rows(const Extent& e) {
@@ -22,6 +24,7 @@ const std::vector<agent::LatencyRecord>& DecodedExtentCache::rows(const Extent& 
     entries_.erase(entries_.begin());
     ++evictions_;
   }
+  PINGMESH_DCHECK(max_entries_ == 0 || entries_.size() < max_entries_);
   return entries_.emplace(e.id, std::move(entry)).first->second.rows;
 }
 

@@ -64,7 +64,12 @@ std::vector<Token> lex(std::string_view q) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::int64_t value = 0;
       while (i < q.size() && std::isdigit(static_cast<unsigned char>(q[i]))) {
-        value = value * 10 + (q[i] - '0');
+        // Checked accumulate: a long digit string must report overflow, not
+        // wrap through signed-overflow UB (fuzz finding).
+        if (__builtin_mul_overflow(value, std::int64_t{10}, &value) ||
+            __builtin_add_overflow(value, std::int64_t{q[i] - '0'}, &value)) {
+          fail(start, "integer literal overflows int64");
+        }
         ++i;
       }
       // Time suffixes: ns (default), us, ms, s, m, h.
@@ -73,12 +78,16 @@ std::vector<Token> lex(std::string_view q) {
         suffix += static_cast<char>(std::tolower(q[i]));
         ++i;
       }
-      if (suffix == "us") value *= kNanosPerMicro;
-      else if (suffix == "ms") value *= kNanosPerMilli;
-      else if (suffix == "s") value *= kNanosPerSecond;
-      else if (suffix == "m") value *= kNanosPerMinute;
-      else if (suffix == "h") value *= kNanosPerHour;
+      std::int64_t scale = 1;
+      if (suffix == "us") scale = kNanosPerMicro;
+      else if (suffix == "ms") scale = kNanosPerMilli;
+      else if (suffix == "s") scale = kNanosPerSecond;
+      else if (suffix == "m") scale = kNanosPerMinute;
+      else if (suffix == "h") scale = kNanosPerHour;
       else if (!suffix.empty() && suffix != "ns") fail(start, "unknown suffix '" + suffix + "'");
+      if (__builtin_mul_overflow(value, scale, &value)) {
+        fail(start, "time literal overflows int64 nanoseconds");
+      }
       Token t;
       t.kind = Tok::kNumber;
       t.number = value;
@@ -388,10 +397,15 @@ class Parser {
 
   ExprPtr parse_not() {
     if (accept_keyword("NOT")) {
+      if (++depth_ > kMaxExprDepth) {
+        fail(peek().pos, "expression nesting exceeds depth limit (" +
+                             std::to_string(kMaxExprDepth) + ")");
+      }
       auto node = std::make_unique<Expr>();
       node->kind = Expr::Kind::kNot;
       node->lhs = parse_not();
       node->source = "NOT " + node->lhs->source;
+      --depth_;
       return node;
     }
     return parse_comparison();
@@ -420,6 +434,19 @@ class Parser {
   }
 
   ExprPtr parse_primary_expr() {
+    // Parenthesized expressions and NOT chains recurse; bound the depth so
+    // an adversarial query cannot run the parser (or the AST destructor)
+    // off the stack.
+    if (++depth_ > kMaxExprDepth) {
+      fail(peek().pos, "expression nesting exceeds depth limit (" +
+                           std::to_string(kMaxExprDepth) + ")");
+    }
+    ExprPtr node = parse_primary_inner();
+    --depth_;
+    return node;
+  }
+
+  ExprPtr parse_primary_inner() {
     const Token& t = peek();
     if (t.kind == Tok::kNumber) {
       ++i_;
@@ -463,8 +490,11 @@ class Parser {
     fail(t.pos, "expected expression");
   }
 
+  static constexpr std::size_t kMaxExprDepth = 128;
+
   std::vector<Token> tokens_;
   std::size_t i_ = 0;
+  std::size_t depth_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "agent/agent.h"
+#include "common/check.h"
 #include "common/clock.h"
 #include "dsa/cosmos.h"
 
@@ -59,7 +60,10 @@ class CosmosUploader final : public agent::Uploader {
   /// Availability control (Cosmos front-end outage simulation).
   void set_available(bool available) { available_ = available; }
   /// Fail the next N uploads, then recover.
-  void fail_next(int n) { fail_next_ = n; }
+  void fail_next(int n) {
+    PINGMESH_CHECK_MSG(n >= 0, "fail_next takes a non-negative count");
+    fail_next_ = n;
+  }
 
   [[nodiscard]] std::uint64_t uploads() const { return uploads_; }
 

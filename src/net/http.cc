@@ -57,13 +57,18 @@ void parse_headers(std::string_view head,
   }
 }
 
-std::size_t content_length(const std::map<std::string, std::string, std::less<>>& headers) {
+/// Body length promised by the headers. A missing Content-Length means an
+/// empty body (0); a header that is present but not a valid size_t — trailing
+/// junk, negative, or numeric overflow — makes the whole message malformed
+/// (nullopt) rather than being silently treated as 0.
+std::optional<std::size_t> content_length(
+    const std::map<std::string, std::string, std::less<>>& headers) {
   auto it = headers.find("content-length");
   if (it == headers.end()) return 0;
   std::size_t v = 0;
   auto [p, ec] = std::from_chars(it->second.data(), it->second.data() + it->second.size(), v);
-  (void)p;
-  return ec == std::errc{} ? v : 0;
+  if (ec != std::errc{} || p != it->second.data() + it->second.size()) return std::nullopt;
+  return v;
 }
 
 /// If a full message (head + Content-Length body) is present in `data`,
@@ -85,10 +90,11 @@ std::size_t try_parse_message(std::string_view data, HeadParser head_parser, Msg
   Msg msg;
   if (!head_parser(first_line, msg)) return 0;
   parse_headers(rest, msg.headers);
-  std::size_t body_len = content_length(msg.headers);
-  std::size_t total = head_end + sep + body_len;
+  std::optional<std::size_t> body_len = content_length(msg.headers);
+  if (!body_len.has_value()) return 0;
+  std::size_t total = head_end + sep + *body_len;
   if (data.size() < total) return 0;
-  msg.body = std::string(data.substr(head_end + sep, body_len));
+  msg.body = std::string(data.substr(head_end + sep, *body_len));
   out = std::move(msg);
   return total;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace pingmesh::streaming {
 
 LatencySketch::LatencySketch() : LatencySketch(Config{}) {}
@@ -25,12 +27,14 @@ LatencySketch::LatencySketch(Config cfg) : cfg_(cfg) {
   double span = std::log2(static_cast<double>(cfg_.max_value_ns)) - log2_min_;
   auto regular = static_cast<std::size_t>(std::ceil(span * inv_log2_gamma_));
   counts_.assign(regular + 1, 0);
+  PINGMESH_CHECK_MSG(counts_.size() >= 2, "sketch needs at least one regular bucket");
 }
 
 std::size_t LatencySketch::bucket_index(std::int64_t value) const {
   if (value <= cfg_.min_value_ns) return 0;
   double pos = (std::log2(static_cast<double>(value)) - log2_min_) * inv_log2_gamma_;
-  auto idx = static_cast<std::size_t>(pos);  // pos >= 0 here
+  PINGMESH_DCHECK(pos >= 0.0);
+  auto idx = static_cast<std::size_t>(pos);
   return idx < counts_.size() - 1 ? idx : counts_.size() - 1;
 }
 
@@ -45,7 +49,9 @@ std::int64_t LatencySketch::bucket_representative(std::size_t idx) const {
 void LatencySketch::record(std::int64_t value_ns, std::uint64_t count) {
   if (count == 0) return;
   if (value_ns < 1) value_ns = 1;
-  counts_[bucket_index(value_ns)] += count;
+  std::size_t idx = bucket_index(value_ns);
+  PINGMESH_DCHECK(idx < counts_.size());
+  counts_[idx] += count;
   total_ += count;
   sum_ += static_cast<double>(value_ns) * static_cast<double>(count);
   observed_min_ = std::min(observed_min_, value_ns);
@@ -56,6 +62,7 @@ void LatencySketch::merge(const LatencySketch& other) {
   if (!mergeable_with(other)) {
     throw std::invalid_argument("LatencySketch geometry mismatch in merge");
   }
+  PINGMESH_DCHECK(counts_.size() == other.counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
   sum_ += other.sum_;

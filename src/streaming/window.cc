@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "agent/counters.h"
+#include "common/check.h"
 
 namespace pingmesh::streaming {
 
@@ -37,6 +38,8 @@ void WindowedAggregator::ingest(const agent::LatencyRecord& r) {
   SimTime window_start = ts - ts % cfg_.sub_window;
   auto idx = static_cast<std::size_t>((ts / cfg_.sub_window) %
                                       cfg_.sub_window_count);
+  PINGMESH_DCHECK(idx < pair.ring.size());
+  PINGMESH_DCHECK(window_start >= 0 && window_start % cfg_.sub_window == 0);
   SubWindow& sub = pair.ring[idx];
   if (sub.start != window_start) {
     if (sub.start != kUnset && sub.start > window_start) {
@@ -85,6 +88,9 @@ std::optional<WindowStats> WindowedAggregator::merge_range(const PairState& pair
   scratch_.clear();
   for (const SubWindow& sub : pair.ring) {
     if (sub.start == kUnset || sub.start < from || sub.start >= to) continue;
+    // Every populated sub-window sits on a sub_window boundary; ingest
+    // rounds timestamps down before writing.
+    PINGMESH_DCHECK(sub.start % cfg_.sub_window == 0);
     out.probes += sub.probes;
     out.successes += sub.successes;
     out.failures += sub.failures;

@@ -1,0 +1,50 @@
+// Contract-macro semantics: CHECK aborts in every build, DCHECK follows
+// the build configuration (off under plain NDEBUG, on under
+// PINGMESH_FORCE_DCHECK — the sanitizer configurations), and neither
+// evaluates its condition more than once.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckMacros, PassingCheckIsSilent) {
+  int evals = 0;
+  PINGMESH_CHECK([&] { ++evals; return true; }());
+  PINGMESH_CHECK_MSG([&] { ++evals; return true; }(), "never shown");
+  EXPECT_EQ(evals, 2);  // exactly once each
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(PINGMESH_CHECK(1 + 1 == 3), "PINGMESH_CHECK failed");
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckMsgIncludesMessageAndExpression) {
+  EXPECT_DEATH(PINGMESH_CHECK_MSG(false, "ring index out of range"),
+               "false.*ring index out of range");
+}
+
+TEST(CheckMacros, DcheckMatchesBuildConfiguration) {
+  int evals = 0;
+#if defined(NDEBUG) && !defined(PINGMESH_FORCE_DCHECK)
+  PINGMESH_DCHECK([&] { ++evals; return false; }());  // compiled, not evaluated
+  EXPECT_EQ(evals, 0);
+#else
+  PINGMESH_DCHECK([&] { ++evals; return true; }());
+  EXPECT_EQ(evals, 1);
+  EXPECT_DEATH(PINGMESH_DCHECK(false), "PINGMESH_CHECK failed");
+#endif
+}
+
+TEST(CheckMacros, WorksInsideExpressionsAndBranches) {
+  // Macro must expand to a single void expression: legal in a comma
+  // expression and an un-braced else branch.
+  bool flag = true;
+  if (flag)
+    PINGMESH_CHECK(flag);
+  else
+    PINGMESH_CHECK(!flag);
+  (PINGMESH_CHECK(true), (void)0);
+}
+
+}  // namespace

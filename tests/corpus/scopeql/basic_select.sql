@@ -1,0 +1,1 @@
+SELECT src_ip, dst_ip, rtt FROM latency WHERE success = 1 ORDER BY rtt DESC LIMIT 10

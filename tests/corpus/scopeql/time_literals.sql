@@ -1,0 +1,1 @@
+SELECT COUNT(rtt) FROM latency WHERE rtt >= 250us AND rtt < 3s AND NOT (qos = 0 OR timestamp < 1m)

@@ -1,0 +1,5 @@
+#pragma once
+#include <cstdint>
+// A comment mentioning rand() and system_clock and printf( is not code.
+inline const char* kDoc = "strings with rand() and time( are not code either";
+inline std::uint64_t twice(std::uint64_t x) { return 2 * x; }

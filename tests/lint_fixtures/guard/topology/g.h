@@ -1,0 +1,2 @@
+#include <cstdint>
+inline std::uint32_t unguarded() { return 7; }

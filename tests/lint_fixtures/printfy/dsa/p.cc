@@ -1,0 +1,6 @@
+#include <cstdio>
+#include <iostream>
+void report(int n) {
+  printf("n=%d\n", n);
+  std::cout << n;
+}

@@ -1,0 +1,7 @@
+#include <cstdlib>
+#include <random>
+int jitter() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return rand() + static_cast<int>(gen());
+}

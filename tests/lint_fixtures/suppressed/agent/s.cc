@@ -1,0 +1,8 @@
+#include <cstdio>
+#include <ctime>
+// lint: allow-file(printf)
+void emit() {
+  printf("suppressed at file scope\n");
+  auto t = time(nullptr);  // lint: allow(wallclock)
+  (void)t;
+}

@@ -1,0 +1,3 @@
+#pragma once
+#include <string>
+using namespace std;

@@ -1,0 +1,10 @@
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+void sample() {
+  auto a = std::chrono::system_clock::now();
+  auto b = time(nullptr);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  (void)a; (void)b;
+}

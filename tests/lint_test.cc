@@ -1,0 +1,167 @@
+// Tests for the pingmesh_lint rule engine: every rule must trip on its
+// fixture tree (tests/lint_fixtures/<case>/), suppressions must silence
+// exactly the named rule, and — the tier-1 gate — the real src/ tree must
+// come back clean.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lint = pingmesh::lint;
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(PINGMESH_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(LintRules, LayeringViolationFires) {
+  lint::Report r = lint::run_tree(fixture("layering"));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "layering");
+  EXPECT_EQ(r.violations[0].file, "dsa/uses_core.h");
+  EXPECT_EQ(r.violations[0].line, 2);  // the "core/fleet.h" include
+  // "common/types.h" is a lower layer: must not fire.
+}
+
+TEST(LintRules, IncludeCycleFires) {
+  lint::Report r = lint::run_tree(fixture("cycle"));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "include-cycle");
+  EXPECT_NE(r.violations[0].message.find("net/a.h"), std::string::npos);
+  EXPECT_NE(r.violations[0].message.find("net/b.h"), std::string::npos);
+}
+
+TEST(LintRules, WallclockFires) {
+  lint::Report r = lint::run_tree(fixture("wallclock"));
+  std::set<int> lines;
+  for (const auto& v : r.violations) {
+    EXPECT_EQ(v.rule, "wallclock");
+    lines.insert(v.line);
+  }
+  // system_clock, time(nullptr), gettimeofday — three distinct lines.
+  EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(LintRules, RngFires) {
+  lint::Report r = lint::run_tree(fixture("rng"));
+  for (const auto& v : r.violations) EXPECT_EQ(v.rule, "rng");
+  // random_device, mt19937, rand() — at least three findings.
+  EXPECT_GE(r.violations.size(), 3u);
+}
+
+TEST(LintRules, UsingNamespaceInHeaderFires) {
+  lint::Report r = lint::run_tree(fixture("using_ns"));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "using-namespace-header");
+  EXPECT_EQ(r.violations[0].line, 3);
+}
+
+TEST(LintRules, PrintfFamilyFires) {
+  lint::Report r = lint::run_tree(fixture("printfy"));
+  ASSERT_EQ(r.violations.size(), 2u);  // printf(...) and std::cout
+  EXPECT_EQ(r.violations[0].rule, "printf");
+  EXPECT_EQ(r.violations[1].rule, "printf");
+}
+
+TEST(LintRules, MissingHeaderGuardFires) {
+  lint::Report r = lint::run_tree(fixture("guard"));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "header-guard");
+  EXPECT_EQ(r.violations[0].file, "topology/g.h");
+}
+
+TEST(LintRules, SuppressionsSilenceExactlyTheNamedRule) {
+  // s.cc has a file-scope allow(printf) and a line-scope allow(wallclock):
+  // both violations present, both suppressed, nothing else fires.
+  lint::Report r = lint::run_tree(fixture("suppressed"));
+  EXPECT_TRUE(r.violations.empty())
+      << (r.violations.empty() ? "" : r.violations[0].rule + ": " + r.violations[0].message);
+}
+
+TEST(LintRules, CleanTreeIsClean) {
+  lint::Report r = lint::run_tree(fixture("clean"));
+  EXPECT_EQ(r.files_scanned, 1u);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// The acceptance gate: the real source tree passes every rule. This is the
+// same check the `pingmesh_lint` ctest performs via the binary; asserting
+// it here too means a violation points at the rule engine output in a
+// gtest failure message.
+TEST(LintRules, RealSourceTreeIsClean) {
+  lint::Report r = lint::run_tree(PINGMESH_SRC_DIR);
+  EXPECT_GT(r.files_scanned, 90u);
+  for (const auto& v : r.violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << " [" << v.rule << "] " << v.message;
+  }
+}
+
+TEST(LintLexer, StripsCommentsAndStrings) {
+  auto cooked = lint::strip_comments_and_strings({
+      "int x = 1; // rand() in a comment",
+      "const char* s = \"rand() in a string\";",
+      "/* block rand()",
+      "   still comment */ int y = 2;",
+  });
+  EXPECT_EQ(cooked[0].find("rand"), std::string::npos);
+  EXPECT_EQ(cooked[1].find("rand"), std::string::npos);
+  EXPECT_EQ(cooked[2].find("rand"), std::string::npos);
+  EXPECT_NE(cooked[3].find("int y = 2;"), std::string::npos);
+  // Positions survive: 'int x' still starts at column 0.
+  EXPECT_EQ(cooked[0].rfind("int x", 0), 0u);
+}
+
+TEST(LintLexer, DigitSeparatorIsNotACharLiteral) {
+  auto cooked = lint::strip_comments_and_strings({"std::size_t n = 100'000; rand();"});
+  // If 100'000 opened a char literal the rand() call would be blanked.
+  EXPECT_NE(cooked[0].find("rand()"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringsAreBlanked) {
+  auto cooked = lint::strip_comments_and_strings({
+      "auto q = R\"(SELECT rand() FROM latency)\"; time(nullptr);",
+  });
+  EXPECT_EQ(cooked[0].find("SELECT"), std::string::npos);
+  EXPECT_NE(cooked[0].find("time(nullptr)"), std::string::npos);
+}
+
+TEST(LintLexer, MultiLineRawString) {
+  auto cooked = lint::strip_comments_and_strings({
+      "auto q = R\"sql(line one rand()",
+      "line two system_clock)sql\"; int z = 3;",
+  });
+  EXPECT_EQ(cooked[0].find("rand"), std::string::npos);
+  EXPECT_EQ(cooked[1].find("system_clock"), std::string::npos);
+  EXPECT_NE(cooked[1].find("int z = 3;"), std::string::npos);
+}
+
+TEST(LintLayers, ModuleMapMatchesDesignDag) {
+  EXPECT_EQ(lint::module_layer("common"), 0);
+  EXPECT_EQ(lint::module_layer("net"), 1);
+  EXPECT_EQ(lint::module_layer("topology"), 1);
+  EXPECT_EQ(lint::module_layer("netsim"), 1);
+  EXPECT_EQ(lint::module_layer("agent"), 2);
+  EXPECT_EQ(lint::module_layer("controller"), 2);
+  EXPECT_EQ(lint::module_layer("dsa"), 2);
+  EXPECT_EQ(lint::module_layer("streaming"), 2);
+  EXPECT_EQ(lint::module_layer("analysis"), 2);
+  EXPECT_EQ(lint::module_layer("autopilot"), 3);
+  EXPECT_EQ(lint::module_layer("core"), 3);
+  EXPECT_EQ(lint::module_layer("no_such_module"), -1);
+}
+
+TEST(LintRules, RuleCatalogIsStable) {
+  auto names = lint::rule_names();
+  std::set<std::string> expected = {"layering",   "include-cycle",
+                                    "wallclock",  "rng",
+                                    "using-namespace-header", "printf",
+                                    "header-guard"};
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# One-stop correctness gate: everything CI runs, in the same order, from a
+# single command. Stages:
+#
+#   1. lint        — pingmesh_lint over src/ (layering DAG, determinism,
+#                    hygiene rules; see tools/lint/lint.h for the catalog)
+#   2. tier-1      — default build + full ctest suite (includes the corpus
+#                    replay tests and the lint fixture tests)
+#   3. asan        — tools/asan_check.sh (ASan+UBSan, full suite)
+#   4. tsan        — tools/tsan_check.sh (TSan, concurrency tests)
+#   5. fuzz smoke  — if the compiler supports -fsanitize=fuzzer (clang),
+#                    build -DPINGMESH_FUZZ=ON and run each harness for
+#                    FUZZ_SECONDS (default 60) starting from its corpus.
+#                    Skipped with a notice under gcc.
+#   6. clang-tidy  — if clang-tidy is installed, run the checked-in
+#                    .clang-tidy config over compile_commands.json.
+#                    Skipped with a notice otherwise.
+#
+# Usage: tools/check_all.sh [--fast]
+#   --fast   stages 1–2 only (pre-commit loop)
+#
+# Environment:
+#   FUZZ_SECONDS   per-harness fuzz budget in stage 5 (default 60)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+FUZZ_SECONDS=${FUZZ_SECONDS:-60}
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+# --- 1. lint ---------------------------------------------------------------
+banner "stage 1: pingmesh_lint"
+cmake -B build -S . >/dev/null
+cmake --build build -j --target pingmesh_lint >/dev/null
+./build/tools/lint/pingmesh_lint src
+
+# --- 2. tier-1 build + tests ----------------------------------------------
+banner "stage 2: tier-1 build + ctest"
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$FAST" == "1" ]]; then
+  banner "--fast: skipping sanitizers, fuzz smoke, clang-tidy"
+  exit 0
+fi
+
+# --- 3. ASan ---------------------------------------------------------------
+banner "stage 3: ASan/UBSan"
+tools/asan_check.sh
+
+# --- 4. TSan ---------------------------------------------------------------
+banner "stage 4: TSan"
+tools/tsan_check.sh
+
+# --- 5. fuzz smoke ---------------------------------------------------------
+banner "stage 5: fuzz smoke (${FUZZ_SECONDS}s per harness)"
+cmake -B build-fuzz -S . -DPINGMESH_FUZZ=ON >/dev/null
+cmake --build build-fuzz -j --target tools >/dev/null 2>&1 || cmake --build build-fuzz -j >/dev/null
+if ls build-fuzz/tools/fuzz/fuzz_* >/dev/null 2>&1; then
+  for harness in xml http scopeql cosmos_io; do
+    bin="build-fuzz/tools/fuzz/fuzz_${harness}"
+    if [[ -x "$bin" ]]; then
+      echo "--- fuzz_${harness}"
+      "$bin" -max_total_time="$FUZZ_SECONDS" "tests/corpus/${harness}"
+    fi
+  done
+else
+  echo "compiler lacks -fsanitize=fuzzer (gcc): fuzz smoke skipped;"
+  echo "corpus replay already ran as ctests in stage 2."
+fi
+
+# --- 6. clang-tidy ---------------------------------------------------------
+banner "stage 6: clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is exported by the stage-1/2 configure.
+  mapfile -t SOURCES < <(git ls-files 'src/*.cc' 'tools/lint/*.cc')
+  clang-tidy -p build --quiet "${SOURCES[@]}"
+else
+  echo "clang-tidy not installed: skipped (config checked in as .clang-tidy)."
+fi
+
+banner "all stages passed"

@@ -1,0 +1,31 @@
+// libFuzzer harness for cosmos_io::load_store — the archive loader parses
+// whatever file an operator points pingmeshctl at. Contract: a malformed
+// file yields nullopt (or a LoadResult with corrupt extents counted and
+// dropped); headers must never drive allocations or crashes.
+//
+// load_store takes a path, so the harness spills each input to one
+// per-process scratch file. A small extent_size_limit keeps the
+// adversarial-size rejection path reachable with tiny inputs.
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "dsa/cosmos_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  static const std::string kPath =
+      "/tmp/pingmesh_fuzz_cosmos_" + std::to_string(::getpid());
+  {
+    std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(size));
+  }
+  constexpr std::size_t kExtentLimit = 64 * 1024;
+  if (auto loaded = pingmesh::dsa::load_store(kPath, kExtentLimit)) {
+    // Round-trip what survived: save must accept anything load produced.
+    (void)pingmesh::dsa::save_store(loaded->store, kPath);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// libFuzzer harness for the HTTP/1.1 message parsers. Both directions are
+// attack surface: parse_request sees whatever connects to the controller's
+// pinglist endpoint, parse_response sees whatever an HTTP-ping target sends
+// back. Contract: both return nullopt on malformed input — they never
+// throw and never crash.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "net/http.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  if (auto req = pingmesh::net::parse_request(bytes)) {
+    // Round-trip: anything we accept must serialize and re-parse.
+    (void)pingmesh::net::parse_request(pingmesh::net::serialize(*req, "fuzz.host"));
+  }
+  if (auto resp = pingmesh::net::parse_response(bytes)) {
+    (void)pingmesh::net::parse_response(pingmesh::net::serialize(*resp));
+  }
+  return 0;
+}

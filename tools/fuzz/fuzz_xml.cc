@@ -1,0 +1,28 @@
+// libFuzzer harness for xml::parse — the pinglist decoder consumes bytes
+// fetched over HTTP from the controller, so it must never crash or hang on
+// arbitrary input. Contract: parse() either returns a tree or throws the
+// position-annotated std::runtime_error; anything else (OOB, stack
+// overflow, uncaught bad_alloc) is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/xml.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string_view doc(reinterpret_cast<const char*>(data), size);
+  try {
+    auto root = pingmesh::xml::parse(doc);
+    // Exercise the accessors fuzz-found trees reach in production code.
+    if (root != nullptr) {
+      (void)root->child("ping");
+      (void)root->attr_or("name", "");
+      (void)root->attr_int("interval", 0);
+      (void)root->attr_double("weight", 0.0);
+    }
+  } catch (const std::runtime_error&) {
+    // Documented failure mode for malformed documents.
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Standalone driver for the fuzz harnesses: runs LLVMFuzzerTestOneInput
+// over files (or directories of files) named on the command line, once
+// each. This is how fuzz-found inputs stay permanent regressions — the
+// corpus_replay_* ctests run every checked-in corpus file through the
+// harness in ordinary (non-libFuzzer, non-clang) builds.
+//
+// With --min-files=N the driver fails if fewer than N inputs were found,
+// so a renamed or emptied corpus directory cannot silently pass.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> collect_inputs(int argc, char** argv, std::size_t& min_files) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--min-files=", 0) == 0) {
+      min_files = static_cast<std::size_t>(std::stoul(arg.substr(strlen("--min-files="))));
+      continue;
+    }
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t min_files = 1;
+  std::vector<std::string> files = collect_inputs(argc, argv, min_files);
+  if (files.size() < min_files) {
+    std::fprintf(stderr, "replay: found %zu input file(s), expected at least %zu\n",
+                 files.size(), min_files);
+    return 1;
+  }
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    std::printf("replay: %s (%zu bytes)\n", path.c_str(), bytes.size());
+    std::fflush(stdout);  // mark progress before a potential harness crash
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("replay: %zu input(s) OK\n", files.size());
+  return 0;
+}

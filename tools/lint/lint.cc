@@ -1,0 +1,539 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace pingmesh::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer map: the module DAG from DESIGN.md. A module may include headers
+// from modules with layer <= its own; intra-layer cross-includes are legal
+// (dsa uses agent's record type) and the include-cycle rule catches any
+// true cycle among them.
+// ---------------------------------------------------------------------------
+
+constexpr struct {
+  const char* module;
+  int layer;
+} kLayers[] = {
+    {"common", 0},    {"net", 1},       {"topology", 1}, {"netsim", 1},
+    {"agent", 2},     {"controller", 2}, {"dsa", 2},      {"streaming", 2},
+    {"analysis", 2},  {"autopilot", 3}, {"core", 3},
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file model
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string rel_path;
+  std::string module;  ///< first path component ("" when the file sits at root)
+  bool is_header = false;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;  ///< comments/strings blanked
+  struct Include {
+    std::string path;
+    int line;  ///< 1-based
+  };
+  std::vector<Include> includes;  ///< quoted includes only
+  std::set<std::string> file_allowed;              ///< allow-file(...) rules
+  std::map<int, std::set<std::string>> line_allowed;  ///< allow(...) per line
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// Parse `lint: allow(...)` / `lint: allow-file(...)` markers on one line.
+void parse_suppressions(SourceFile& f, int line_no, const std::string& raw) {
+  std::size_t at = raw.find("lint:");
+  while (at != std::string::npos) {
+    std::string_view rest = std::string_view(raw).substr(at + 5);
+    rest = trim(rest);
+    bool file_scope = false;
+    if (rest.starts_with("allow-file(")) {
+      file_scope = true;
+      rest.remove_prefix(std::string_view("allow-file(").size());
+    } else if (rest.starts_with("allow(")) {
+      rest.remove_prefix(std::string_view("allow(").size());
+    } else {
+      at = raw.find("lint:", at + 5);
+      continue;
+    }
+    auto close = rest.find(')');
+    if (close == std::string_view::npos) break;
+    std::string_view args = rest.substr(0, close);
+    std::size_t pos = 0;
+    while (pos <= args.size()) {
+      auto comma = args.find(',', pos);
+      std::string_view one =
+          trim(args.substr(pos, comma == std::string_view::npos ? args.size() - pos
+                                                                : comma - pos));
+      if (!one.empty()) {
+        if (file_scope) {
+          f.file_allowed.emplace(one);
+        } else {
+          f.line_allowed[line_no].emplace(one);
+        }
+      }
+      if (comma == std::string_view::npos) break;
+      pos = comma + 1;
+    }
+    at = raw.find("lint:", at + 5);
+  }
+}
+
+SourceFile load_file(const std::string& root, const std::string& rel_path) {
+  SourceFile f;
+  f.rel_path = rel_path;
+  auto slash = rel_path.find('/');
+  f.module = slash == std::string::npos ? std::string() : rel_path.substr(0, slash);
+  f.is_header = rel_path.ends_with(".h");
+
+  std::ifstream in(fs::path(root) / rel_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  f.raw_lines = split_lines(buf.str());
+  f.code_lines = strip_comments_and_strings(f.raw_lines);
+
+  for (std::size_t i = 0; i < f.raw_lines.size(); ++i) {
+    const std::string& raw = f.raw_lines[i];
+    int line_no = static_cast<int>(i) + 1;
+    parse_suppressions(f, line_no, raw);
+    // Includes come from the raw line: the stripper blanks the quoted path.
+    std::string_view s = trim(raw);
+    if (s.starts_with("#")) {
+      s.remove_prefix(1);
+      s = trim(s);
+      if (s.starts_with("include")) {
+        s.remove_prefix(std::string_view("include").size());
+        s = trim(s);
+        if (s.starts_with("\"")) {
+          auto end = s.find('"', 1);
+          if (end != std::string_view::npos) {
+            f.includes.push_back({std::string(s.substr(1, end - 1)), line_no});
+          }
+        }
+      }
+    }
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+class Checker {
+ public:
+  explicit Checker(std::vector<SourceFile> files) : files_(std::move(files)) {
+    for (std::size_t i = 0; i < files_.size(); ++i) index_[files_[i].rel_path] = i;
+  }
+
+  Report run() {
+    for (const SourceFile& f : files_) {
+      check_header_guard(f);
+      check_using_namespace(f);
+      check_identifier_rules(f);
+      check_layering(f);
+    }
+    check_cycles();
+    Report report;
+    report.files_scanned = files_.size();
+    report.violations = std::move(out_);
+    std::sort(report.violations.begin(), report.violations.end(),
+              [](const Violation& a, const Violation& b) {
+                return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+              });
+    return report;
+  }
+
+ private:
+  void emit(const SourceFile& f, int line, std::string rule, std::string message) {
+    if (f.file_allowed.count(rule) != 0) return;
+    auto it = f.line_allowed.find(line);
+    if (it != f.line_allowed.end() && it->second.count(rule) != 0) return;
+    out_.push_back(Violation{f.rel_path, line, std::move(rule), std::move(message)});
+  }
+
+  // --- header-guard ---------------------------------------------------------
+  void check_header_guard(const SourceFile& f) {
+    if (!f.is_header) return;
+    std::vector<std::string_view> directives;
+    for (const std::string& line : f.code_lines) {
+      std::string_view s = trim(line);
+      if (s.empty()) continue;
+      if (s.starts_with("#pragma once")) return;  // guarded
+      if (s.starts_with("#")) {
+        directives.push_back(s);
+        if (directives.size() >= 2) break;
+      } else {
+        break;  // real code before any guard
+      }
+    }
+    if (directives.size() >= 2 && directives[0].starts_with("#ifndef") &&
+        directives[1].starts_with("#define")) {
+      return;  // classic include guard
+    }
+    emit(f, 1, "header-guard",
+         "header has no #pragma once (or #ifndef/#define guard) before code");
+  }
+
+  // --- using-namespace-header ----------------------------------------------
+  void check_using_namespace(const SourceFile& f) {
+    if (!f.is_header) return;
+    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+      const std::string& line = f.code_lines[i];
+      auto at = line.find("using");
+      while (at != std::string::npos) {
+        bool lhs_ok = at == 0 || !is_ident_char(line[at - 1]);
+        std::string_view rest = std::string_view(line).substr(at + 5);
+        std::string_view kw = trim(rest);
+        bool is_namespace_kw = kw.starts_with("namespace") &&
+                               (kw.size() == 9 || !is_ident_char(kw[9]));
+        if (lhs_ok && !rest.empty() && !is_ident_char(rest.front()) && is_namespace_kw) {
+          emit(f, static_cast<int>(i) + 1, "using-namespace-header",
+               "`using namespace` in a header pollutes every includer");
+          break;
+        }
+        at = line.find("using", at + 5);
+      }
+    }
+  }
+
+  // --- wallclock / rng / printf --------------------------------------------
+  struct BannedIdent {
+    const char* ident;
+    const char* rule;
+    const char* message;
+    bool needs_call = false;  ///< only flag when followed by '('
+  };
+
+  void check_identifier_rules(const SourceFile& f) {
+    static const BannedIdent kBanned[] = {
+        {"system_clock", "wallclock",
+         "wall-clock access outside common/clock breaks tick reproducibility; take a "
+         "Clock& instead",
+         false},
+        {"gettimeofday", "wallclock",
+         "wall-clock access outside common/clock; take a Clock& instead", false},
+        {"clock_gettime", "wallclock",
+         "wall-clock access outside common/clock; take a Clock& instead", false},
+        {"time", "wallclock",
+         "time() reads the wall clock; take a Clock& instead (common/clock)", true},
+        {"rand", "rng",
+         "rand() is ambient global state; use Rng/CounterRng from common/rng", true},
+        {"srand", "rng", "srand() is ambient global state; use common/rng seeds", true},
+        {"random_device", "rng",
+         "std::random_device is nondeterministic; derive seeds via common/rng", false},
+        {"mt19937", "rng",
+         "raw std::mt19937 seeding bypasses the experiment seed; use Rng/CounterRng",
+         false},
+        {"mt19937_64", "rng",
+         "raw std::mt19937_64 seeding bypasses the experiment seed; use Rng/CounterRng",
+         false},
+        {"printf", "printf", "library code must log via common/log, not stdout/stderr",
+         true},
+        {"fprintf", "printf", "library code must log via common/log, not stdout/stderr",
+         true},
+        {"vfprintf", "printf", "library code must log via common/log, not stdout/stderr",
+         true},
+        {"puts", "printf", "library code must log via common/log, not stdout/stderr", true},
+        {"fputs", "printf", "library code must log via common/log, not stdout/stderr",
+         true},
+        {"putchar", "printf", "library code must log via common/log, not stdout/stderr",
+         true},
+    };
+
+    bool clock_exempt = f.rel_path.starts_with("common/clock");
+    bool rng_exempt = f.rel_path.starts_with("common/rng");
+
+    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+      const std::string& line = f.code_lines[i];
+      int line_no = static_cast<int>(i) + 1;
+
+      // std::cout / std::cerr are textual, not identifier-shaped.
+      for (const char* stream : {"std::cout", "std::cerr"}) {
+        if (line.find(stream) != std::string::npos) {
+          emit(f, line_no, "printf",
+               std::string(stream) + " in library code; log via common/log");
+        }
+      }
+
+      std::size_t pos = 0;
+      while (pos < line.size()) {
+        if (!is_ident_char(line[pos])) {
+          ++pos;
+          continue;
+        }
+        std::size_t start = pos;
+        while (pos < line.size() && is_ident_char(line[pos])) ++pos;
+        std::string_view ident = std::string_view(line).substr(start, pos - start);
+        for (const BannedIdent& b : kBanned) {
+          if (ident != b.ident) continue;
+          if ((std::string_view("wallclock") == b.rule && clock_exempt) ||
+              (std::string_view("rng") == b.rule && rng_exempt)) {
+            continue;
+          }
+          if (b.needs_call) {
+            // Require a call: next non-space char is '(' and the identifier
+            // is not a member access (.time(), ->time()).
+            std::size_t after = pos;
+            while (after < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+              ++after;
+            }
+            if (after >= line.size() || line[after] != '(') continue;
+            std::size_t before = start;
+            while (before > 0 &&
+                   std::isspace(static_cast<unsigned char>(line[before - 1])) != 0) {
+              --before;
+            }
+            if (before >= 1 && (line[before - 1] == '.' ||
+                                (before >= 2 && line[before - 2] == '-' &&
+                                 line[before - 1] == '>'))) {
+              continue;
+            }
+          }
+          emit(f, line_no, b.rule, b.message);
+        }
+      }
+    }
+  }
+
+  // --- layering --------------------------------------------------------------
+  void check_layering(const SourceFile& f) {
+    int own = module_layer(f.module);
+    if (own < 0) return;  // not a module file; nothing to enforce
+    for (const SourceFile::Include& inc : f.includes) {
+      auto slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;  // same-directory or external
+      int target = module_layer(inc.path.substr(0, slash));
+      if (target < 0) continue;  // non-module include ("gtest/gtest.h" etc.)
+      if (target > own) {
+        emit(f, inc.line, "layering",
+             "module '" + f.module + "' (layer " + std::to_string(own) +
+                 ") must not include '" + inc.path + "' (layer " +
+                 std::to_string(target) +
+                 "); the DAG is common -> net/topology/netsim -> "
+                 "agent/controller/dsa/streaming/analysis -> autopilot/core");
+      }
+    }
+  }
+
+  // --- include-cycle ---------------------------------------------------------
+  void check_cycles() {
+    colors_.assign(files_.size(), 0);
+    for (std::size_t i = 0; i < files_.size(); ++i) {
+      if (colors_[i] == 0) dfs(i);
+    }
+  }
+
+  void dfs(std::size_t node) {
+    colors_[node] = 1;
+    stack_.push_back(node);
+    for (const SourceFile::Include& inc : files_[node].includes) {
+      auto it = index_.find(inc.path);
+      if (it == index_.end()) continue;
+      std::size_t next = it->second;
+      if (colors_[next] == 1) {
+        // Back edge: the cycle is the stack slice from `next` to `node`.
+        std::string chain;
+        bool in_cycle = false;
+        for (std::size_t n : stack_) {
+          if (n == next) in_cycle = true;
+          if (in_cycle) chain += files_[n].rel_path + " -> ";
+        }
+        chain += files_[next].rel_path;
+        emit(files_[node], inc.line, "include-cycle", "include cycle: " + chain);
+      } else if (colors_[next] == 0) {
+        dfs(next);
+      }
+    }
+    stack_.pop_back();
+    colors_[node] = 2;
+  }
+
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<Violation> out_;
+  std::vector<int> colors_;
+  std::vector<std::size_t> stack_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "layering",     "include-cycle", "wallclock",   "rng",
+      "using-namespace-header", "printf", "header-guard",
+  };
+  return kNames;
+}
+
+int module_layer(std::string_view module) {
+  for (const auto& entry : kLayers) {
+    if (module == entry.module) return entry.layer;
+  }
+  return -1;
+}
+
+std::vector<std::string> strip_comments_and_strings(const std::vector<std::string>& raw) {
+  enum class St { kCode, kBlockComment, kRawString };
+  St st = St::kCode;
+  std::string raw_delim;
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+
+  for (const std::string& line : raw) {
+    std::string cooked;
+    cooked.reserve(line.size());
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    while (i < n) {
+      char c = line[i];
+      switch (st) {
+        case St::kBlockComment:
+          if (c == '*' && i + 1 < n && line[i + 1] == '/') {
+            st = St::kCode;
+            cooked += "  ";
+            i += 2;
+          } else {
+            cooked += ' ';
+            ++i;
+          }
+          break;
+        case St::kRawString: {
+          if (c == ')' && line.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+              i + 1 + raw_delim.size() < n && line[i + 1 + raw_delim.size()] == '"') {
+            std::size_t len = 2 + raw_delim.size();
+            cooked.append(len, ' ');
+            i += len;
+            st = St::kCode;
+          } else {
+            cooked += ' ';
+            ++i;
+          }
+          break;
+        }
+        case St::kCode:
+          if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+            cooked.append(n - i, ' ');
+            i = n;
+          } else if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+            st = St::kBlockComment;
+            cooked += "  ";
+            i += 2;
+          } else if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
+                     (i == 0 || !is_ident_char(line[i - 1]))) {
+            std::size_t open = line.find('(', i + 2);
+            if (open == std::string::npos) {  // malformed; treat as code
+              cooked += c;
+              ++i;
+            } else {
+              raw_delim = line.substr(i + 2, open - (i + 2));
+              cooked.append(open - i + 1, ' ');
+              i = open + 1;
+              st = St::kRawString;
+            }
+          } else if (c == '"') {
+            cooked += ' ';
+            ++i;
+            while (i < n) {
+              if (line[i] == '\\' && i + 1 < n) {
+                cooked += "  ";
+                i += 2;
+              } else if (line[i] == '"') {
+                cooked += ' ';
+                ++i;
+                break;
+              } else {
+                cooked += ' ';
+                ++i;
+              }
+            }
+          } else if (c == '\'' && (i == 0 || !is_ident_char(line[i - 1]))) {
+            // Leading identifier char means a digit separator (1'000'000)
+            // or literal suffix, which stays code.
+            cooked += ' ';
+            ++i;
+            while (i < n) {
+              if (line[i] == '\\' && i + 1 < n) {
+                cooked += "  ";
+                i += 2;
+              } else if (line[i] == '\'') {
+                cooked += ' ';
+                ++i;
+                break;
+              } else {
+                cooked += ' ';
+                ++i;
+              }
+            }
+          } else {
+            cooked += c;
+            ++i;
+          }
+          break;
+      }
+    }
+    out.push_back(std::move(cooked));
+  }
+  return out;
+}
+
+Report run_files(const std::string& root, const std::vector<std::string>& rel_paths) {
+  std::vector<SourceFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) files.push_back(load_file(root, rel));
+  return Checker(std::move(files)).run();
+}
+
+Report run_tree(const std::string& root) {
+  std::vector<std::string> rel_paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    rel_paths.push_back(fs::relative(entry.path(), root).generic_string());
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  return run_files(root, rel_paths);
+}
+
+}  // namespace pingmesh::lint

@@ -1,0 +1,63 @@
+// pingmesh_lint: a domain-invariant checker for the pingmesh source tree.
+//
+// Not a general C++ linter. It enforces the handful of repo-wide contracts
+// that the compiler cannot: the module layering DAG, the determinism
+// discipline that keeps parallel ticks bit-reproducible (no wall-clock or
+// ambient randomness outside common/clock and common/rng), and a few
+// hygiene rules. It works from its own lexer — a comment/string stripper
+// plus identifier scan — and the quoted-include graph; no libTooling, no
+// compiler dependency, so it runs as a tier-1 ctest in every build.
+//
+// Rule catalog (DESIGN.md §9.1):
+//   layering                module may only include same-or-lower layers
+//   include-cycle           quoted-include graph must stay acyclic
+//   wallclock               wall-clock calls only inside common/clock
+//   rng                     ambient randomness only inside common/rng
+//   using-namespace-header  no `using namespace` at header scope
+//   printf                  no stdout/stderr printf-family in library code
+//   header-guard            every header opens with #pragma once (or an
+//                           #ifndef/#define guard)
+//
+// Suppression syntax (checked against raw source, so it works in comments):
+//   // lint: allow(rule[, rule...])        — this line only
+//   // lint: allow-file(rule[, rule...])   — whole file
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pingmesh::lint {
+
+struct Violation {
+  std::string file;  ///< path relative to the scanned root
+  int line = 0;      ///< 1-based; 0 for whole-file findings
+  std::string rule;
+  std::string message;
+};
+
+struct Report {
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+};
+
+/// All rule names, for --list-rules and suppression validation.
+const std::vector<std::string>& rule_names();
+
+/// Layer of a module directory name (0 = common ... 3 = autopilot/core),
+/// or -1 when the name is not a known module.
+int module_layer(std::string_view module);
+
+/// Blank comments and string/char literals, preserving line and column
+/// structure so later scans report true positions. Handles // and block
+/// comments, escapes, digit separators (1'000'000), and R"(...)" raw
+/// strings, including multi-line spans. Exposed for unit tests.
+std::vector<std::string> strip_comments_and_strings(const std::vector<std::string>& raw);
+
+/// Lint the given files (paths relative to `root`, which is an src-like
+/// tree whose first-level directories are modules).
+Report run_files(const std::string& root, const std::vector<std::string>& rel_paths);
+
+/// Lint every .h/.cc under `root`, in deterministic (sorted) order.
+Report run_tree(const std::string& root);
+
+}  // namespace pingmesh::lint

@@ -1,0 +1,54 @@
+// CLI entry point for the lint library. Exit status is the contract: 0 on
+// a clean tree, 1 when any rule fires, 2 on usage errors — so it slots
+// directly into ctest and CI.
+//
+// Usage:
+//   pingmesh_lint <src-root> [more-roots...]
+//   pingmesh_lint --list-rules
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& name : pingmesh::lint::rule_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: pingmesh_lint [--list-rules] <src-root> [more-roots...]\n");
+      return 0;
+    }
+    roots.push_back(std::move(arg));
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "pingmesh_lint: no source root given (try: pingmesh_lint src)\n");
+    return 2;
+  }
+
+  std::size_t files = 0;
+  std::size_t violations = 0;
+  for (const std::string& root : roots) {
+    if (!std::filesystem::is_directory(root)) {
+      std::fprintf(stderr, "pingmesh_lint: not a directory: %s\n", root.c_str());
+      return 2;
+    }
+    pingmesh::lint::Report report = pingmesh::lint::run_tree(root);
+    files += report.files_scanned;
+    violations += report.violations.size();
+    for (const pingmesh::lint::Violation& v : report.violations) {
+      std::fprintf(stderr, "%s/%s:%d: [%s] %s\n", root.c_str(), v.file.c_str(), v.line,
+                   v.rule.c_str(), v.message.c_str());
+    }
+  }
+  std::printf("pingmesh_lint: %zu files, %zu violation%s\n", files, violations,
+              violations == 1 ? "" : "s");
+  return violations == 0 ? 0 : 1;
+}

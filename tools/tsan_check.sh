@@ -15,5 +15,9 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 PATTERN=${1:-'ThreadPool|Parallel|Streaming'}
 
 cmake -B "$BUILD_DIR" -S . -DPINGMESH_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target parallel_test --target streaming_test
+# Build everything, not just parallel_test/streaming_test: the ctest pattern
+# below also matches tests discovered from other executables (e.g. the
+# ParallelEquivalence cases in core_test), and ctest errors out on a test
+# whose binary was never built.
+cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -R "$PATTERN")
