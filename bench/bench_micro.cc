@@ -4,6 +4,10 @@
 // bounds experiment scale), and the DSA query verbs.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "agent/counters.h"
 #include "agent/record.h"
 #include "analysis/blackhole.h"
@@ -12,9 +16,13 @@
 #include "common/xml.h"
 #include "controller/generator.h"
 #include "core/fleet.h"
+#include "core/scenarios.h"
+#include "core/simulation.h"
 #include "dsa/jobs.h"
 #include "dsa/scope.h"
 #include "netsim/simnet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "streaming/sketch.h"
 #include "topology/topology.h"
 
@@ -248,6 +256,128 @@ void BM_HeatmapLoadAndClassify(benchmark::State& state) {
 }
 BENCHMARK(BM_HeatmapLoadAndClassify)->Unit(benchmark::kMillisecond);
 
+// --- observability layer costs (DESIGN.md §10: <5% tick overhead budget) ----
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("agent.probes_total", "result=ok");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterLookupAndInc(benchmark::State& state) {
+  // The get-or-create path (map lookup under the registry mutex) — what a
+  // component pays if it does NOT cache the instrument pointer.
+  obs::MetricsRegistry reg;
+  for (auto _ : state) {
+    reg.counter("agent.probes_total", "result=ok").inc();
+  }
+  benchmark::DoNotOptimize(reg.instrument_count());
+}
+BENCHMARK(BM_ObsCounterLookupAndInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("agent.buffer_occupancy");
+  Rng rng(11);
+  std::int64_t v = 250'000;
+  for (auto _ : state) {
+    h.observe(v);
+    v = static_cast<std::int64_t>(rng.uniform(10'000, 10'000'000));
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsExpose(benchmark::State& state) {
+  // A fleet-sized registry: ~60 families, like a full simulation run wires.
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 50; ++i) {
+    reg.counter("agent.family_" + std::to_string(i) + "_total").inc(i);
+  }
+  for (int i = 0; i < 6; ++i) {
+    obs::Histogram& h = reg.histogram("dsa.hist_" + std::to_string(i));
+    for (int j = 0; j < 1000; ++j) h.observe(250'000 + j);
+  }
+  reg.gauge_fn("cosmos.extents", "", [] { return 42.0; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.expose().size());
+  }
+}
+BENCHMARK(BM_ObsExpose);
+
+void BM_TraceKeySampledOut(benchmark::State& state) {
+  // The common case on the data path: compute the record key, fail the
+  // 1-in-64 sampling check, emit nothing.
+  obs::TraceSink sink(64);
+  obs::Tracer tracer(obs::TraceConfig{true, 64, 64}, sink);
+  SimTime ts = 0;
+  std::uint64_t sampled = 0;
+  for (auto _ : state) {
+    std::uint64_t key = obs::trace_key(ts++, 0x0a000001, 0x0a000002, 32768);
+    if (tracer.sampled(key)) ++sampled;
+  }
+  benchmark::DoNotOptimize(sampled);
+}
+BENCHMARK(BM_TraceKeySampledOut);
+
+void BM_TraceSpanEmit(benchmark::State& state) {
+  obs::TraceSink sink(8192);
+  obs::Tracer tracer(obs::TraceConfig{true, 1, 8192}, sink);
+  SimTime ts = 0;
+  for (auto _ : state) {
+    tracer.span(1, "agent.probe", ts, ts + 250'000, "success=1;rtt=250000");
+    ++ts;
+  }
+  benchmark::DoNotOptimize(sink.spans_recorded());
+}
+BENCHMARK(BM_TraceSpanEmit);
+
+/// Five simulated minutes of the small closed loop, observability off vs on
+/// — the end-to-end overhead check behind the <5% budget.
+void BM_FleetTickObsOff(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SimulationConfig cfg = core::streaming_test_config(42);
+    core::PingmeshSimulation sim(cfg);
+    sim.run_for(minutes(5));
+    benchmark::DoNotOptimize(sim.total_probes());
+  }
+}
+BENCHMARK(BM_FleetTickObsOff)->Unit(benchmark::kMillisecond);
+
+void BM_FleetTickObsOn(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SimulationConfig cfg = core::observability_test_config(42);
+    core::PingmeshSimulation sim(cfg);
+    sim.run_for(minutes(5));
+    benchmark::DoNotOptimize(sim.total_probes());
+  }
+}
+BENCHMARK(BM_FleetTickObsOn)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--json PATH` is CI shorthand for
+// google-benchmark's --benchmark_out=PATH --benchmark_out_format=json.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (std::string& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,9 +41,37 @@ void PingmeshAgent::adopt_pinglist(const controller::Pinglist& pl, SimTime now) 
   probing_active_ = true;
 }
 
+void PingmeshAgent::enable_observability(obs::MetricsRegistry& registry,
+                                         const obs::Tracer* tracer) {
+  hooks_.probes_ok = &registry.counter("agent.probes_total", "result=ok");
+  hooks_.probes_failed = &registry.counter("agent.probes_total", "result=fail");
+  hooks_.fetches_ok = &registry.counter("agent.pinglist_fetches_total", "result=ok");
+  hooks_.fetches_none = &registry.counter("agent.pinglist_fetches_total", "result=none");
+  hooks_.fetches_unreachable =
+      &registry.counter("agent.pinglist_fetches_total", "result=unreachable");
+  hooks_.uploads_ok = &registry.counter("agent.uploads_total", "result=ok");
+  hooks_.uploads_failed = &registry.counter("agent.uploads_total", "result=fail");
+  hooks_.records_uploaded = &registry.counter("agent.records_uploaded_total");
+  hooks_.records_shed = &registry.counter("agent.records_shed_total");
+  hooks_.records_discarded = &registry.counter("agent.records_discarded_total");
+  hooks_.retry_exhausted = &registry.counter("agent.upload_retry_exhausted_total");
+  hooks_.fail_closed = &registry.counter("agent.fail_closed_total");
+  hooks_.log_records = &registry.counter("agent.local_log_records_total");
+  hooks_.log_dup_avoided = &registry.counter("agent.local_log_dup_avoided_total");
+  // Count-valued histograms: unit-1 floor, range wide enough for the
+  // buffer cap.
+  streaming::LatencySketch::Config counts;
+  counts.min_value_ns = 1;
+  counts.max_value_ns = 1'000'000;
+  hooks_.upload_batch = &registry.histogram("agent.upload_batch_records", "", counts);
+  hooks_.buffer_occupancy = &registry.histogram("agent.buffer_occupancy", "", counts);
+  tracer_ = tracer;
+}
+
 void PingmeshAgent::fail_closed() {
   // "the Pingmesh Agent will remove all its existing ping peers and stop
   // all its ping activities. (It will still react to pings though.)"
+  if (probing_active_ && hooks_.fail_closed != nullptr) hooks_.fail_closed->inc();
   targets_.clear();
   probing_active_ = false;
 }
@@ -77,6 +105,7 @@ void PingmeshAgent::on_pinglist(const controller::FetchResult& result, SimTime n
   next_fetch_ = now + config_.pinglist_refresh;
   switch (result.status) {
     case controller::FetchStatus::kOk:
+      if (hooks_.fetches_ok != nullptr) hooks_.fetches_ok->inc();
       fetch_failures_ = 0;
       if (result.pinglist) {
         adopt_pinglist(*result.pinglist, now);
@@ -87,10 +116,12 @@ void PingmeshAgent::on_pinglist(const controller::FetchResult& result, SimTime n
     case controller::FetchStatus::kNoPinglist:
       // Controller is up but serves no file: stop immediately. This is the
       // operator's remote kill switch.
+      if (hooks_.fetches_none != nullptr) hooks_.fetches_none->inc();
       fetch_failures_ = 0;
       fail_closed();
       return;
     case controller::FetchStatus::kUnreachable:
+      if (hooks_.fetches_unreachable != nullptr) hooks_.fetches_unreachable->inc();
       if (++fetch_failures_ >= config_.controller_failure_threshold) fail_closed();
       return;
   }
@@ -113,13 +144,32 @@ void PingmeshAgent::on_probe_result(const ProbeRequest& request, const ProbeResu
   rec.payload_bytes = request.target.payload_bytes;
 
   counters_.record_probe(result.success, result.rtt);
+  if (hooks_.probes_ok != nullptr) {
+    (result.success ? hooks_.probes_ok : hooks_.probes_failed)->inc();
+  }
 
   if (buffer_.size() >= config_.max_buffered_records) {
     // Bounded memory: shed the oldest record rather than grow.
     buffer_.pop_front();
     ++records_discarded_;
+    if (hooks_.records_shed != nullptr) hooks_.records_shed->inc();
   }
   buffer_.push_back(rec);
+  ++buffered_total_;
+  if (hooks_.buffer_occupancy != nullptr) {
+    hooks_.buffer_occupancy->observe(static_cast<std::int64_t>(buffer_.size()));
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    std::uint64_t key = obs::trace_key(rec.timestamp, rec.src_ip.v, rec.dst_ip.v,
+                                       rec.src_port);
+    if (tracer_->sampled(key)) {
+      tracer_->span(key, "agent.probe", now, now + result.rtt,
+                    std::string("success=") + (result.success ? "1" : "0") +
+                        ";rtt=" + std::to_string(result.rtt));
+      tracer_->span(key, "agent.buffer", now, now,
+                    "occupancy=" + std::to_string(buffer_.size()));
+    }
+  }
   PINGMESH_DCHECK(buffer_.size() <= config_.max_buffered_records);
   maybe_upload(now, /*force=*/false);
 }
@@ -155,18 +205,66 @@ void PingmeshAgent::perform_upload(SimTime now) {
   }
 
   std::vector<LatencyRecord> batch(buffer_.begin(), buffer_.end());
-  local_log_.append(encode_batch(batch));
 
-  if (uploader_->upload(batch)) {
+  // Local log: each record is appended exactly once, however many upload
+  // attempts it rides. The buffer's records occupy the sequence range
+  // [buffered_total_ - buffer_.size(), buffered_total_); everything below
+  // logged_total_ already hit the log on an earlier (failed) attempt.
+  std::uint64_t base = buffered_total_ - buffer_.size();
+  std::uint64_t already = std::max(logged_total_, base) - base;
+  if (local_log_.enabled()) {
+    if (already < batch.size()) {
+      std::uint64_t fresh = batch.size() - already;
+      if (already == 0) {
+        local_log_.append(encode_batch(batch));
+      } else {
+        local_log_.append(encode_batch(std::vector<LatencyRecord>(
+            batch.begin() + static_cast<std::ptrdiff_t>(already), batch.end())));
+      }
+      records_logged_ += fresh;
+      if (hooks_.log_records != nullptr) hooks_.log_records->inc(fresh);
+    }
+    if (already > 0) {
+      log_dup_avoided_ += already;
+      if (hooks_.log_dup_avoided != nullptr) hooks_.log_dup_avoided->inc(already);
+    }
+  }
+  logged_total_ = buffered_total_;
+
+  int attempt = upload_failures_ + 1;
+  bool ok = uploader_->upload(batch);
+  if (hooks_.upload_batch != nullptr) {
+    hooks_.upload_batch->observe(static_cast<std::int64_t>(batch.size()));
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    std::string note = std::string("result=") + (ok ? "ok" : "fail") +
+                       ";attempt=" + std::to_string(attempt) +
+                       ";batch=" + std::to_string(batch.size());
+    for (const LatencyRecord& r : batch) {
+      std::uint64_t key = obs::trace_key(r.timestamp, r.src_ip.v, r.dst_ip.v, r.src_port);
+      if (tracer_->sampled(key)) tracer_->span(key, "agent.upload", now, now, note);
+    }
+  }
+
+  if (ok) {
     buffer_.clear();
     upload_failures_ = 0;
     ++uploads_ok_;
+    if (hooks_.uploads_ok != nullptr) {
+      hooks_.uploads_ok->inc();
+      hooks_.records_uploaded->inc(batch.size());
+    }
   } else {
     ++uploads_failed_;
+    if (hooks_.uploads_failed != nullptr) hooks_.uploads_failed->inc();
     if (++upload_failures_ > config_.upload_max_retries) {
       // "After that it will stop trying and discard the in-memory data.
       // This is to ensure the Pingmesh Agent uses bounded memory resource."
       records_discarded_ += buffer_.size();
+      if (hooks_.records_discarded != nullptr) {
+        hooks_.records_discarded->inc(buffer_.size());
+        hooks_.retry_exhausted->inc();
+      }
       buffer_.clear();
       upload_failures_ = 0;
     }

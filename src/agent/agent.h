@@ -33,6 +33,8 @@
 #include "common/types.h"
 #include "controller/pinglist.h"
 #include "controller/service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pingmesh::agent {
 
@@ -99,6 +101,13 @@ class PingmeshAgent {
   /// Force an upload attempt of whatever is buffered (shutdown path).
   void flush(SimTime now);
 
+  /// Wire this agent into a shared metrics registry (and optionally the
+  /// data-path tracer). Instruments are fleet-wide: every agent registering
+  /// the same metric name shares the same counter. Call before the first
+  /// tick; safe to skip entirely (all hooks default to off).
+  void enable_observability(obs::MetricsRegistry& registry,
+                            const obs::Tracer* tracer = nullptr);
+
   /// Deferred-upload mode for multi-threaded drivers: while enabled, upload
   /// triggers (batch full / timer due) only mark the agent upload-pending
   /// instead of calling the Uploader. The driver runs many agents' probe
@@ -123,6 +132,11 @@ class PingmeshAgent {
   [[nodiscard]] std::uint64_t uploads_ok() const { return uploads_ok_; }
   [[nodiscard]] std::uint64_t uploads_failed() const { return uploads_failed_; }
   [[nodiscard]] std::uint64_t records_discarded() const { return records_discarded_; }
+  /// Records appended to the local log (by the exactly-once contract).
+  [[nodiscard]] std::uint64_t records_logged() const { return records_logged_; }
+  /// Retried records whose re-append to the local log was skipped — each
+  /// would have been a duplicate log entry before the high-water-mark fix.
+  [[nodiscard]] std::uint64_t local_log_dup_avoided() const { return log_dup_avoided_; }
   [[nodiscard]] int consecutive_fetch_failures() const { return fetch_failures_; }
   [[nodiscard]] IpAddr ip() const { return ip_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -159,6 +173,14 @@ class PingmeshAgent {
   bool fetch_outstanding_ = false;
 
   std::deque<LatencyRecord> buffer_;
+  // Local-log exactly-once bookkeeping: records are numbered by the order
+  // they entered buffer_ (buffered_total_); logged_total_ is the high-water
+  // sequence already appended to the local log, so a batch that rides a
+  // retry is only logged for its unlogged suffix.
+  std::uint64_t buffered_total_ = 0;
+  std::uint64_t logged_total_ = 0;
+  std::uint64_t records_logged_ = 0;
+  std::uint64_t log_dup_avoided_ = 0;
   SimTime next_upload_ = 0;
   bool upload_timer_armed_ = false;
   int upload_failures_ = 0;
@@ -172,6 +194,29 @@ class PingmeshAgent {
   std::uint64_t uploads_ok_ = 0;
   std::uint64_t uploads_failed_ = 0;
   std::uint64_t records_discarded_ = 0;
+
+  /// Cached registry instruments (shared fleet-wide); null until
+  /// enable_observability().
+  struct ObsHooks {
+    obs::Counter* probes_ok = nullptr;
+    obs::Counter* probes_failed = nullptr;
+    obs::Counter* fetches_ok = nullptr;
+    obs::Counter* fetches_none = nullptr;
+    obs::Counter* fetches_unreachable = nullptr;
+    obs::Counter* uploads_ok = nullptr;
+    obs::Counter* uploads_failed = nullptr;
+    obs::Counter* records_uploaded = nullptr;
+    obs::Counter* records_shed = nullptr;
+    obs::Counter* records_discarded = nullptr;
+    obs::Counter* retry_exhausted = nullptr;
+    obs::Counter* fail_closed = nullptr;
+    obs::Counter* log_records = nullptr;
+    obs::Counter* log_dup_avoided = nullptr;
+    obs::Histogram* upload_batch = nullptr;
+    obs::Histogram* buffer_occupancy = nullptr;
+  };
+  ObsHooks hooks_{};
+  const obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pingmesh::agent

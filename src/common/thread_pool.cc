@@ -1,8 +1,19 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace pingmesh {
+
+namespace {
+std::uint64_t mono_ns() {
+  // Monotonic elapsed time for Stats only; never observable by sim logic.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 ThreadPool::ThreadPool(int workers) : workers_(std::max(1, workers)) {
   threads_.reserve(static_cast<std::size_t>(workers_ - 1));
@@ -54,24 +65,31 @@ void ThreadPool::worker_loop(int shard_index) {
 
 void ThreadPool::parallel_for(std::size_t n, const ShardFn& body) {
   if (n == 0) return;
+  std::uint64_t t0 = mono_ns();
+  ++stats_.parallel_for_calls;
+  stats_.items_total += n;
+  stats_.max_items = std::max<std::uint64_t>(stats_.max_items, n);
   if (threads_.empty()) {
     body(0, n);
-    return;
+  } else {
+    std::size_t begin0 = 0, end0 = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_n_ = n;
+      task_body_ = &body;
+      remaining_ = static_cast<int>(threads_.size());
+      ++epoch_;
+      std::tie(begin0, end0) = shard_bounds(0);
+    }
+    work_ready_.notify_all();
+    if (begin0 < end0) body(begin0, end0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return remaining_ == 0; });
+    task_body_ = nullptr;
   }
-  std::size_t begin0 = 0, end0 = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    task_n_ = n;
-    task_body_ = &body;
-    remaining_ = static_cast<int>(threads_.size());
-    ++epoch_;
-    std::tie(begin0, end0) = shard_bounds(0);
-  }
-  work_ready_.notify_all();
-  if (begin0 < end0) body(begin0, end0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [&] { return remaining_ == 0; });
-  task_body_ = nullptr;
+  std::uint64_t elapsed = mono_ns() - t0;
+  stats_.busy_ns_total += elapsed;
+  stats_.max_task_ns = std::max(stats_.max_task_ns, elapsed);
 }
 
 }  // namespace pingmesh

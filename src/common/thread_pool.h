@@ -46,6 +46,19 @@ class ThreadPool {
   /// worker's exception terminates (bodies must not throw).
   void parallel_for(std::size_t n, const ShardFn& body);
 
+  /// Pool-level counters maintained on the caller thread (parallel_for is a
+  /// barrier and not reentrant, so no synchronization is needed to read
+  /// them between calls). busy_ns figures are real elapsed time — they are
+  /// for observability only and must never feed back into simulation logic.
+  struct Stats {
+    std::uint64_t parallel_for_calls = 0;
+    std::uint64_t items_total = 0;   ///< sum of n over all calls
+    std::uint64_t max_items = 0;     ///< largest single n
+    std::uint64_t busy_ns_total = 0; ///< wall time spent inside parallel_for
+    std::uint64_t max_task_ns = 0;   ///< slowest single parallel_for
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   /// A sensible default worker count for this machine.
   static int hardware_workers();
 
@@ -64,6 +77,7 @@ class ThreadPool {
   const ShardFn* task_body_ = nullptr;
   int remaining_ = 0;           // spawned workers still running the epoch
   bool stopping_ = false;
+  Stats stats_;
 };
 
 }  // namespace pingmesh

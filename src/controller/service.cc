@@ -10,11 +10,27 @@ namespace pingmesh::controller {
 
 FetchResult DirectPinglistSource::fetch(IpAddr server_ip) {
   fetches_.fetch_add(1, std::memory_order_relaxed);
-  if (!reachable_) return FetchResult{FetchStatus::kUnreachable, std::nullopt};
-  if (!serving_) return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+  if (!reachable_) {
+    if (fetch_unreachable_ != nullptr) fetch_unreachable_->inc();
+    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  }
+  if (!serving_) {
+    if (fetch_none_ != nullptr) fetch_none_->inc();
+    return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+  }
   auto server = topo_->find_server_by_ip(server_ip);
-  if (!server) return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+  if (!server) {
+    if (fetch_none_ != nullptr) fetch_none_->inc();
+    return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+  }
+  if (fetch_ok_ != nullptr) fetch_ok_->inc();
   return FetchResult{FetchStatus::kOk, gen_->generate_for(*server)};
+}
+
+void DirectPinglistSource::enable_observability(obs::MetricsRegistry& registry) {
+  fetch_ok_ = &registry.counter("controller.fetches_total", "status=ok");
+  fetch_none_ = &registry.counter("controller.fetches_total", "status=none");
+  fetch_unreachable_ = &registry.counter("controller.fetches_total", "status=unreachable");
 }
 
 // ---------------------------------------------------------------------------
@@ -27,6 +43,11 @@ ControllerHttpService::ControllerHttpService(net::Reactor& reactor,
                                              const PinglistGenerator& gen)
     : topo_(&topo), gen_(&gen), server_(reactor, bind_addr) {
   regenerate();
+  // Both the canonical "/pinglist/<ip>" form and the bare "/pinglist" path
+  // land in handle_pinglist; the handler itself validates the prefix, so a
+  // short or malformed path is a 404, not an out-of-range substr.
+  server_.route("/pinglist",
+                [this](const net::HttpRequest& req) { return handle_pinglist(req); });
   server_.route("/pinglist/",
                 [this](const net::HttpRequest& req) { return handle_pinglist(req); });
   server_.route("/health", [](const net::HttpRequest&) {
@@ -39,16 +60,46 @@ void ControllerHttpService::regenerate() {
   for (const topo::Server& s : topo_->servers()) {
     files_[s.ip.str()] = gen_->generate_for(s.id).to_xml();
   }
+  generated_version_ = gen_->version();
+  withdrawn_ = false;
+  ++regenerations_;
+  if (regen_counter_ != nullptr) regen_counter_->inc();
 }
 
-void ControllerHttpService::withdraw_all() { files_.clear(); }
+void ControllerHttpService::withdraw_all() {
+  files_.clear();
+  withdrawn_ = true;
+}
+
+void ControllerHttpService::enable_observability(obs::MetricsRegistry& registry) {
+  req_ok_ = &registry.counter("controller.pinglist_requests_total", "result=ok");
+  req_miss_ = &registry.counter("controller.pinglist_requests_total", "result=miss");
+  req_bad_path_ = &registry.counter("controller.pinglist_requests_total", "result=bad_path");
+  regen_counter_ = &registry.counter("controller.pinglist_regenerations_total");
+}
+
+void ControllerHttpService::refresh_if_stale() {
+  // The service used to serve only what the constructor generated; a live
+  // topology/version change silently kept stale files on the wire. Withdrawn
+  // state is sticky — the kill switch must not be undone by a version bump.
+  if (!withdrawn_ && generated_version_ != gen_->version()) regenerate();
+}
 
 net::HttpResponse ControllerHttpService::handle_pinglist(const net::HttpRequest& req) {
   constexpr std::string_view kPrefix = "/pinglist/";
+  if (!std::string_view(req.path).starts_with(kPrefix)) {
+    if (req_bad_path_ != nullptr) req_bad_path_->inc();
+    return net::HttpResponse::not_found("expected /pinglist/<ip>");
+  }
+  refresh_if_stale();
   std::string ip = req.path.substr(kPrefix.size());
   if (auto q = ip.find('?'); q != std::string::npos) ip.resize(q);
   auto it = files_.find(ip);
-  if (it == files_.end()) return net::HttpResponse::not_found("no pinglist for " + ip);
+  if (it == files_.end()) {
+    if (req_miss_ != nullptr) req_miss_->inc();
+    return net::HttpResponse::not_found("no pinglist for " + ip);
+  }
+  if (req_ok_ != nullptr) req_ok_->inc();
   return net::HttpResponse::ok(it->second, "application/xml");
 }
 

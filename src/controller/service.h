@@ -18,6 +18,7 @@
 #include "controller/pinglist.h"
 #include "controller/slb.h"
 #include "net/http.h"
+#include "obs/metrics.h"
 
 namespace pingmesh::controller {
 
@@ -63,19 +64,28 @@ class DirectPinglistSource final : public PinglistSource {
     return fetches_.load(std::memory_order_relaxed);
   }
 
+  /// Register controller.fetches_total{status=...} counters. The counters
+  /// are atomic, so instrumented fetch() stays shard-safe.
+  void enable_observability(obs::MetricsRegistry& registry);
+
  private:
   const topo::Topology* topo_;
   const PinglistGenerator* gen_;
   bool reachable_ = true;
   bool serving_ = true;
   std::atomic<std::uint64_t> fetches_{0};
+  obs::Counter* fetch_ok_ = nullptr;
+  obs::Counter* fetch_none_ = nullptr;
+  obs::Counter* fetch_unreachable_ = nullptr;
 };
 
 /// The controller's RESTful web service. Serves:
 ///   GET /pinglist/<dotted-ip>   -> 200 with the pinglist XML, or 404
 ///   GET /health                 -> 200 "ok"
 /// Pinglist files are pre-generated (the real controller stores them on SSD
-/// and serves them statically) and refreshed via regenerate().
+/// and serves them statically), refreshed via regenerate(), and — because a
+/// live controller outlasts its first topology — re-generated lazily when
+/// the generator's pinglist version moves past what was served.
 class ControllerHttpService {
  public:
   ControllerHttpService(net::Reactor& reactor, const net::SockAddr& bind_addr,
@@ -83,18 +93,31 @@ class ControllerHttpService {
 
   /// Re-run the generator (topology or config changed).
   void regenerate();
-  /// Withdraw all pinglist files (fail-closed drill).
+  /// Withdraw all pinglist files (fail-closed drill). Sticks until the next
+  /// explicit regenerate() — a version bump alone does not undo a withdrawal.
   void withdraw_all();
+
+  /// Register controller.pinglist_* instruments.
+  void enable_observability(obs::MetricsRegistry& registry);
 
   [[nodiscard]] std::uint16_t port() const { return server_.port(); }
   [[nodiscard]] std::uint64_t requests_served() const { return server_.requests_served(); }
+  [[nodiscard]] std::uint64_t regenerations() const { return regenerations_; }
 
  private:
   net::HttpResponse handle_pinglist(const net::HttpRequest& req);
+  void refresh_if_stale();
 
   const topo::Topology* topo_;
   const PinglistGenerator* gen_;
   std::unordered_map<std::string, std::string> files_;  // dotted ip -> XML
+  std::uint64_t generated_version_ = 0;  ///< gen_->version() when files_ was built
+  bool withdrawn_ = false;
+  std::uint64_t regenerations_ = 0;
+  obs::Counter* req_ok_ = nullptr;
+  obs::Counter* req_miss_ = nullptr;
+  obs::Counter* req_bad_path_ = nullptr;
+  obs::Counter* regen_counter_ = nullptr;
   net::HttpServer server_;
 };
 

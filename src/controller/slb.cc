@@ -3,11 +3,39 @@
 namespace pingmesh::controller {
 
 std::size_t SlbVip::add_backend(std::string endpoint) {
-  backends_.push_back(Backend{std::move(endpoint), true, 0, 0});
+  backends_.push_back(Backend{std::move(endpoint), true, 0, 0, 0});
+  if (hooks_.healthy_backends != nullptr) {
+    hooks_.healthy_backends->set(static_cast<double>(healthy_count()));
+  }
   return backends_.size() - 1;
 }
 
+void SlbVip::enable_observability(obs::MetricsRegistry& registry) {
+  hooks_.picks = &registry.counter("slb.picks_total");
+  hooks_.trials = &registry.counter("slb.half_open_trials_total");
+  hooks_.flips_down = &registry.counter("slb.health_flips_total", "to=down");
+  hooks_.flips_up = &registry.counter("slb.health_flips_total", "to=up");
+  hooks_.healthy_backends = &registry.gauge("slb.healthy_backends");
+  hooks_.healthy_backends->set(static_cast<double>(healthy_count()));
+}
+
 std::optional<std::size_t> SlbVip::pick(std::uint64_t flow_hash) {
+  ++total_picks_;
+  if (hooks_.picks != nullptr) hooks_.picks->inc();
+
+  // Half-open trials first: an unhealthy backend that has sat out long
+  // enough gets this flow as its recovery probe.
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Backend& b = backends_[i];
+    if (b.healthy) continue;
+    if (total_picks_ - b.unhealthy_since_pick < recovery_after_) continue;
+    b.unhealthy_since_pick = total_picks_;  // re-arm for the next trial
+    ++b.picks;
+    ++half_open_trials_;
+    if (hooks_.trials != nullptr) hooks_.trials->inc();
+    return i;
+  }
+
   std::size_t healthy = healthy_count();
   if (healthy == 0) return std::nullopt;
   std::size_t target = static_cast<std::size_t>(mix64(flow_hash) % healthy);
@@ -21,19 +49,35 @@ std::optional<std::size_t> SlbVip::pick(std::uint64_t flow_hash) {
   return std::nullopt;  // unreachable
 }
 
+void SlbVip::flip_health(Backend& b, bool healthy) {
+  if (b.healthy == healthy) return;
+  b.healthy = healthy;
+  if (healthy) {
+    ++flips_up_;
+    if (hooks_.flips_up != nullptr) hooks_.flips_up->inc();
+  } else {
+    b.unhealthy_since_pick = total_picks_;
+    ++flips_down_;
+    if (hooks_.flips_down != nullptr) hooks_.flips_down->inc();
+  }
+  if (hooks_.healthy_backends != nullptr) {
+    hooks_.healthy_backends->set(static_cast<double>(healthy_count()));
+  }
+}
+
 void SlbVip::report(std::size_t idx, bool success) {
   Backend& b = backends_.at(idx);
   if (success) {
     b.consecutive_failures = 0;
-    b.healthy = true;
+    flip_health(b, true);
   } else {
-    if (++b.consecutive_failures >= failure_threshold_) b.healthy = false;
+    if (++b.consecutive_failures >= failure_threshold_) flip_health(b, false);
   }
 }
 
 void SlbVip::set_healthy(std::size_t idx, bool healthy) {
   Backend& b = backends_.at(idx);
-  b.healthy = healthy;
+  flip_health(b, healthy);
   if (healthy) b.consecutive_failures = 0;
 }
 

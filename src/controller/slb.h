@@ -10,7 +10,15 @@
 // endpoints with health state; pick() spreads flows over healthy backends
 // by flow hash; health probes run in the caller's loop (the real Ananta
 // data plane is out of scope — the behaviour that matters to Pingmesh is
-// rotation and automatic removal).
+// rotation, automatic removal, and automatic *re-admission*).
+//
+// Re-admission works half-open, circuit-breaker style: an unhealthy
+// backend that has sat out of rotation for `recovery_after` picks gets one
+// trial flow routed to it. If the caller reports success the backend flips
+// healthy and rejoins rotation; on failure it waits out another
+// `recovery_after` picks. Before this, report(success) could only re-admit
+// a backend that was still being picked — which an unhealthy backend never
+// was, so removal was permanent.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace pingmesh::controller {
 
@@ -29,31 +38,64 @@ class SlbVip {
     bool healthy = true;
     std::uint64_t picks = 0;
     int consecutive_failures = 0;
+    /// pick() sequence number at which this backend went unhealthy (or was
+    /// last given a half-open trial); rotation re-tries it recovery_after
+    /// picks later.
+    std::uint64_t unhealthy_since_pick = 0;
   };
 
-  /// Failures before a backend is taken out of rotation.
-  explicit SlbVip(int failure_threshold = 3) : failure_threshold_(failure_threshold) {}
+  /// `failure_threshold`: consecutive failures before a backend is taken
+  /// out of rotation. `recovery_after`: VIP-wide picks an unhealthy backend
+  /// sits out before its next half-open trial.
+  explicit SlbVip(int failure_threshold = 3, std::uint64_t recovery_after = 16)
+      : failure_threshold_(failure_threshold), recovery_after_(recovery_after) {}
 
   std::size_t add_backend(std::string endpoint);
 
-  /// Choose a healthy backend for a flow; flows hash-spread over backends.
-  /// nullopt when none are healthy.
+  /// Choose a backend for a flow; flows hash-spread over healthy backends,
+  /// except that an unhealthy backend due for a half-open trial takes
+  /// priority (it gets this one flow as its probe). nullopt when no backend
+  /// is healthy and none is due for a trial.
   std::optional<std::size_t> pick(std::uint64_t flow_hash);
 
   /// Report the outcome of a request to backend `idx`; failures accumulate
   /// and remove the backend from rotation at the threshold; a success while
-  /// out of rotation re-admits it (health probe recovered).
+  /// out of rotation re-admits it (half-open trial succeeded).
   void report(std::size_t idx, bool success);
 
   void set_healthy(std::size_t idx, bool healthy);
 
+  /// Register slb.* instruments on `registry`. Optional; without it the
+  /// VIP just keeps its local counters.
+  void enable_observability(obs::MetricsRegistry& registry);
+
   [[nodiscard]] const Backend& backend(std::size_t idx) const { return backends_.at(idx); }
   [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
   [[nodiscard]] std::size_t healthy_count() const;
+  [[nodiscard]] std::uint64_t total_picks() const { return total_picks_; }
+  [[nodiscard]] std::uint64_t half_open_trials() const { return half_open_trials_; }
+  [[nodiscard]] std::uint64_t health_flips_down() const { return flips_down_; }
+  [[nodiscard]] std::uint64_t health_flips_up() const { return flips_up_; }
 
  private:
+  void flip_health(Backend& b, bool healthy);
+
   std::vector<Backend> backends_;
   int failure_threshold_;
+  std::uint64_t recovery_after_;
+  std::uint64_t total_picks_ = 0;
+  std::uint64_t half_open_trials_ = 0;
+  std::uint64_t flips_down_ = 0;
+  std::uint64_t flips_up_ = 0;
+
+  struct ObsHooks {
+    obs::Counter* picks = nullptr;
+    obs::Counter* trials = nullptr;
+    obs::Counter* flips_down = nullptr;
+    obs::Counter* flips_up = nullptr;
+    obs::Gauge* healthy_backends = nullptr;
+  };
+  ObsHooks hooks_{};
 };
 
 }  // namespace pingmesh::controller

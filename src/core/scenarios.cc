@@ -100,4 +100,12 @@ SimulationConfig streaming_test_config(std::uint64_t seed) {
   return cfg;
 }
 
+SimulationConfig observability_test_config(std::uint64_t seed, std::uint64_t sample_every) {
+  SimulationConfig cfg = streaming_test_config(seed);
+  cfg.observability.enabled = true;
+  cfg.observability.trace.enabled = true;
+  cfg.observability.trace.sample_every = sample_every;
+  return cfg;
+}
+
 }  // namespace pingmesh::core

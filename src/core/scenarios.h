@@ -40,4 +40,10 @@ SimulationConfig small_test_config(std::uint64_t seed = 42);
 /// freshness (the sub-minute-detection scenario; DESIGN.md §8).
 SimulationConfig streaming_test_config(std::uint64_t seed = 42);
 
+/// streaming_test_config with the observability layer on: the fleet-wide
+/// MetricsRegistry plus the sampled data-path tracer (DESIGN.md §10).
+/// `sample_every` controls trace sampling (1 = trace every record).
+SimulationConfig observability_test_config(std::uint64_t seed = 42,
+                                           std::uint64_t sample_every = 64);
+
 }  // namespace pingmesh::core

@@ -1,5 +1,8 @@
 #include "core/simulation.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/rng.h"
 
 namespace pingmesh::core {
@@ -25,6 +28,15 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
   job_ctx_.scan_cache = &scan_cache_;
   jobs_.register_standard_jobs(cosmos_.stream(dsa::kLatencyStream), job_ctx_,
                                config_.thresholds, config_.include_server_sla_rows);
+
+  // Controller replica set behind the SLB VIP (§3.3.2). Every replica
+  // serves the same generator output (source_); the VIP only decides which
+  // replica a fetch lands on and whether that replica is alive.
+  int replicas = std::max(1, config_.controller_replicas);
+  for (int i = 0; i < replicas; ++i) {
+    controller_vip_.add_backend("controller-" + std::to_string(i));
+    replica_up_.push_back(1);
+  }
 
   if (config_.worker_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
@@ -79,6 +91,8 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
     return r;
   });
 
+  if (config_.observability.enabled) wire_observability();
+
   // Drivers.
   scheduler_.schedule_every(config_.agent_tick, [this](SimTime now) {
     tick_agents(now);
@@ -92,6 +106,108 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
     tick_jobs(now);
     return true;
   });
+}
+
+void PingmeshSimulation::wire_observability() {
+  obs_ = std::make_unique<obs::Observability>(config_.observability);
+  obs::MetricsRegistry& reg = obs_->metrics();
+  const obs::Tracer* tracer = &obs_->tracer();
+
+  source_.enable_observability(reg);
+  controller_vip_.enable_observability(reg);
+  uploader_.enable_observability(reg, tracer);
+  jobs_.enable_observability(reg, tracer);
+  scan_cache_.set_observability(tracer, &scheduler_.clock());
+  for (auto& ag : agents_) ag->enable_observability(reg, tracer);
+  if (streaming_) streaming_->set_tracer(tracer);
+
+  // Polled gauges over components that must stay obs-free (common/ is a
+  // lower layer than obs) or that already keep their own counters.
+  reg.gauge_fn("threadpool.workers", "",
+               [this] { return static_cast<double>(worker_threads()); });
+  reg.gauge_fn("threadpool.parallel_for_total", "", [this] {
+    return pool_ ? static_cast<double>(pool_->stats().parallel_for_calls) : 0.0;
+  });
+  reg.gauge_fn("threadpool.items_total", "", [this] {
+    return pool_ ? static_cast<double>(pool_->stats().items_total) : 0.0;
+  });
+  // Real elapsed time, not virtual: excluded from golden snapshots.
+  reg.gauge_fn("threadpool.busy_ns_total", "", [this] {
+    return pool_ ? static_cast<double>(pool_->stats().busy_ns_total) : 0.0;
+  });
+  reg.gauge_fn("cosmos.extents", "", [this] {
+    const dsa::CosmosStream* s = cosmos_.find(dsa::kLatencyStream);
+    return s ? static_cast<double>(s->extents().size()) : 0.0;
+  });
+  reg.gauge_fn("cosmos.records_total", "",
+               [this] { return static_cast<double>(cosmos_.total_records()); });
+  reg.gauge_fn("cosmos.bytes_total", "",
+               [this] { return static_cast<double>(cosmos_.total_bytes()); });
+  reg.gauge_fn("dsa.scan_cache_hits_total", "",
+               [this] { return static_cast<double>(scan_cache_.hits()); });
+  reg.gauge_fn("dsa.scan_cache_misses_total", "",
+               [this] { return static_cast<double>(scan_cache_.misses()); });
+  reg.gauge_fn("dsa.scan_cache_evictions_total", "",
+               [this] { return static_cast<double>(scan_cache_.evictions()); });
+  reg.gauge_fn("dsa.scan_cache_entries", "",
+               [this] { return static_cast<double>(scan_cache_.size()); });
+  if (streaming_) {
+    reg.gauge_fn("streaming.records_ingested_total", "", [this] {
+      return static_cast<double>(streaming_->windows().records_ingested());
+    });
+    reg.gauge_fn("streaming.records_skipped_total", "", [this] {
+      return static_cast<double>(streaming_->windows().records_skipped());
+    });
+    reg.gauge_fn("streaming.late_dropped_total", "", [this] {
+      return static_cast<double>(streaming_->windows().late_dropped());
+    });
+    reg.gauge_fn("streaming.window_expiries_total", "", [this] {
+      return static_cast<double>(streaming_->windows().window_expiries());
+    });
+    reg.gauge_fn("streaming.pair_count", "", [this] {
+      return static_cast<double>(streaming_->windows().pair_count());
+    });
+    reg.gauge_fn("streaming.evaluations_total", "", [this] {
+      return static_cast<double>(streaming_->detector().evaluations());
+    });
+    reg.gauge_fn("streaming.alerts_opened_total", "", [this] {
+      return static_cast<double>(streaming_->detector().alerts_opened());
+    });
+    reg.gauge_fn("streaming.alerts_closed_total", "", [this] {
+      return static_cast<double>(streaming_->detector().alerts_closed());
+    });
+  }
+}
+
+void PingmeshSimulation::set_controller_replica_up(std::size_t replica, bool up) {
+  replica_up_.at(replica) = up ? 1 : 0;
+}
+
+controller::FetchResult PingmeshSimulation::fetch_pinglist(IpAddr server_ip, SimTime now) {
+  std::optional<std::size_t> pick;
+  bool up = false;
+  {
+    // Worker shards fetch concurrently; the VIP's rotation state is the one
+    // shared mutable piece, so it's mutex-guarded. The picked replica
+    // depends only on (flow hash, healthy set), not on arrival order.
+    std::lock_guard<std::mutex> lock(vip_mutex_);
+    pick = controller_vip_.pick(mix64(server_ip.v ^ static_cast<std::uint64_t>(now)));
+    if (pick) up = replica_up_[*pick] != 0;
+  }
+  if (!pick) return controller::FetchResult{controller::FetchStatus::kUnreachable, {}};
+  if (!up) {
+    std::lock_guard<std::mutex> lock(vip_mutex_);
+    controller_vip_.report(*pick, false);
+    return controller::FetchResult{controller::FetchStatus::kUnreachable, {}};
+  }
+  controller::FetchResult r = source_.fetch(server_ip);
+  {
+    std::lock_guard<std::mutex> lock(vip_mutex_);
+    // A kNoPinglist answer is still a live replica; only transport-level
+    // unreachability counts against its health.
+    controller_vip_.report(*pick, r.status != controller::FetchStatus::kUnreachable);
+  }
+  return r;
 }
 
 void PingmeshSimulation::register_vip(IpAddr vip, std::vector<ServerId> dips) {
@@ -160,7 +276,7 @@ void PingmeshSimulation::tick_agents(SimTime now) {
       agent::PingmeshAgent& ag = *agents_[s.id.value];
       agent::PingmeshAgent::TickActions actions = ag.tick(now);
       if (actions.fetch_pinglist) {
-        ag.on_pinglist(source_.fetch(s.ip), now);
+        ag.on_pinglist(fetch_pinglist(s.ip, now), now);
         // Newly adopted pinglists may have probes due immediately.
         auto more = ag.tick(now);
         for (const auto& req : more.probes) actions.probes.push_back(req);

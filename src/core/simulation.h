@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "common/thread_pool.h"
 #include "controller/generator.h"
 #include "controller/service.h"
+#include "controller/slb.h"
+#include "obs/observability.h"
 #include "dsa/cosmos.h"
 #include "dsa/database.h"
 #include "dsa/jobs.h"
@@ -53,6 +56,14 @@ struct SimulationConfig {
   /// Near-real-time analytics path (off by default): taps record batches at
   /// upload time into sliding windows + the online detector (DESIGN.md §8).
   streaming::StreamingConfig streaming;
+  /// Fleet-wide observability (off by default): the shared MetricsRegistry
+  /// plus the sampled data-path tracer (DESIGN.md §10). Zero overhead when
+  /// disabled — no registry is constructed and every hook stays null.
+  obs::ObservabilityConfig observability;
+  /// Controller replicas behind the pinglist VIP (§3.3.2). Every replica
+  /// serves the identical generator output; the SLB spreads fetches and
+  /// removes/readmits replicas as they fail/recover.
+  int controller_replicas = 3;
   /// Worker threads for the agent tick path (1 = serial). Results are
   /// bit-identical for any value: probe outcomes are pure functions of
   /// (seed, five-tuple, time) and uploads drain in server-id order after a
@@ -93,6 +104,15 @@ class PingmeshSimulation {
   /// Failure injection on the upload path (Cosmos front-end outages).
   dsa::CosmosUploader& uploader_for_test() { return uploader_; }
 
+  /// Observability layer; null unless config().observability.enabled.
+  [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
+  [[nodiscard]] const obs::Observability* observability() const { return obs_.get(); }
+  /// The SLB VIP in front of the controller replica set.
+  [[nodiscard]] const controller::SlbVip& controller_vip() const { return controller_vip_; }
+  /// Kill / revive one controller replica (failure injection). Call only
+  /// between run_for() segments — replica state is read by worker shards.
+  void set_controller_replica_up(std::size_t replica, bool up);
+
   /// Register a VIP with its destination (DIP) pool (paper §6.2 "VIP
   /// monitoring"). Probes to the VIP address are load-balanced over the
   /// DIPs by source-port hash.
@@ -115,14 +135,20 @@ class PingmeshSimulation {
   void tick_agents(SimTime now);
   void collect_pa(SimTime now);
   void tick_jobs(SimTime now);
+  void wire_observability();
   agent::ProbeResult execute_probe(ServerId src, const agent::ProbeRequest& req,
                                    SimTime now);
+  controller::FetchResult fetch_pinglist(IpAddr server_ip, SimTime now);
 
   SimulationConfig config_;
+  std::unique_ptr<obs::Observability> obs_;  // null when observability off
   topo::Topology topo_;
   netsim::SimNetwork net_;
   controller::PinglistGenerator generator_;
   controller::DirectPinglistSource source_;
+  controller::SlbVip controller_vip_;
+  std::vector<char> replica_up_;  // by backend index; flipped between ticks
+  std::mutex vip_mutex_;          // guards VIP pick/report from worker shards
   EventScheduler scheduler_;
   dsa::CosmosStore cosmos_;
   dsa::Database db_;

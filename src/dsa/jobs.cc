@@ -236,6 +236,20 @@ void JobManager::register_job(std::string name, SimTime period, JobFn fn) {
   j.fn = std::move(fn);
   j.next_window_start = 0;
   jobs_.push_back(std::move(j));
+  if (registry_ != nullptr) attach_instruments(jobs_.back());
+}
+
+void JobManager::attach_instruments(Job& j) {
+  std::string label = "job=" + j.stats.name;
+  j.runs_counter = &registry_->counter("dsa.job_runs_total", label);
+  j.delay_gauge = &registry_->gauge("dsa.job_e2e_delay_seconds", label);
+}
+
+void JobManager::enable_observability(obs::MetricsRegistry& registry,
+                                      const obs::Tracer* tracer) {
+  registry_ = &registry;
+  tracer_ = tracer;
+  for (Job& j : jobs_) attach_instruments(j);
 }
 
 void JobManager::register_standard_jobs(const CosmosStream& stream, const JobContext& ctx,
@@ -273,6 +287,16 @@ void JobManager::on_tick(SimTime now) {
       j.stats.last_window_start = from;
       j.stats.last_fire_time = now;
       j.next_window_start = to;
+      if (j.runs_counter != nullptr) {
+        j.runs_counter->inc();
+        j.delay_gauge->set(static_cast<double>(j.stats.last_e2e_delay()) /
+                           static_cast<double>(kNanosPerSecond));
+      }
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        // Infra span (trace id 0): one per job run, spanning its window.
+        tracer_->span(0, "dsa.job", from, now,
+                      "job=" + j.stats.name + ";window_end=" + std::to_string(to));
+      }
     }
   }
 }

@@ -25,6 +25,8 @@
 #include "dsa/cosmos.h"
 #include "dsa/database.h"
 #include "dsa/scope.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/topology.h"
 
 namespace pingmesh::dsa {
@@ -126,6 +128,11 @@ class JobManager {
   /// tick; idempotent within a window).
   void on_tick(SimTime now);
 
+  /// Register dsa.job_* instruments (run counters + e2e-delay gauges per
+  /// job) and, with a tracer, emit an infra span (trace id 0) per job run.
+  void enable_observability(obs::MetricsRegistry& registry,
+                            const obs::Tracer* tracer = nullptr);
+
   [[nodiscard]] std::vector<JobStats> stats() const;
 
  private:
@@ -133,10 +140,16 @@ class JobManager {
     JobStats stats;
     JobFn fn;
     SimTime next_window_start = 0;
+    obs::Counter* runs_counter = nullptr;
+    obs::Gauge* delay_gauge = nullptr;
   };
+
+  void attach_instruments(Job& j);
 
   SimTime ingestion_delay_;
   std::vector<Job> jobs_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  const obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pingmesh::dsa

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "agent/record.h"
+#include "common/clock.h"
 #include "dsa/cosmos.h"
 #include "dsa/scope.h"
+#include "obs/trace.h"
 
 namespace pingmesh::dsa {
 
@@ -41,6 +43,15 @@ class DecodedExtentCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
+  /// Attach the data-path tracer (and the clock that stamps its spans).
+  /// Cached extract_records then emits scope.scan spans for sampled rows.
+  void set_observability(const obs::Tracer* tracer, const Clock* clock) {
+    tracer_ = tracer;
+    clock_ = clock;
+  }
+  [[nodiscard]] const obs::Tracer* tracer() const { return tracer_; }
+  [[nodiscard]] const Clock* span_clock() const { return clock_; }
+
  private:
   struct Entry {
     std::uint32_t checksum = 0;
@@ -55,6 +66,8 @@ class DecodedExtentCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  const obs::Tracer* tracer_ = nullptr;
+  const Clock* clock_ = nullptr;
 };
 
 namespace scope {
@@ -65,9 +78,24 @@ inline DataSet<agent::LatencyRecord> extract_records(const CosmosStream& stream,
                                                      SimTime from, SimTime to,
                                                      DecodedExtentCache& cache) {
   std::vector<agent::LatencyRecord> out;
+  const obs::Tracer* tracer = cache.tracer();
+  bool tracing = tracer != nullptr && tracer->enabled() && cache.span_clock() != nullptr;
   stream.scan(from, to, [&](const Extent& e) {
-    for (const agent::LatencyRecord& r : cache.rows(e)) {
-      if (r.timestamp >= from && r.timestamp < to) out.push_back(r);
+    std::uint64_t hits_before = cache.hits();
+    const std::vector<agent::LatencyRecord>& rows = cache.rows(e);
+    bool hit = cache.hits() > hits_before;
+    for (const agent::LatencyRecord& r : rows) {
+      if (r.timestamp < from || r.timestamp >= to) continue;
+      out.push_back(r);
+      if (tracing) {
+        std::uint64_t key = obs::trace_key(r.timestamp, r.src_ip.v, r.dst_ip.v, r.src_port);
+        if (tracer->sampled(key)) {
+          SimTime now = cache.span_clock()->now();
+          tracer->span(key, "scope.scan", now, now,
+                       std::string("cache=") + (hit ? "hit" : "miss") +
+                           ";extent=" + std::to_string(e.id));
+        }
+      }
     }
   });
   return DataSet<agent::LatencyRecord>(std::move(out));

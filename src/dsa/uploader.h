@@ -12,6 +12,8 @@
 #include "common/check.h"
 #include "common/clock.h"
 #include "dsa/cosmos.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pingmesh::dsa {
 
@@ -33,9 +35,13 @@ class CosmosUploader final : public agent::Uploader {
       : store_(&store), stream_name_(std::move(stream_name)), clock_(&clock) {}
 
   bool upload(const std::vector<agent::LatencyRecord>& batch) override {
-    if (!available_) return false;
+    if (!available_) {
+      if (uploads_failed_counter_ != nullptr) uploads_failed_counter_->inc();
+      return false;
+    }
     if (fail_next_ > 0) {
       --fail_next_;
+      if (uploads_failed_counter_ != nullptr) uploads_failed_counter_->inc();
       return false;
     }
     if (batch.empty()) return true;
@@ -45,11 +51,34 @@ class CosmosUploader final : public agent::Uploader {
       first = std::min(first, r.timestamp);
       last = std::max(last, r.timestamp);
     }
-    store_->stream(stream_name_)
-        .append(agent::encode_batch(batch), batch.size(), first, last, clock_->now());
+    std::uint64_t extent_id =
+        store_->stream(stream_name_)
+            .append(agent::encode_batch(batch), batch.size(), first, last, clock_->now());
     ++uploads_;
+    if (uploads_ok_counter_ != nullptr) {
+      uploads_ok_counter_->inc();
+      records_counter_->inc(batch.size());
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      SimTime now = clock_->now();
+      std::string note = "extent=" + std::to_string(extent_id);
+      for (const auto& r : batch) {
+        std::uint64_t key = obs::trace_key(r.timestamp, r.src_ip.v, r.dst_ip.v, r.src_port);
+        if (tracer_->sampled(key)) tracer_->span(key, "cosmos.append", now, now, note);
+      }
+    }
     if (tap_ != nullptr) tap_->on_records(batch, clock_->now());
     return true;
+  }
+
+  /// Register dsa.upload* instruments and (optionally) the data-path
+  /// tracer; sampled records get a cosmos.append span naming their extent.
+  void enable_observability(obs::MetricsRegistry& registry,
+                            const obs::Tracer* tracer = nullptr) {
+    uploads_ok_counter_ = &registry.counter("dsa.uploads_total", "result=ok");
+    uploads_failed_counter_ = &registry.counter("dsa.uploads_total", "result=fail");
+    records_counter_ = &registry.counter("dsa.upload_records_total");
+    tracer_ = tracer;
   }
 
   /// Streaming ingest tap: observes every batch that lands (null to detach).
@@ -75,6 +104,10 @@ class CosmosUploader final : public agent::Uploader {
   bool available_ = true;
   int fail_next_ = 0;
   std::uint64_t uploads_ = 0;
+  obs::Counter* uploads_ok_counter_ = nullptr;
+  obs::Counter* uploads_failed_counter_ = nullptr;
+  obs::Counter* records_counter_ = nullptr;
+  const obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pingmesh::dsa

@@ -1,0 +1,38 @@
+// The per-run observability bundle: one MetricsRegistry + one TraceSink +
+// its Tracer, owned together. PingmeshSimulation holds one of these behind
+// SimulationConfig.observability; real-socket drivers can own one the same
+// way. There is deliberately no global instance (lint rule metrics-global).
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pingmesh::obs {
+
+struct ObservabilityConfig {
+  bool enabled = false;  ///< master switch: off = no registry, zero overhead
+  TraceConfig trace;     ///< span tracing (independent sub-switch)
+};
+
+class Observability {
+ public:
+  explicit Observability(ObservabilityConfig cfg)
+      : cfg_(cfg), sink_(cfg.trace.ring_capacity), tracer_(cfg.trace, sink_) {}
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] TraceSink& sink() { return sink_; }
+  [[nodiscard]] const TraceSink& sink() const { return sink_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] const ObservabilityConfig& config() const { return cfg_; }
+
+ private:
+  ObservabilityConfig cfg_;
+  MetricsRegistry metrics_;
+  TraceSink sink_;
+  Tracer tracer_;
+};
+
+}  // namespace pingmesh::obs

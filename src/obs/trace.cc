@@ -1,0 +1,68 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pingmesh::obs {
+
+void TraceSink::record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(span);
+  }
+  ++recorded_;
+}
+
+std::vector<TraceSpan> TraceSink::spans_for(std::uint64_t trace) const {
+  std::vector<TraceSpan> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = ring_.size();
+  std::size_t oldest = recorded_ > capacity_ ? recorded_ % capacity_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceSpan& s = ring_[(oldest + i) % n];
+    if (s.trace == trace) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TraceSpan> TraceSink::snapshot() const {
+  std::vector<TraceSpan> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = ring_.size();
+  std::size_t oldest = recorded_ > capacity_ ? recorded_ % capacity_ : 0;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(oldest + i) % n]);
+  return out;
+}
+
+std::vector<std::uint64_t> TraceSink::trace_ids() const {
+  std::map<std::uint64_t, std::size_t> counts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceSpan& s : ring_) {
+      if (s.trace != 0) ++counts[s.trace];
+    }
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(counts.size());
+  for (const auto& [id, _] : counts) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [&](std::uint64_t a, std::uint64_t b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  });
+  return ids;
+}
+
+std::uint64_t TraceSink::spans_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t TraceSink::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+}  // namespace pingmesh::obs

@@ -1,0 +1,115 @@
+// Data-path tracing: follow a sampled LatencyRecord end-to-end.
+//
+// A LatencyRecord has no room for a trace id (the CSV schema is pinned by
+// the Cosmos extents), so a record's identity is *derived*: trace_key()
+// mixes the fields that uniquely identify one probe — (timestamp, src ip,
+// dst ip, src port) — into a 64-bit key. Every stage that touches the
+// record (agent buffering, upload attempts, Cosmos extent append, the
+// scan-cache path of the SCOPE jobs, streaming ingest) recomputes the key
+// from the record it is holding and, if the key is sampled, emits a span.
+// No context threading, no schema change, and the sampling decision is a
+// pure function of the record — deterministic across runs and worker
+// counts, never an RNG draw.
+//
+// Spans land in a fixed-capacity ring (TraceSink): tracing is bounded
+// memory by construction, mirroring the agent's own §3.4.2 discipline.
+// Infra-level spans with no record identity (SCOPE job runs, alert
+// evaluations) use trace id 0.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pingmesh::obs {
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Sample 1-in-N record keys (1 = every record). The decision is
+  /// key % sample_every == 0 on the mixed key, so it is stable per record.
+  std::uint64_t sample_every = 64;
+  /// Span ring capacity; the oldest spans are overwritten when full.
+  std::size_t ring_capacity = 8192;
+};
+
+struct TraceSpan {
+  std::uint64_t trace = 0;  ///< record key; 0 = infra span (no record identity)
+  std::string stage;        ///< e.g. "agent.probe", "cosmos.append"
+  SimTime start = 0;
+  SimTime end = 0;
+  std::string note;  ///< k=v details ("rtt=253000;success=1")
+};
+
+/// Identity of one probe's record, recomputable at any pipeline stage.
+constexpr std::uint64_t trace_key(SimTime timestamp, std::uint32_t src_ip,
+                                  std::uint32_t dst_ip, std::uint16_t src_port) {
+  std::uint64_t ips =
+      (static_cast<std::uint64_t>(src_ip) << 32) | static_cast<std::uint64_t>(dst_ip);
+  std::uint64_t key =
+      mix_key(static_cast<std::uint64_t>(timestamp), ips, src_port);
+  return key == 0 ? 1 : key;  // 0 is reserved for infra spans
+}
+
+/// Fixed-capacity span ring. Thread-safe: parallel tick shards emit spans
+/// concurrently; the mutex is uncontended off the sampled path.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 8192)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(TraceSpan span);
+
+  /// Every retained span of one trace, in emission order.
+  [[nodiscard]] std::vector<TraceSpan> spans_for(std::uint64_t trace) const;
+  /// Every retained span, oldest first.
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const;
+  /// Distinct non-infra trace ids among retained spans, ordered by
+  /// descending span count (most complete journey first), ties by id.
+  [[nodiscard]] std::vector<std::uint64_t> trace_ids() const;
+
+  [[nodiscard]] std::uint64_t spans_recorded() const;
+  [[nodiscard]] std::uint64_t spans_dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> ring_;   // insertion position = recorded_ % capacity_
+  std::uint64_t recorded_ = 0;
+};
+
+/// Hands components the sampling decision and the sink. Components hold a
+/// `const Tracer*` (null or disabled = zero work beyond one branch).
+class Tracer {
+ public:
+  Tracer(TraceConfig cfg, TraceSink& sink) : cfg_(cfg), sink_(&sink) {}
+
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+
+  /// Should this record key be traced?
+  [[nodiscard]] bool sampled(std::uint64_t key) const {
+    if (!cfg_.enabled) return false;
+    if (cfg_.sample_every <= 1) return true;
+    return key % cfg_.sample_every == 0;
+  }
+
+  void span(std::uint64_t trace, std::string_view stage, SimTime start, SimTime end,
+            std::string note = {}) const {
+    if (!cfg_.enabled) return;
+    sink_->record(TraceSpan{trace, std::string(stage), start, end, std::move(note)});
+  }
+
+  [[nodiscard]] const TraceConfig& config() const { return cfg_; }
+  [[nodiscard]] TraceSink& sink() const { return *sink_; }
+
+ private:
+  TraceConfig cfg_;
+  TraceSink* sink_;
+};
+
+}  // namespace pingmesh::obs

@@ -12,6 +12,7 @@
 
 #include "dsa/database.h"
 #include "dsa/uploader.h"
+#include "obs/trace.h"
 #include "streaming/detector.h"
 #include "streaming/window.h"
 #include "topology/topology.h"
@@ -30,9 +31,22 @@ class StreamingPipeline final : public dsa::RecordTap {
       : cfg_(cfg), windows_(topo, cfg.windows), detector_(topo, db, cfg.detector) {}
 
   /// dsa::RecordTap: a record batch just landed in Cosmos.
-  void on_records(const std::vector<agent::LatencyRecord>& batch, SimTime) override {
-    for (const agent::LatencyRecord& r : batch) windows_.ingest(r);
+  void on_records(const std::vector<agent::LatencyRecord>& batch, SimTime now) override {
+    for (const agent::LatencyRecord& r : batch) {
+      windows_.ingest(r);
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        std::uint64_t key = obs::trace_key(r.timestamp, r.src_ip.v, r.dst_ip.v, r.src_port);
+        if (tracer_->sampled(key)) {
+          tracer_->span(key, "streaming.ingest", now, now,
+                        "pairs=" + std::to_string(windows_.pair_count()));
+        }
+      }
+    }
   }
+
+  /// Attach the data-path tracer (nullptr to detach). Sampled records get a
+  /// streaming.ingest span as they land in the sliding windows.
+  void set_tracer(const obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Driver cadence (DetectorConfig::eval_period): run the online rules.
   /// Returns alerts newly opened.
@@ -48,6 +62,7 @@ class StreamingPipeline final : public dsa::RecordTap {
   StreamingConfig cfg_;
   WindowedAggregator windows_;
   OnlineDetector detector_;
+  const obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pingmesh::streaming

@@ -48,6 +48,9 @@ void WindowedAggregator::ingest(const agent::LatencyRecord& r) {
       ++late_dropped_;
       return;
     }
+    // Recycling a previously-filled slot is the moment its old sub-window
+    // leaves the retained horizon.
+    if (sub.start != kUnset) ++expiries_;
     sub.reset(window_start);
   }
 

@@ -109,6 +109,8 @@ class WindowedAggregator {
   [[nodiscard]] std::uint64_t records_ingested() const { return ingested_; }
   [[nodiscard]] std::uint64_t records_skipped() const { return skipped_; }
   [[nodiscard]] std::uint64_t late_dropped() const { return late_dropped_; }
+  /// Sub-windows whose contents aged out of the horizon (slot recycled).
+  [[nodiscard]] std::uint64_t window_expiries() const { return expiries_; }
   [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
@@ -153,6 +155,7 @@ class WindowedAggregator {
   std::uint64_t ingested_ = 0;
   std::uint64_t skipped_ = 0;
   std::uint64_t late_dropped_ = 0;
+  std::uint64_t expiries_ = 0;
 };
 
 }  // namespace pingmesh::streaming

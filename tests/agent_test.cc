@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "agent/agent.h"
 #include "agent/counters.h"
@@ -380,6 +382,89 @@ TEST(Record, RejectsOutOfRangeEnums) {
   auto row = r.to_csv_row();
   row[5] = "9";  // kind out of range
   EXPECT_FALSE(LatencyRecord::from_csv_row(row).has_value());
+}
+
+TEST(Agent, LocalLogAppendsEachRecordExactlyOnceAcrossRetries) {
+  // Regression: perform_upload appended the whole batch to the local log on
+  // *every* attempt, so a batch that survived N failed uploads landed in
+  // the log N+1 times. The high-water mark must keep it to exactly once.
+  std::string path = ::testing::TempDir() + "/pingmesh_agent_locallog_test.csv";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+
+  FakeUploader up;
+  AgentConfig cfg = test_config();
+  cfg.upload_batch_records = 5;
+  cfg.upload_max_retries = 5;
+  cfg.local_log_path = path;
+  PingmeshAgent agent("s", IpAddr(10, 0, 0, 1), cfg, up);
+  up.fail_count = 2;
+
+  agent.tick(0);
+  agent.on_pinglist(ok_fetch(make_pinglist(1)), 0);
+  ProbeRequest req;
+  req.target = make_pinglist(1).targets[0];
+  req.src_port = 40000;
+  // The 5th record fills the batch -> attempt 1 (fails); the two timer
+  // ticks drive attempt 2 (fails) and attempt 3 (succeeds).
+  for (int i = 0; i < 5; ++i) agent.on_probe_result(req, ok_result(), seconds(i));
+  agent.tick(minutes(2));
+  agent.tick(minutes(4));
+  ASSERT_EQ(up.uploaded.size(), 5u);
+  EXPECT_EQ(agent.uploads_failed(), 2u);
+  EXPECT_EQ(agent.uploads_ok(), 1u);
+
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  std::vector<LatencyRecord> logged = decode_batch(contents.str());
+  EXPECT_EQ(logged.size(), 5u);  // 15 before the fix (5 records x 3 attempts)
+  EXPECT_EQ(agent.records_logged(), 5u);
+  EXPECT_EQ(agent.local_log_dup_avoided(), 10u);
+  ASSERT_EQ(logged.size(), up.uploaded.size());
+  for (std::size_t i = 0; i < logged.size(); ++i) {
+    EXPECT_EQ(logged[i].timestamp, up.uploaded[i].timestamp) << i;
+  }
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+}
+
+TEST(Agent, LocalLogCoversRecordsBufferedAfterAFailedAttempt) {
+  // Records that arrive between retries extend the unlogged suffix: they
+  // must be logged exactly once too, not skipped and not duplicated.
+  std::string path = ::testing::TempDir() + "/pingmesh_agent_locallog_suffix.csv";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+
+  FakeUploader up;
+  AgentConfig cfg = test_config();
+  cfg.upload_batch_records = 3;
+  cfg.upload_max_retries = 5;
+  cfg.local_log_path = path;
+  PingmeshAgent agent("s", IpAddr(10, 0, 0, 1), cfg, up);
+  up.fail_count = 2;
+
+  agent.tick(0);
+  agent.on_pinglist(ok_fetch(make_pinglist(1)), 0);
+  ProbeRequest req;
+  req.target = make_pinglist(1).targets[0];
+  for (int i = 0; i < 3; ++i) agent.on_probe_result(req, ok_result(), seconds(i));
+  // Attempt 1 failed (3 records logged). Each later arrival re-fills the
+  // batch past the threshold and retries: attempt 2 fails (only the one
+  // new record may hit the log), attempt 3 succeeds with all 5.
+  agent.on_probe_result(req, ok_result(), seconds(10));
+  agent.on_probe_result(req, ok_result(), seconds(11));
+  ASSERT_EQ(up.uploaded.size(), 5u);
+
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(decode_batch(contents.str()).size(), 5u);
+  EXPECT_EQ(agent.records_logged(), 5u);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
 }
 
 TEST(RotatingLog, CapsSizeWithRotation) {

@@ -10,6 +10,7 @@
 #include "controller/service.h"
 #include "controller/slb.h"
 #include "net/reactor.h"
+#include "obs/metrics.h"
 #include "topology/topology.h"
 
 namespace pingmesh::controller {
@@ -289,17 +290,73 @@ TEST(Slb, SpreadsOverHealthyBackends) {
 }
 
 TEST(Slb, FailuresRemoveFromRotation) {
-  SlbVip vip(/*failure_threshold=*/3);
+  // recovery_after beyond the pick count here: no half-open trial interferes.
+  SlbVip vip(/*failure_threshold=*/3, /*recovery_after=*/1000);
   std::size_t a = vip.add_backend("a");
   vip.add_backend("b");
   for (int i = 0; i < 3; ++i) vip.report(a, false);
   EXPECT_EQ(vip.healthy_count(), 1u);
+  EXPECT_EQ(vip.health_flips_down(), 1u);
   for (std::uint64_t flow = 0; flow < 50; ++flow) {
     EXPECT_EQ(vip.pick(flow), std::optional<std::size_t>{1});
   }
   // A successful health probe re-admits it.
   vip.report(a, true);
   EXPECT_EQ(vip.healthy_count(), 2u);
+  EXPECT_EQ(vip.health_flips_up(), 1u);
+}
+
+TEST(Slb, RecoversBackendViaHalfOpenTrial) {
+  // Regression: before half-open re-probing, an unhealthy backend was never
+  // picked again, so no success could ever be reported for it and removal
+  // was permanent (recovery required an out-of-band set_healthy call).
+  SlbVip vip(/*failure_threshold=*/2, /*recovery_after=*/8);
+  std::size_t a = vip.add_backend("a");
+  std::size_t b = vip.add_backend("b");
+  vip.report(a, false);
+  vip.report(a, false);
+  EXPECT_EQ(vip.healthy_count(), 1u);
+
+  // Flows land on "b" until the trial window elapses; the 8th pick is the
+  // half-open trial routed to "a".
+  for (std::uint64_t flow = 0; flow < 7; ++flow) {
+    EXPECT_EQ(vip.pick(flow), std::optional<std::size_t>{b});
+  }
+  EXPECT_EQ(vip.pick(7), std::optional<std::size_t>{a});
+  EXPECT_EQ(vip.half_open_trials(), 1u);
+
+  // The trial failed: "a" stays out and waits a full window again.
+  vip.report(a, false);
+  EXPECT_EQ(vip.healthy_count(), 1u);
+  for (std::uint64_t flow = 0; flow < 7; ++flow) {
+    EXPECT_EQ(vip.pick(100 + flow), std::optional<std::size_t>{b});
+  }
+
+  // The next trial succeeds: "a" rejoins rotation and gets hash-spread.
+  EXPECT_EQ(vip.pick(999), std::optional<std::size_t>{a});
+  vip.report(a, true);
+  EXPECT_EQ(vip.healthy_count(), 2u);
+  EXPECT_EQ(vip.health_flips_up(), 1u);
+  std::set<std::size_t> seen;
+  for (std::uint64_t flow = 0; flow < 50; ++flow) seen.insert(*vip.pick(flow));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Slb, HalfOpenTrialEmitsMetrics) {
+  obs::MetricsRegistry reg;
+  SlbVip vip(/*failure_threshold=*/1, /*recovery_after=*/2);
+  vip.enable_observability(reg);
+  std::size_t a = vip.add_backend("a");
+  vip.add_backend("b");
+  vip.report(a, false);
+  for (std::uint64_t flow = 0; flow < 4; ++flow) vip.pick(flow);
+  vip.report(a, true);
+  std::string text = reg.expose({"slb."});
+  EXPECT_NE(text.find("slb.health_flips_total{to=down} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("slb.health_flips_total{to=up} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("slb.picks_total 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("slb.healthy_backends 2"), std::string::npos) << text;
+  EXPECT_GE(vip.half_open_trials(), 1u);
 }
 
 TEST(Slb, NoHealthyBackends) {
@@ -356,6 +413,65 @@ TEST(HttpDistribution, EndToEndOverLoopback) {
   // Withdrawal: the operator kill switch.
   svc.withdraw_all();
   EXPECT_EQ(source.fetch(s.ip).status, FetchStatus::kNoPinglist);
+}
+
+namespace {
+
+/// GET `path` from a local ControllerHttpService; returns the status code.
+int http_get_status(net::Reactor& reactor, std::uint16_t port, const std::string& path,
+                    std::string* body = nullptr) {
+  net::HttpClient client(reactor);
+  std::optional<net::HttpResult> result;
+  client.get(net::SockAddr::loopback(port), path, std::chrono::milliseconds(2000),
+             [&result](const net::HttpResult& r) { result = r; });
+  reactor.run_until([&result] { return result.has_value(); },
+                    net::Reactor::Clock::now() + std::chrono::milliseconds(2500));
+  if (!result || !result->ok) return -1;
+  if (body != nullptr) *body = result->response.body;
+  return result->response.status;
+}
+
+}  // namespace
+
+TEST(HttpDistribution, ShortPinglistPathIsRejectedNotFatal) {
+  // Regression: handle_pinglist took req.path.substr(len("/pinglist/"))
+  // without checking the prefix, so a bare "/pinglist" request threw
+  // std::out_of_range from the handler. It must answer 404 and keep serving.
+  topo::Topology t = two_small_dcs();
+  PinglistGenerator gen(t, fast_config());
+  net::Reactor reactor;
+  ControllerHttpService svc(reactor, net::SockAddr::loopback(0), t, gen);
+
+  EXPECT_EQ(http_get_status(reactor, svc.port(), "/pinglist"), 404);
+  EXPECT_EQ(http_get_status(reactor, svc.port(), "/pinglist?x=1"), 404);
+  // The service survived and still serves real pinglists.
+  const topo::Server& s = t.servers()[0];
+  EXPECT_EQ(http_get_status(reactor, svc.port(), "/pinglist/" + s.ip.str()), 200);
+}
+
+TEST(HttpDistribution, ServesFreshFilesAfterVersionChange) {
+  // Regression: pinglists were generated once at construction; a topology
+  // or config change (generator version bump) kept stale files on the wire
+  // until an explicit regenerate() call.
+  topo::Topology t = two_small_dcs();
+  PinglistGenerator gen(t, fast_config());
+  net::Reactor reactor;
+  ControllerHttpService svc(reactor, net::SockAddr::loopback(0), t, gen);
+  const topo::Server& s = t.servers()[0];
+
+  std::string body;
+  ASSERT_EQ(http_get_status(reactor, svc.port(), "/pinglist/" + s.ip.str(), &body), 200);
+  EXPECT_EQ(Pinglist::from_xml(body).version, gen.version());
+
+  gen.set_version(7);
+  ASSERT_EQ(http_get_status(reactor, svc.port(), "/pinglist/" + s.ip.str(), &body), 200);
+  EXPECT_EQ(Pinglist::from_xml(body).version, 7u);
+  EXPECT_GE(svc.regenerations(), 2u);
+
+  // Withdrawal is sticky: a later version bump must not resurrect files.
+  svc.withdraw_all();
+  gen.set_version(8);
+  EXPECT_EQ(http_get_status(reactor, svc.port(), "/pinglist/" + s.ip.str()), 404);
 }
 
 TEST(HttpDistribution, SlbFailsOverBetweenControllerReplicas) {

@@ -68,6 +68,14 @@ TEST(LintRules, PrintfFamilyFires) {
   EXPECT_EQ(r.violations[1].rule, "printf");
 }
 
+TEST(LintRules, MetricsGlobalFires) {
+  lint::Report r = lint::run_tree(fixture("metrics_global"));
+  ASSERT_EQ(r.violations.size(), 2u);  // static MetricsRegistry + global_metrics()
+  EXPECT_EQ(r.violations[0].rule, "metrics-global");
+  EXPECT_EQ(r.violations[1].rule, "metrics-global");
+  EXPECT_EQ(r.violations[0].file, "dsa/g.cc");
+}
+
 TEST(LintRules, MissingHeaderGuardFires) {
   lint::Report r = lint::run_tree(fixture("guard"));
   ASSERT_EQ(r.violations.size(), 1u);
@@ -150,6 +158,7 @@ TEST(LintLayers, ModuleMapMatchesDesignDag) {
   EXPECT_EQ(lint::module_layer("dsa"), 2);
   EXPECT_EQ(lint::module_layer("streaming"), 2);
   EXPECT_EQ(lint::module_layer("analysis"), 2);
+  EXPECT_EQ(lint::module_layer("obs"), 2);
   EXPECT_EQ(lint::module_layer("autopilot"), 3);
   EXPECT_EQ(lint::module_layer("core"), 3);
   EXPECT_EQ(lint::module_layer("no_such_module"), -1);
@@ -160,7 +169,7 @@ TEST(LintRules, RuleCatalogIsStable) {
   std::set<std::string> expected = {"layering",   "include-cycle",
                                     "wallclock",  "rng",
                                     "using-namespace-header", "printf",
-                                    "header-guard"};
+                                    "header-guard", "metrics-global"};
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
 }
 

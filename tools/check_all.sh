@@ -5,7 +5,9 @@
 #   1. lint        — pingmesh_lint over src/ (layering DAG, determinism,
 #                    hygiene rules; see tools/lint/lint.h for the catalog)
 #   2. tier-1      — default build + full ctest suite (includes the corpus
-#                    replay tests and the lint fixture tests)
+#                    replay tests and the lint fixture tests), then an
+#                    observability smoke (pingmeshctl metrics/trace must
+#                    show the wired subsystems; DESIGN.md §10)
 #   3. asan        — tools/asan_check.sh (ASan+UBSan, full suite)
 #   4. tsan        — tools/tsan_check.sh (TSan, concurrency tests)
 #   5. fuzz smoke  — if the compiler supports -fsanitize=fuzzer (clang),
@@ -40,6 +42,18 @@ cmake --build build -j --target pingmesh_lint >/dev/null
 banner "stage 2: tier-1 build + ctest"
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)")
+
+# --- 2b. observability smoke ------------------------------------------------
+# The metrics exposition and the end-to-end trace must stay wired through
+# the whole loop (DESIGN.md §10); an empty exposition here means a
+# subsystem lost its enable_observability call.
+banner "stage 2b: observability smoke"
+./build/tools/pingmeshctl metrics --minutes 5 2>/dev/null \
+  | grep -q 'agent.probes_total{result=ok}' \
+  || { echo "pingmeshctl metrics lost the agent counters"; exit 1; }
+./build/tools/pingmeshctl trace --minutes 15 --sample 16 2>/dev/null \
+  | grep -q 'cosmos.append' \
+  || { echo "pingmeshctl trace lost the data-path spans"; exit 1; }
 
 if [[ "$FAST" == "1" ]]; then
   banner "--fast: skipping sanitizers, fuzz smoke, clang-tidy"

@@ -28,11 +28,25 @@ constexpr struct {
 } kLayers[] = {
     {"common", 0},    {"net", 1},       {"topology", 1}, {"netsim", 1},
     {"agent", 2},     {"controller", 2}, {"dsa", 2},      {"streaming", 2},
-    {"analysis", 2},  {"autopilot", 3}, {"core", 3},
+    {"analysis", 2},  {"obs", 2},       {"autopilot", 3}, {"core", 3},
 };
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `line` contains `name` as a standalone identifier (not a
+/// substring of a longer identifier).
+bool has_identifier(const std::string& line, std::string_view name) {
+  std::size_t at = line.find(name);
+  while (at != std::string::npos) {
+    bool lhs_ok = at == 0 || !is_ident_char(line[at - 1]);
+    std::size_t after = at + name.size();
+    bool rhs_ok = after >= line.size() || !is_ident_char(line[after]);
+    if (lhs_ok && rhs_ok) return true;
+    at = line.find(name, at + 1);
+  }
+  return false;
 }
 
 std::string_view trim(std::string_view s) {
@@ -166,6 +180,7 @@ class Checker {
       check_header_guard(f);
       check_using_namespace(f);
       check_identifier_rules(f);
+      check_metrics_global(f);
       check_layering(f);
     }
     check_cycles();
@@ -332,6 +347,31 @@ class Checker {
     }
   }
 
+  // --- metrics-global --------------------------------------------------------
+  // Only src/obs may own metric/trace state with static storage duration;
+  // every other module takes a MetricsRegistry& (dependency injection), so
+  // two simulations in one process can never share instruments. Heuristic:
+  // a `static` declaration line naming the registry/sink types, or the
+  // reserved global-accessor names, outside obs/.
+  void check_metrics_global(const SourceFile& f) {
+    if (f.module == "obs") return;
+    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+      const std::string& line = f.code_lines[i];
+      int line_no = static_cast<int>(i) + 1;
+      bool static_decl = has_identifier(line, "static") &&
+                         (has_identifier(line, "MetricsRegistry") ||
+                          has_identifier(line, "TraceSink"));
+      bool reserved_accessor = has_identifier(line, "global_metrics") ||
+                               has_identifier(line, "global_registry") ||
+                               has_identifier(line, "global_tracer");
+      if (static_decl || reserved_accessor) {
+        emit(f, line_no, "metrics-global",
+             "global metric state may only live in src/obs; take a "
+             "MetricsRegistry& (see DESIGN.md §10)");
+      }
+    }
+  }
+
   // --- layering --------------------------------------------------------------
   void check_layering(const SourceFile& f) {
     int own = module_layer(f.module);
@@ -401,7 +441,7 @@ class Checker {
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "layering",     "include-cycle", "wallclock",   "rng",
-      "using-namespace-header", "printf", "header-guard",
+      "using-namespace-header", "printf", "header-guard", "metrics-global",
   };
   return kNames;
 }

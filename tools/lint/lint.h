@@ -17,6 +17,9 @@
 //   printf                  no stdout/stderr printf-family in library code
 //   header-guard            every header opens with #pragma once (or an
 //                           #ifndef/#define guard)
+//   metrics-global          global metric/trace state (static MetricsRegistry
+//                           / TraceSink, or global_* accessors) only in
+//                           src/obs; everyone else takes a MetricsRegistry&
 //
 // Suppression syntax (checked against raw source, so it works in comments):
 //   // lint: allow(rule[, rule...])        — this line only

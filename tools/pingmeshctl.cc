@@ -18,6 +18,13 @@
 //       (e.g. "SELECT pod(src_ip), COUNT(*), P99(rtt), DROPRATE()
 //              FROM latency WHERE success GROUP BY pod(src_ip)
 //              ORDER BY DROPRATE DESC LIMIT 10")
+//   pingmeshctl metrics [--minutes M] [--seed S] [--workers N] [--filter p1,p2]
+//       run the closed loop with observability on and print the fleet-wide
+//       Prometheus-style metrics exposition (optionally prefix-filtered)
+//   pingmeshctl trace [--minutes M] [--seed S] [--sample N] [--id KEY]
+//       run with the data-path tracer on and print one sampled record's
+//       end-to-end span timeline (probe -> buffer -> upload -> extent
+//       append -> streaming ingest -> SCOPE scan)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -322,10 +329,66 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+int cmd_metrics(const Args& args) {
+  core::SimulationConfig cfg = core::observability_test_config(
+      static_cast<std::uint64_t>(args.flag_int("seed", 42)));
+  cfg.worker_threads = static_cast<int>(args.flag_int("workers", 1));
+  core::PingmeshSimulation sim(cfg);
+  long mins = args.flag_int("minutes", 30);
+  std::fprintf(stderr, "simulating %ld minute(s) of %zu servers (workers=%d)...\n",
+               mins, sim.topology().server_count(), sim.worker_threads());
+  sim.run_for(minutes(mins));
+  std::vector<std::string> prefixes;
+  std::string filter = args.flag("filter", "");
+  for (std::size_t pos = 0; pos < filter.size();) {
+    std::size_t comma = filter.find(',', pos);
+    if (comma == std::string::npos) comma = filter.size();
+    if (comma > pos) prefixes.push_back(filter.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  std::fputs(sim.observability()->metrics().expose(prefixes).c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  core::SimulationConfig cfg = core::observability_test_config(
+      static_cast<std::uint64_t>(args.flag_int("seed", 42)),
+      static_cast<std::uint64_t>(args.flag_int("sample", 64)));
+  cfg.observability.trace.ring_capacity = 1u << 18;
+  core::PingmeshSimulation sim(cfg);
+  long mins = args.flag_int("minutes", 25);
+  std::fprintf(stderr, "simulating %ld minute(s), tracing 1-in-%ld records...\n",
+               mins, args.flag_int("sample", 64));
+  sim.run_for(minutes(mins));
+
+  const obs::TraceSink& sink = sim.observability()->sink();
+  std::printf("%lu spans recorded, %lu dropped, %zu distinct traces\n",
+              static_cast<unsigned long>(sink.spans_recorded()),
+              static_cast<unsigned long>(sink.spans_dropped()),
+              sink.trace_ids().size());
+  std::uint64_t id = static_cast<std::uint64_t>(args.flag_int("id", 0));
+  if (id == 0) {
+    auto ids = sink.trace_ids();
+    if (ids.empty()) {
+      std::fprintf(stderr, "no sampled record traces; try --sample 1\n");
+      return 1;
+    }
+    id = ids.front();  // the most complete journey
+  }
+  std::printf("\ntrace %016llx\n", static_cast<unsigned long long>(id));
+  for (const obs::TraceSpan& s : sink.spans_for(id)) {
+    std::printf("  %10.3fs .. %10.3fs  %-16s %s\n",
+                static_cast<double>(s.start) / 1e9, static_cast<double>(s.end) / 1e9,
+                s.stage.c_str(), s.note.c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "pingmeshctl <command> [args]\n"
-               "commands: pinglist simulate report heatmap traceroute drops query\n"
+               "commands: pinglist simulate report heatmap traceroute drops query"
+               " metrics trace\n"
                "see the header of tools/pingmeshctl.cc for details\n");
 }
 
@@ -345,6 +408,8 @@ int main(int argc, char** argv) {
   if (cmd == "traceroute") return cmd_traceroute(args);
   if (cmd == "drops") return cmd_drops(args);
   if (cmd == "query") return cmd_query(args);
+  if (cmd == "metrics") return cmd_metrics(args);
+  if (cmd == "trace") return cmd_trace(args);
   usage();
   return 2;
 }

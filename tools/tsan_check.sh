@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Build the thread-sanitizer configuration and run the concurrency tests:
 # the ThreadPool unit tests, the concurrent probe-path test, the
-# serial-vs-parallel full-loop identity test, and the streaming-path tests
+# serial-vs-parallel full-loop identity test, the streaming-path tests
 # (the upload-time tap runs in the serial drain phase; the determinism test
-# exercises it under 4 workers). A clean run certifies the fleet tick path
-# (SimNetwork::tcp_probe and everything it reaches) is race-free under real
-# parallel execution.
+# exercises it under 4 workers), and the observability tests (worker shards
+# bump shared counters, observe spinlocked histograms, and emit trace spans
+# concurrently — ObsSim runs the loop at 4 workers). A clean run certifies
+# the fleet tick path (SimNetwork::tcp_probe and everything it reaches) is
+# race-free under real parallel execution.
 #
 # Usage: tools/tsan_check.sh [extra ctest -R pattern]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
-PATTERN=${1:-'ThreadPool|Parallel|Streaming'}
+PATTERN=${1:-'ThreadPool|Parallel|Streaming|Metrics|Trace|ObsSim'}
 
 cmake -B "$BUILD_DIR" -S . -DPINGMESH_SANITIZE=thread
 # Build everything, not just parallel_test/streaming_test: the ctest pattern
