@@ -123,6 +123,13 @@ void PingmeshAgent::on_pinglist(const controller::FetchResult& result, SimTime n
     case controller::FetchStatus::kUnreachable:
       if (hooks_.fetches_unreachable != nullptr) hooks_.fetches_unreachable->inc();
       if (++fetch_failures_ >= config_.controller_failure_threshold) fail_closed();
+      // Latched safety witness: if the agent is still probing after this
+      // missed fetch was fully handled, record how deep the failure streak
+      // ran. The chaos invariant checker asserts this never reaches 3.
+      if (probing_active_) {
+        peak_fetch_failures_while_probing_ =
+            std::max(peak_fetch_failures_while_probing_, fetch_failures_);
+      }
       return;
   }
 }
@@ -130,7 +137,7 @@ void PingmeshAgent::on_pinglist(const controller::FetchResult& result, SimTime n
 void PingmeshAgent::on_probe_result(const ProbeRequest& request, const ProbeResult& result,
                                     SimTime now) {
   LatencyRecord rec;
-  rec.timestamp = now;
+  rec.timestamp = std::max<SimTime>(0, now + clock_skew_);
   rec.src_ip = ip_;
   rec.dst_ip = request.target.ip;
   rec.src_port = request.src_port;
@@ -250,6 +257,7 @@ void PingmeshAgent::perform_upload(SimTime now) {
     buffer_.clear();
     upload_failures_ = 0;
     ++uploads_ok_;
+    records_uploaded_ += batch.size();
     if (hooks_.uploads_ok != nullptr) {
       hooks_.uploads_ok->inc();
       hooks_.records_uploaded->inc(batch.size());

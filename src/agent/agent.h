@@ -101,6 +101,13 @@ class PingmeshAgent {
   /// Force an upload attempt of whatever is buffered (shutdown path).
   void flush(SimTime now);
 
+  /// Chaos hook: offset applied to record timestamps (a skewed server
+  /// clock). Probing and upload scheduling stay on true sim time — only the
+  /// measurement timestamps the agent stamps into its records drift, which
+  /// is what a real clock-skew incident looks like downstream.
+  void set_clock_skew(SimTime skew) { clock_skew_ = skew; }
+  [[nodiscard]] SimTime clock_skew() const { return clock_skew_; }
+
   /// Wire this agent into a shared metrics registry (and optionally the
   /// data-path tracer). Instruments are fleet-wide: every agent registering
   /// the same metric name shares the same counter. Call before the first
@@ -132,12 +139,23 @@ class PingmeshAgent {
   [[nodiscard]] std::uint64_t uploads_ok() const { return uploads_ok_; }
   [[nodiscard]] std::uint64_t uploads_failed() const { return uploads_failed_; }
   [[nodiscard]] std::uint64_t records_discarded() const { return records_discarded_; }
+  /// Records acknowledged by the uploader (conservation ledger: every
+  /// launched probe ends up uploaded, discarded, or still buffered).
+  [[nodiscard]] std::uint64_t records_uploaded() const { return records_uploaded_; }
   /// Records appended to the local log (by the exactly-once contract).
   [[nodiscard]] std::uint64_t records_logged() const { return records_logged_; }
   /// Retried records whose re-append to the local log was skipped — each
   /// would have been a duplicate log entry before the high-water-mark fix.
   [[nodiscard]] std::uint64_t local_log_dup_avoided() const { return log_dup_avoided_; }
   [[nodiscard]] int consecutive_fetch_failures() const { return fetch_failures_; }
+  /// Highest consecutive-failed-fetch count ever observed while the agent
+  /// was still probing. The §3.4.2 fail-closed contract says this can never
+  /// reach 3: by the third missed fetch the agent must already have shut
+  /// probing down. Latched (not reset by recovery) so a past violation
+  /// stays visible to post-run invariant checks.
+  [[nodiscard]] int peak_fetch_failures_while_probing() const {
+    return peak_fetch_failures_while_probing_;
+  }
   [[nodiscard]] IpAddr ip() const { return ip_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -170,7 +188,9 @@ class PingmeshAgent {
   std::vector<TargetState> targets_;
   SimTime next_fetch_ = 0;
   int fetch_failures_ = 0;
+  int peak_fetch_failures_while_probing_ = 0;
   bool fetch_outstanding_ = false;
+  SimTime clock_skew_ = 0;
 
   std::deque<LatencyRecord> buffer_;
   // Local-log exactly-once bookkeeping: records are numbered by the order
@@ -194,6 +214,7 @@ class PingmeshAgent {
   std::uint64_t uploads_ok_ = 0;
   std::uint64_t uploads_failed_ = 0;
   std::uint64_t records_discarded_ = 0;
+  std::uint64_t records_uploaded_ = 0;
 
   /// Cached registry instruments (shared fleet-wide); null until
   /// enable_observability().

@@ -1,0 +1,160 @@
+#include "chaos/engine.h"
+
+#include <algorithm>
+
+#include "agent/record.h"
+#include "chaos/injector.h"
+#include "common/rng.h"
+#include "core/scenarios.h"
+
+namespace pingmesh::chaos {
+
+ChaosRunResult run_plan(const ChaosPlan& plan, const ChaosRunOptions& options) {
+  core::SimulationConfig cfg = options.base_config != nullptr
+                                   ? *options.base_config
+                                   : core::chaos_test_config(plan.seed);
+  cfg.seed = plan.seed;
+  cfg.worker_threads = options.worker_threads;
+  if (options.break_fail_closed) {
+    cfg.agent.controller_failure_threshold = 1 << 30;
+  }
+
+  core::PingmeshSimulation sim(cfg);
+  ChaosInjector injector(sim);
+  injector.arm(plan);
+  sim.run_for(plan.duration + plan.settle);
+
+  ChaosRunResult result;
+  result.total_probes = sim.total_probes();
+  result.records = agent::encode_batch(sim.records_between(0, sim.now() + 1));
+  result.report = check_invariants(sim, plan);
+  result.totals = collect_totals(sim);
+  return result;
+}
+
+ChaosPlan generate_random_plan(std::uint64_t seed, SimTime duration) {
+  Rng rng(mix_key(seed, 0xC4A05917u));
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.duration = duration;
+  plan.settle = duration / 3;
+
+  auto rand_window = [&rng, duration](SimTime min_len, SimTime max_len) {
+    SimTime latest_start = std::max<SimTime>(seconds(1), duration - min_len);
+    SimTime start = seconds(rng.uniform_u32(
+        static_cast<std::uint32_t>(latest_start / kNanosPerSecond)));
+    SimTime len = min_len + seconds(rng.uniform_u32(static_cast<std::uint32_t>(
+                                std::max<SimTime>(1, (max_len - min_len)) /
+                                kNanosPerSecond)));
+    return std::pair<SimTime, SimTime>{start, std::min(start + len, duration)};
+  };
+
+  int n = 1 + static_cast<int>(rng.uniform_u32(5));
+  for (int i = 0; i < n; ++i) {
+    ChaosEvent e;
+    std::uint32_t draw = rng.uniform_u32(100);
+    if (draw < 25) {
+      // Controller outage, weighted toward all-replica (the scenario that
+      // exercises fail-closed) and toward windows long enough to span
+      // several pinglist refreshes at the 2-minute chaos cadence.
+      e.kind = ChaosEventKind::kControllerOutage;
+      e.entity = rng.chance(0.6) ? kEntityAll : rng.uniform_u32(3);
+      e.start = minutes(2) + seconds(rng.uniform_u32(8 * 60));
+      e.end = std::min<SimTime>(e.start + minutes(10) + seconds(rng.uniform_u32(4 * 60)),
+                                duration);
+    } else if (draw < 50) {
+      e.kind = ChaosEventKind::kLinkLoss;
+      e.entity = rng.uniform_u32(4096);
+      e.magnitude = rng.uniform(0.005, 0.05);
+      auto [s, t] = rand_window(minutes(5), minutes(15));
+      e.start = s;
+      e.end = t;
+    } else if (draw < 60) {
+      e.kind = ChaosEventKind::kServerCrash;
+      e.entity = rng.uniform_u32(4096);
+      auto [s, t] = rand_window(minutes(3), minutes(12));
+      e.start = s;
+      e.end = t;
+    } else if (draw < 70) {
+      e.kind = ChaosEventKind::kUploadFailure;
+      e.magnitude = rng.uniform(0.1, 0.9);
+      auto [s, t] = rand_window(minutes(3), minutes(10));
+      e.start = s;
+      e.end = t;
+    } else if (draw < 78) {
+      e.kind = ChaosEventKind::kSlbFlap;
+      e.entity = rng.chance(0.5) ? kEntityAll : rng.uniform_u32(3);
+      e.param = seconds(30 + rng.uniform_u32(180));
+      auto [s, t] = rand_window(minutes(4), minutes(12));
+      e.start = s;
+      e.end = t;
+    } else if (draw < 86) {
+      e.kind = ChaosEventKind::kClockSkew;
+      e.entity = rng.uniform_u32(4096);
+      e.param = seconds(1 + rng.uniform_u32(120));
+      if (rng.chance(0.5)) e.param = -e.param;
+      auto [s, t] = rand_window(minutes(3), minutes(12));
+      e.start = s;
+      e.end = t;
+    } else if (draw < 92) {
+      e.kind = ChaosEventKind::kUploadDelay;
+      e.param = seconds(30 + rng.uniform_u32(600));
+      auto [s, t] = rand_window(minutes(3), minutes(10));
+      e.start = s;
+      e.end = t;
+    } else if (draw < 97) {
+      e.kind = ChaosEventKind::kPartition;
+      e.entity = rng.uniform_u32(4096);
+      e.magnitude = 1.0;
+      auto [s, t] = rand_window(minutes(3), minutes(10));
+      e.start = s;
+      e.end = t;
+    } else {
+      e.kind = ChaosEventKind::kExtentCorruption;
+      e.start = minutes(5) + seconds(rng.uniform_u32(15 * 60));
+      e.end = e.start;
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+ChaosPlan shrink_plan(const ChaosPlan& plan,
+                      const std::function<bool(const ChaosPlan&)>& still_fails) {
+  ChaosPlan current = plan;
+  bool progressed = true;
+  while (progressed && current.events.size() > 1) {
+    progressed = false;
+    for (std::size_t i = 0; i < current.events.size(); ++i) {
+      ChaosPlan candidate = current;
+      candidate.events.erase(candidate.events.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        progressed = true;
+        break;  // restart the removal pass on the smaller plan
+      }
+    }
+  }
+  return current;
+}
+
+HuntResult hunt(std::uint64_t start_seed, int attempts, const ChaosRunOptions& options) {
+  HuntResult result;
+  for (int i = 0; i < attempts; ++i) {
+    std::uint64_t seed = start_seed + static_cast<std::uint64_t>(i);
+    ChaosPlan plan = generate_random_plan(seed);
+    ++result.runs;
+    if (run_plan(plan, options).ok()) continue;
+    result.found = true;
+    result.seed = seed;
+    result.minimal = shrink_plan(plan, [&result, &options](const ChaosPlan& candidate) {
+      ++result.runs;
+      return !run_plan(candidate, options).ok();
+    });
+    return result;
+  }
+  return result;
+}
+
+}  // namespace pingmesh::chaos

@@ -1,0 +1,71 @@
+// Chaos run engine: execute a ChaosPlan against a fresh simulation and
+// check the system invariants; generate random plans; shrink failing plans
+// to minimal reproducers (DESIGN.md §11).
+//
+// The determinism contract: run_plan is a pure function of
+// (plan, options) — same plan, same options => byte-identical record
+// stream and invariant report, at any worker_threads value. That is what
+// makes a shrunken plan file a complete reproducer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "chaos/invariants.h"
+#include "chaos/plan.h"
+#include "core/simulation.h"
+
+namespace pingmesh::chaos {
+
+struct ChaosRunOptions {
+  int worker_threads = 1;
+  /// Deliberately disable the agent's §3.4.2 fail-closed threshold — the
+  /// planted defect the random-plan hunter must find and shrink. Test
+  /// infrastructure only.
+  bool break_fail_closed = false;
+  /// Base SimulationConfig; null = core::chaos_test_config(). The plan's
+  /// seed and the options' worker_threads always override the base.
+  const core::SimulationConfig* base_config = nullptr;
+};
+
+struct ChaosRunResult {
+  std::uint64_t total_probes = 0;
+  /// CSV-encoded stream of every record that reached Cosmos, in scan order
+  /// (the byte string the 1-vs-N-worker identity test compares).
+  std::string records;
+  InvariantReport report;
+  FleetTotals totals;
+
+  [[nodiscard]] bool ok() const { return report.all_ok(); }
+};
+
+/// Build a simulation, arm the plan, run duration + settle, check
+/// invariants. Throws std::invalid_argument for invalid plans.
+ChaosRunResult run_plan(const ChaosPlan& plan, const ChaosRunOptions& options = {});
+
+/// Seeded random plan: 1–5 events drawn from the full kind taxonomy with
+/// magnitudes/windows in ranges that matter at chaos_test_config scale.
+/// Pure function of (seed, duration).
+ChaosPlan generate_random_plan(std::uint64_t seed, SimTime duration = minutes(30));
+
+/// Greedy ddmin-style shrink: repeatedly drop single events while
+/// `still_fails(candidate)` stays true. Returns a plan that still fails but
+/// loses any one more event only by passing.
+ChaosPlan shrink_plan(const ChaosPlan& plan,
+                      const std::function<bool(const ChaosPlan&)>& still_fails);
+
+struct HuntResult {
+  bool found = false;
+  ChaosPlan minimal;        ///< shrunken failing plan (valid when found)
+  std::uint64_t seed = 0;   ///< generator seed that produced the failure
+  int runs = 0;             ///< total simulations executed (search + shrink)
+};
+
+/// Random-plan search: generate and run plans for seeds start_seed,
+/// start_seed+1, ... until one violates an invariant (then shrink it) or
+/// `attempts` plans all pass.
+HuntResult hunt(std::uint64_t start_seed, int attempts,
+                const ChaosRunOptions& options = {});
+
+}  // namespace pingmesh::chaos

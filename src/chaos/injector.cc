@@ -1,0 +1,129 @@
+#include "chaos/injector.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "dsa/cosmos.h"
+
+namespace pingmesh::chaos {
+
+namespace {
+
+/// Salt for deriving per-event uploader chaos seeds from the plan seed.
+constexpr std::uint64_t kUploadChaosSalt = 0xC4A05u;
+
+std::vector<std::size_t> resolve_replicas(std::uint32_t entity, std::size_t count) {
+  std::vector<std::size_t> out;
+  if (entity == kEntityAll) {
+    for (std::size_t i = 0; i < count; ++i) out.push_back(i);
+  } else {
+    out.push_back(entity % count);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ChaosInjector::arm(const ChaosPlan& plan) {
+  if (auto err = validate_plan(plan)) {
+    throw std::invalid_argument("chaos plan invalid: " + *err);
+  }
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    arm_event(plan.events[i], plan, i);
+    ++armed_;
+  }
+}
+
+void ChaosInjector::arm_event(const ChaosEvent& event, const ChaosPlan& plan,
+                              std::size_t event_index) {
+  core::PingmeshSimulation& sim = *sim_;
+  EventScheduler& sched = sim.scheduler();
+  const auto& topo = sim.topology();
+  switch (event.kind) {
+    case ChaosEventKind::kLinkLoss: {
+      SwitchId sw{static_cast<std::uint32_t>(event.entity % topo.switch_count())};
+      sim.faults().add_silent_random_drop(sw, event.magnitude, event.start, event.end);
+      break;
+    }
+    case ChaosEventKind::kPartition: {
+      SwitchId sw{static_cast<std::uint32_t>(event.entity % topo.switch_count())};
+      sim.faults().add_silent_random_drop(sw, 1.0, event.start, event.end);
+      break;
+    }
+    case ChaosEventKind::kServerCrash: {
+      ServerId server{static_cast<std::uint32_t>(event.entity % topo.server_count())};
+      sim.faults().add_server_down(server, event.start, event.end);
+      break;
+    }
+    case ChaosEventKind::kControllerOutage: {
+      auto replicas = resolve_replicas(event.entity, sim.controller_replica_count());
+      sched.schedule_at(event.start, [&sim, replicas](SimTime) {
+        for (std::size_t r : replicas) sim.set_controller_replica_up(r, false);
+      });
+      sched.schedule_at(event.end, [&sim, replicas](SimTime) {
+        for (std::size_t r : replicas) sim.set_controller_replica_up(r, true);
+      });
+      break;
+    }
+    case ChaosEventKind::kSlbFlap: {
+      auto replicas = resolve_replicas(event.entity, sim.controller_replica_count());
+      // Toggle down/up every `param` within the window; k-th toggle leaves
+      // the replicas down when k is even. The end event always restores up,
+      // whatever parity the window length produced.
+      bool down = true;
+      for (SimTime t = event.start; t < event.end; t += event.param) {
+        bool to_up = !down;
+        sched.schedule_at(t, [&sim, replicas, to_up](SimTime) {
+          for (std::size_t r : replicas) sim.set_controller_replica_up(r, to_up);
+        });
+        down = !down;
+      }
+      sched.schedule_at(event.end, [&sim, replicas](SimTime) {
+        for (std::size_t r : replicas) sim.set_controller_replica_up(r, true);
+      });
+      break;
+    }
+    case ChaosEventKind::kUploadFailure: {
+      double prob = event.magnitude;
+      std::uint64_t seed = mix_key(plan.seed, kUploadChaosSalt,
+                                   static_cast<std::uint64_t>(event_index));
+      sched.schedule_at(event.start, [&sim, prob, seed](SimTime) {
+        sim.uploader_for_test().set_chaos_failure(prob, seed);
+      });
+      sched.schedule_at(event.end, [&sim](SimTime) {
+        sim.uploader_for_test().set_chaos_failure(0.0, 0);
+      });
+      break;
+    }
+    case ChaosEventKind::kUploadDelay: {
+      SimTime delay = event.param;
+      sched.schedule_at(event.start, [&sim, delay](SimTime) {
+        sim.uploader_for_test().set_chaos_delay(delay);
+      });
+      sched.schedule_at(event.end, [&sim](SimTime) {
+        sim.uploader_for_test().set_chaos_delay(0);
+      });
+      break;
+    }
+    case ChaosEventKind::kExtentCorruption: {
+      sched.schedule_at(event.start, [&sim](SimTime) {
+        sim.cosmos().stream(dsa::kLatencyStream).corrupt_newest_extent();
+      });
+      break;
+    }
+    case ChaosEventKind::kClockSkew: {
+      ServerId server{static_cast<std::uint32_t>(event.entity % topo.server_count())};
+      SimTime skew = event.param;
+      sched.schedule_at(event.start, [&sim, server, skew](SimTime) {
+        sim.agent(server).set_clock_skew(skew);
+      });
+      sched.schedule_at(event.end, [&sim, server](SimTime) {
+        sim.agent(server).set_clock_skew(0);
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace pingmesh::chaos

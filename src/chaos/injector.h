@@ -1,0 +1,41 @@
+// ChaosInjector — applies a ChaosPlan to a live PingmeshSimulation.
+//
+// arm() translates every plan event into the simulation's existing fault
+// surfaces: windowed netsim faults for network events, and scheduler events
+// (which run on the driver thread between agent ticks) for everything that
+// flips component state — controller replicas, SLB flaps, uploader chaos
+// knobs, extent corruption, agent clock skew. Nothing here introduces a new
+// failure mechanism; the injector is the single front door to the knobs
+// that used to be scattered across tests (DESIGN.md §11).
+//
+// Entity indices in events are taken modulo the relevant population
+// (switches, servers, replicas), so randomly generated plans are always
+// applicable to any topology.
+#pragma once
+
+#include "chaos/plan.h"
+#include "core/simulation.h"
+
+namespace pingmesh::chaos {
+
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(core::PingmeshSimulation& sim) : sim_(&sim) {}
+
+  /// Schedule every event of `plan` onto the simulation. Must be called
+  /// before the events' start times (normally at sim time 0). The plan must
+  /// validate; throws std::invalid_argument otherwise.
+  void arm(const ChaosPlan& plan);
+
+  /// Events actually armed (after entity clamping; for introspection).
+  [[nodiscard]] std::size_t armed_events() const { return armed_; }
+
+ private:
+  void arm_event(const ChaosEvent& event, const ChaosPlan& plan,
+                 std::size_t event_index);
+
+  core::PingmeshSimulation* sim_;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace pingmesh::chaos

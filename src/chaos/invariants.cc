@@ -1,0 +1,298 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "agent/counters.h"
+#include "dsa/cosmos.h"
+
+namespace pingmesh::chaos {
+
+namespace {
+
+/// §3.4.2 hard contract: by the third consecutive missed pinglist fetch the
+/// agent must have stopped probing. Checked against this constant, not the
+/// configured threshold, so a run with the threshold disabled (the
+/// deliberately-broken mode the plan hunter must catch) still violates.
+constexpr int kFailClosedContract = 3;
+
+/// Minimum probes a pod pair needs in the fault window before the blame
+/// check trusts its drop-rate estimate.
+constexpr std::uint64_t kBlameMinProbes = 50;
+
+InvariantFinding make(std::string name, bool ok, std::string detail) {
+  InvariantFinding f;
+  f.name = std::move(name);
+  f.ok = ok;
+  f.detail = std::move(detail);
+  return f;
+}
+
+InvariantFinding not_applicable(std::string name, std::string why) {
+  InvariantFinding f;
+  f.name = std::move(name);
+  f.applicable = false;
+  f.detail = std::move(why);
+  return f;
+}
+
+InvariantFinding check_record_conservation(const core::PingmeshSimulation& sim) {
+  std::size_t n = sim.topology().server_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = sim.agent(ServerId{static_cast<std::uint32_t>(i)});
+    std::uint64_t accounted =
+        a.records_uploaded() + a.records_discarded() + a.buffered_records();
+    if (a.probes_launched() != accounted) {
+      return make("record-conservation", false,
+                  "agent " + a.name() + ": launched " +
+                      std::to_string(a.probes_launched()) + " != uploaded " +
+                      std::to_string(a.records_uploaded()) + " + discarded " +
+                      std::to_string(a.records_discarded()) + " + buffered " +
+                      std::to_string(a.buffered_records()));
+    }
+  }
+  FleetTotals t = collect_totals(sim);
+  return make("record-conservation", true,
+              "launched=" + std::to_string(t.probes_launched) +
+                  " uploaded=" + std::to_string(t.records_uploaded) +
+                  " discarded=" + std::to_string(t.records_discarded) +
+                  " buffered=" + std::to_string(t.records_buffered));
+}
+
+InvariantFinding check_cosmos_ledger(const core::PingmeshSimulation& sim) {
+  const dsa::CosmosStream* stream = sim.cosmos().find(dsa::kLatencyStream);
+  FleetTotals t = collect_totals(sim);
+  if (stream == nullptr) {
+    return make("cosmos-ledger", t.records_uploaded == 0,
+                "no latency stream; fleet reported " +
+                    std::to_string(t.records_uploaded) + " uploaded records");
+  }
+  std::uint64_t appended = stream->appended_records_total();
+  std::uint64_t live = stream->total_records();
+  std::uint64_t expired = stream->expired_records_total();
+  if (appended != live + expired) {
+    return make("cosmos-ledger", false,
+                "appended " + std::to_string(appended) + " != live " +
+                    std::to_string(live) + " + expired " + std::to_string(expired));
+  }
+  if (t.records_uploaded != appended) {
+    return make("cosmos-ledger", false,
+                "agents uploaded " + std::to_string(t.records_uploaded) +
+                    " records but the stream appended " + std::to_string(appended));
+  }
+  return make("cosmos-ledger", true,
+              "appended=" + std::to_string(appended) + " live=" + std::to_string(live) +
+                  " expired=" + std::to_string(expired) +
+                  " corrupt=" + std::to_string(stream->corrupt_records()));
+}
+
+InvariantFinding check_fail_closed(const core::PingmeshSimulation& sim) {
+  std::size_t n = sim.topology().server_count();
+  int worst = 0;
+  std::string offender;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = sim.agent(ServerId{static_cast<std::uint32_t>(i)});
+    if (a.peak_fetch_failures_while_probing() > worst) {
+      worst = a.peak_fetch_failures_while_probing();
+      offender = a.name();
+    }
+  }
+  if (worst >= kFailClosedContract) {
+    return make("fail-closed", false,
+                "agent " + offender + " was still probing at " + std::to_string(worst) +
+                    " consecutive failed fetches (contract: stop before " +
+                    std::to_string(kFailClosedContract) + ")");
+  }
+  return make("fail-closed", true,
+              "peak consecutive failed fetches while probing: " + std::to_string(worst));
+}
+
+InvariantFinding check_streaming_batch(const core::PingmeshSimulation& sim) {
+  const streaming::StreamingPipeline* p = sim.streaming();
+  if (p == nullptr) return not_applicable("streaming-batch", "streaming disabled");
+  FleetTotals t = collect_totals(sim);
+  const auto& w = p->windows();
+  std::uint64_t tapped = w.records_ingested() + w.records_skipped() + w.late_dropped();
+  if (tapped != t.records_uploaded) {
+    return make("streaming-batch", false,
+                "tap saw " + std::to_string(tapped) + " records (ingested " +
+                    std::to_string(w.records_ingested()) + " + skipped " +
+                    std::to_string(w.records_skipped()) + " + late " +
+                    std::to_string(w.late_dropped()) + ") but agents uploaded " +
+                    std::to_string(t.records_uploaded));
+  }
+  return make("streaming-batch", true,
+              "ingested=" + std::to_string(w.records_ingested()) +
+                  " skipped=" + std::to_string(w.records_skipped()) +
+                  " late=" + std::to_string(w.late_dropped()));
+}
+
+/// The lone network-fault event of `plan` targeting a ToR, if the plan has
+/// exactly one network-affecting event at all.
+std::optional<ChaosEvent> lone_tor_fault(const core::PingmeshSimulation& sim,
+                                         const ChaosPlan& plan) {
+  std::optional<ChaosEvent> fault;
+  for (const ChaosEvent& e : plan.events) {
+    switch (e.kind) {
+      case ChaosEventKind::kLinkLoss:
+      case ChaosEventKind::kPartition:
+      case ChaosEventKind::kServerCrash:
+        if (fault) return std::nullopt;  // more than one network fault
+        fault = e;
+        break;
+      default:
+        break;
+    }
+  }
+  if (!fault || fault->kind == ChaosEventKind::kServerCrash) return std::nullopt;
+  if (fault->kind == ChaosEventKind::kLinkLoss && fault->magnitude < 0.005) {
+    return std::nullopt;  // too faint to localize reliably
+  }
+  const auto& topo = sim.topology();
+  SwitchId sw{static_cast<std::uint32_t>(fault->entity % topo.switch_count())};
+  if (topo.sw(sw).kind != topo::SwitchKind::kTor) return std::nullopt;
+  fault->entity = sw.value;  // resolved switch index
+  return fault;
+}
+
+InvariantFinding check_blame_localization(const core::PingmeshSimulation& sim,
+                                          const ChaosPlan& plan) {
+  auto fault = lone_tor_fault(sim, plan);
+  if (!fault) {
+    return not_applicable("blame-localization",
+                          "plan has no lone ToR loss fault to localize");
+  }
+  const auto& topo = sim.topology();
+  // The pod under the faulted ToR.
+  std::optional<PodId> faulted_pod;
+  for (const auto& pod : topo.pods()) {
+    if (pod.tor.value == fault->entity) faulted_pod = pod.id;
+  }
+  if (!faulted_pod) {
+    return not_applicable("blame-localization", "faulted switch maps to no pod");
+  }
+
+  struct PairAcc {
+    std::uint64_t probes = 0;
+    std::uint64_t bad = 0;  // failures + SYN-retransmit signatures
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, PairAcc> pairs;
+  SimTime to = std::min(fault->end, plan.duration);
+  for (const auto& r : sim.records_between(fault->start, to)) {
+    auto src = topo.find_server_by_ip(r.src_ip);
+    auto dst = topo.find_server_by_ip(r.dst_ip);
+    if (!src || !dst) continue;
+    PairAcc& acc = pairs[{topo.server(*src).pod.value, topo.server(*dst).pod.value}];
+    ++acc.probes;
+    if (!r.success || agent::syn_drop_signature(r.rtt) != 0) ++acc.bad;
+  }
+
+  // Worst pair by bad-fraction among pairs with enough probes; ties are
+  // impossible to localize, so require the winner to be strictly worst.
+  double worst_rate = -1.0;
+  std::pair<std::uint32_t, std::uint32_t> worst{0, 0};
+  std::uint64_t considered = 0;
+  for (const auto& [pp, acc] : pairs) {
+    if (acc.probes < kBlameMinProbes) continue;
+    ++considered;
+    double rate = static_cast<double>(acc.bad) / static_cast<double>(acc.probes);
+    if (rate > worst_rate) {
+      worst_rate = rate;
+      worst = pp;
+    }
+  }
+  if (considered == 0 || worst_rate <= 0.0) {
+    return not_applicable("blame-localization",
+                          "too few records in the fault window to localize");
+  }
+  bool involves = worst.first == faulted_pod->value || worst.second == faulted_pod->value;
+  std::string detail = "worst pair pod" + std::to_string(worst.first) + "->pod" +
+                       std::to_string(worst.second) + " bad-rate " +
+                       std::to_string(worst_rate) + "; faulted pod" +
+                       std::to_string(faulted_pod->value);
+  return make("blame-localization", involves, std::move(detail));
+}
+
+InvariantFinding check_bounded_buffer(const core::PingmeshSimulation& sim) {
+  std::size_t cap = sim.config().agent.max_buffered_records;
+  std::size_t n = sim.topology().server_count();
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst,
+                     sim.agent(ServerId{static_cast<std::uint32_t>(i)}).buffered_records());
+  }
+  return make("bounded-buffer", worst <= cap,
+              "max buffered " + std::to_string(worst) + " / cap " + std::to_string(cap));
+}
+
+}  // namespace
+
+bool InvariantReport::all_ok() const {
+  return std::all_of(findings.begin(), findings.end(),
+                     [](const InvariantFinding& f) { return f.ok; });
+}
+
+const InvariantFinding* InvariantReport::find(std::string_view name) const {
+  for (const InvariantFinding& f : findings) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string InvariantReport::to_text() const {
+  std::string out;
+  for (const InvariantFinding& f : findings) {
+    out += f.name;
+    out += ": ";
+    out += !f.applicable ? "N/A" : (f.ok ? "OK" : "VIOLATED");
+    if (!f.detail.empty()) {
+      out += " (";
+      out += f.detail;
+      out += ")";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+FleetTotals collect_totals(const core::PingmeshSimulation& sim) {
+  FleetTotals t;
+  std::size_t n = sim.topology().server_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = sim.agent(ServerId{static_cast<std::uint32_t>(i)});
+    t.probes_launched += a.probes_launched();
+    t.records_uploaded += a.records_uploaded();
+    t.records_discarded += a.records_discarded();
+    t.records_buffered += a.buffered_records();
+    t.records_logged += a.records_logged();
+    t.log_dup_avoided += a.local_log_dup_avoided();
+    t.uploads_ok += a.uploads_ok();
+    t.uploads_failed += a.uploads_failed();
+  }
+  if (const dsa::CosmosStream* s = sim.cosmos().find(dsa::kLatencyStream)) {
+    t.cosmos_appended = s->appended_records_total();
+    t.cosmos_expired = s->expired_records_total();
+    t.cosmos_live = s->total_records();
+    t.cosmos_corrupt_records = s->corrupt_records();
+  }
+  const auto& vip = sim.controller_vip();
+  t.slb_backends = vip.backend_count();
+  t.slb_healthy = vip.healthy_count();
+  t.slb_half_open_trials = vip.half_open_trials();
+  return t;
+}
+
+InvariantReport check_invariants(const core::PingmeshSimulation& sim,
+                                 const ChaosPlan& plan) {
+  InvariantReport report;
+  report.findings.push_back(check_record_conservation(sim));
+  report.findings.push_back(check_cosmos_ledger(sim));
+  report.findings.push_back(check_fail_closed(sim));
+  report.findings.push_back(check_streaming_batch(sim));
+  report.findings.push_back(check_blame_localization(sim, plan));
+  report.findings.push_back(check_bounded_buffer(sim));
+  return report;
+}
+
+}  // namespace pingmesh::chaos

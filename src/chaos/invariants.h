@@ -1,0 +1,78 @@
+// Property-based system invariants checked after a chaos run.
+//
+// Each invariant is a property that must hold for ANY (seed, plan), not an
+// expectation about one scripted scenario — the random-plan generator
+// exercises them across the whole fault space (DESIGN.md §11):
+//
+//   record-conservation   every launched probe is uploaded, discarded, or
+//                         still buffered — per agent and fleet-wide;
+//   cosmos-ledger         appended == live + expired on the latency stream,
+//                         and uploads acknowledged to agents all arrived;
+//   fail-closed           no agent was ever still probing at its third
+//                         consecutive failed pinglist fetch (§3.4.2);
+//   streaming-batch       the sliding windows ingested exactly the record
+//                         stream the uploads delivered (partitioned into
+//                         ingested / skipped / late, nothing lost);
+//   blame-localization    a single-switch loss fault shows up worst on pod
+//                         pairs under that switch, nowhere else;
+//   bounded-buffer        no agent's buffer exceeded its configured cap.
+//
+// Checks that don't apply to a given plan (e.g. blame-localization for a
+// plan without a lone network fault) report applicable=false rather than a
+// vacuous pass, so the report distinguishes "held" from "not exercised".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/plan.h"
+#include "core/simulation.h"
+
+namespace pingmesh::chaos {
+
+struct InvariantFinding {
+  std::string name;
+  bool ok = true;
+  bool applicable = true;
+  std::string detail;  ///< human-readable evidence (counts, offending agent)
+};
+
+struct InvariantReport {
+  std::vector<InvariantFinding> findings;
+
+  [[nodiscard]] bool all_ok() const;
+  [[nodiscard]] const InvariantFinding* find(std::string_view name) const;
+  /// Deterministic multi-line rendering (the 1-vs-N-worker identity test
+  /// compares these byte-for-byte).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Fleet-wide counter roll-up collected alongside the invariant checks;
+/// chaos run results carry one so tests and `pingmeshctl chaos` can print
+/// the ledger without re-walking the fleet.
+struct FleetTotals {
+  std::uint64_t probes_launched = 0;
+  std::uint64_t records_uploaded = 0;
+  std::uint64_t records_discarded = 0;
+  std::uint64_t records_buffered = 0;
+  std::uint64_t records_logged = 0;
+  std::uint64_t log_dup_avoided = 0;
+  std::uint64_t uploads_ok = 0;
+  std::uint64_t uploads_failed = 0;
+  std::uint64_t cosmos_appended = 0;
+  std::uint64_t cosmos_expired = 0;
+  std::uint64_t cosmos_live = 0;
+  std::uint64_t cosmos_corrupt_records = 0;
+  std::size_t slb_backends = 0;
+  std::size_t slb_healthy = 0;
+  std::uint64_t slb_half_open_trials = 0;
+};
+
+[[nodiscard]] FleetTotals collect_totals(const core::PingmeshSimulation& sim);
+
+/// Run every invariant against the post-run simulation state. `plan` gates
+/// plan-dependent checks (blame localization needs a lone network fault).
+[[nodiscard]] InvariantReport check_invariants(const core::PingmeshSimulation& sim,
+                                               const ChaosPlan& plan);
+
+}  // namespace pingmesh::chaos

@@ -1,0 +1,326 @@
+#include "chaos/plan.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+namespace pingmesh::chaos {
+
+namespace {
+
+constexpr std::string_view kHeader = "# pingmesh chaos plan v1";
+
+struct KindName {
+  ChaosEventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {ChaosEventKind::kLinkLoss, "link-loss"},
+    {ChaosEventKind::kPartition, "partition"},
+    {ChaosEventKind::kServerCrash, "server-crash"},
+    {ChaosEventKind::kControllerOutage, "controller-outage"},
+    {ChaosEventKind::kSlbFlap, "slb-flap"},
+    {ChaosEventKind::kUploadFailure, "upload-fail"},
+    {ChaosEventKind::kUploadDelay, "upload-delay"},
+    {ChaosEventKind::kExtentCorruption, "corrupt-extent"},
+    {ChaosEventKind::kClockSkew, "clock-skew"},
+};
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) == kChaosEventKindCount);
+
+/// Which value field each kind's windowed semantics use.
+bool kind_uses_window(ChaosEventKind k) {
+  return k != ChaosEventKind::kExtentCorruption;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+  if (s == "all") {
+    out = kEntityAll;
+    return true;
+  }
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > 0xffffffffu) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+/// Integer + unit suffix; optional leading '-'. Overflow-checked.
+bool parse_time(std::string_view s, SimTime& out) {
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  std::size_t digits = 0;
+  while (digits < s.size() && s[digits] >= '0' && s[digits] <= '9') ++digits;
+  if (digits == 0) return false;
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + digits, value);
+  if (ec != std::errc{} || ptr != s.data() + digits) return false;
+  std::string_view unit = s.substr(digits);
+  SimTime scale = 0;
+  if (unit == "ns") scale = 1;
+  else if (unit == "us") scale = kNanosPerMicro;
+  else if (unit == "ms") scale = kNanosPerMilli;
+  else if (unit == "s") scale = kNanosPerSecond;
+  else if (unit == "m") scale = kNanosPerMinute;
+  else if (unit == "h") scale = kNanosPerHour;
+  else if (unit == "d") scale = kNanosPerDay;
+  else return false;
+  if (value > std::numeric_limits<SimTime>::max() / scale) return false;
+  out = value * scale;
+  if (negative) out = -out;
+  return true;
+}
+
+std::string format_time(SimTime t) { return std::to_string(t) + "ns"; }
+
+std::string format_prob(double p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);
+  return buf;
+}
+
+std::optional<std::string> validate_event(const ChaosEvent& e, SimTime duration) {
+  (void)duration;
+  if (e.start < 0) return "event start must be >= 0";
+  if (kind_uses_window(e.kind) && e.end < e.start) return "event end precedes start";
+  switch (e.kind) {
+    case ChaosEventKind::kLinkLoss:
+      if (!(e.magnitude > 0.0) || e.magnitude > 1.0) return "link-loss prob not in (0, 1]";
+      break;
+    case ChaosEventKind::kUploadFailure:
+      if (!(e.magnitude > 0.0) || e.magnitude > 1.0) {
+        return "upload-fail prob not in (0, 1]";
+      }
+      break;
+    case ChaosEventKind::kSlbFlap: {
+      if (e.param < seconds(1)) return "slb-flap period must be >= 1s";
+      // Bounded toggle count: the injector pre-schedules every toggle.
+      if ((e.end - e.start) / e.param > 4096) return "slb-flap would toggle > 4096 times";
+      break;
+    }
+    case ChaosEventKind::kUploadDelay:
+      if (e.param < 0 || e.param > hours(1)) return "upload-delay not in [0, 1h]";
+      break;
+    case ChaosEventKind::kClockSkew:
+      if (e.param < -hours(1) || e.param > hours(1)) return "clock-skew not in [-1h, 1h]";
+      break;
+    case ChaosEventKind::kPartition:
+    case ChaosEventKind::kServerCrash:
+    case ChaosEventKind::kControllerOutage:
+    case ChaosEventKind::kExtentCorruption:
+      break;
+  }
+  if (e.entity == kEntityAll && e.kind != ChaosEventKind::kControllerOutage &&
+      e.kind != ChaosEventKind::kSlbFlap) {
+    return "entity 'all' is only valid for controller-outage / slb-flap";
+  }
+  return std::nullopt;
+}
+
+/// The k=v key each kind uses for its entity in the text form.
+const char* entity_key(ChaosEventKind k) {
+  switch (k) {
+    case ChaosEventKind::kLinkLoss:
+    case ChaosEventKind::kPartition:
+      return "switch";
+    case ChaosEventKind::kServerCrash:
+    case ChaosEventKind::kClockSkew:
+      return "server";
+    case ChaosEventKind::kControllerOutage:
+    case ChaosEventKind::kSlbFlap:
+      return "replica";
+    default:
+      return nullptr;  // no entity in the text form
+  }
+}
+
+/// The k=v key each kind uses for its SimTime param.
+const char* param_key(ChaosEventKind k) {
+  switch (k) {
+    case ChaosEventKind::kSlbFlap: return "period";
+    case ChaosEventKind::kUploadDelay: return "delay";
+    case ChaosEventKind::kClockSkew: return "skew";
+    default: return nullptr;
+  }
+}
+
+bool kind_has_prob(ChaosEventKind k) {
+  return k == ChaosEventKind::kLinkLoss || k == ChaosEventKind::kUploadFailure;
+}
+
+}  // namespace
+
+const char* chaos_event_kind_name(ChaosEventKind kind) {
+  for (const KindName& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  return "?";
+}
+
+std::optional<ChaosEventKind> parse_chaos_event_kind(std::string_view name) {
+  for (const KindName& kn : kKindNames) {
+    if (name == kn.name) return kn.kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_plan(const ChaosPlan& plan) {
+  if (plan.duration <= 0) return std::string("duration must be positive");
+  if (plan.settle < 0) return std::string("settle must be >= 0");
+  if (plan.events.size() > kMaxPlanEvents) return std::string("too many events");
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    if (auto err = validate_event(plan.events[i], plan.duration)) {
+      return "event " + std::to_string(i + 1) + ": " + *err;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ChaosPlan> parse_plan(std::string_view text, std::string* error) {
+  auto fail = [error](std::size_t line_no, const std::string& why) -> std::optional<ChaosPlan> {
+    if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + why;
+    return std::nullopt;
+  };
+  if (text.size() > kMaxPlanBytes) return fail(0, "plan exceeds size cap");
+
+  ChaosPlan plan;
+  plan.events.clear();
+  bool saw_header = false;
+  // `end` omitted in the text means "until end of plan"; resolved after the
+  // duration directive is known (directives may come in any order).
+  std::vector<std::size_t> open_ended;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                                          : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      if (line_no == 1 && line != kHeader) return fail(line_no, "bad header");
+      if (line == kHeader) saw_header = true;
+      continue;
+    }
+
+    std::size_t sp = line.find(' ');
+    std::string_view word = line.substr(0, sp);
+    std::string_view rest = sp == std::string_view::npos ? std::string_view{}
+                                                         : trim(line.substr(sp + 1));
+    if (word == "seed") {
+      if (!parse_u64(rest, plan.seed)) return fail(line_no, "bad seed");
+    } else if (word == "duration") {
+      if (!parse_time(rest, plan.duration)) return fail(line_no, "bad duration");
+    } else if (word == "settle") {
+      if (!parse_time(rest, plan.settle)) return fail(line_no, "bad settle");
+    } else if (word == "event") {
+      if (plan.events.size() >= kMaxPlanEvents) return fail(line_no, "too many events");
+      std::size_t ksp = rest.find(' ');
+      std::string_view kind_name = rest.substr(0, ksp);
+      auto kind = parse_chaos_event_kind(kind_name);
+      if (!kind) return fail(line_no, "unknown event kind");
+      ChaosEvent e;
+      e.kind = *kind;
+      bool saw_end = false;
+      std::string_view fields = ksp == std::string_view::npos ? std::string_view{}
+                                                              : trim(rest.substr(ksp + 1));
+      while (!fields.empty()) {
+        std::size_t fsp = fields.find(' ');
+        std::string_view field = fields.substr(0, fsp);
+        fields = fsp == std::string_view::npos ? std::string_view{}
+                                               : trim(fields.substr(fsp + 1));
+        std::size_t eq = field.find('=');
+        if (eq == std::string_view::npos) return fail(line_no, "field without '='");
+        std::string_view key = field.substr(0, eq);
+        std::string_view value = field.substr(eq + 1);
+        if (key == "start") {
+          if (!parse_time(value, e.start)) return fail(line_no, "bad start");
+        } else if (key == "end") {
+          if (!parse_time(value, e.end)) return fail(line_no, "bad end");
+          saw_end = true;
+        } else if (key == "prob") {
+          if (!kind_has_prob(e.kind)) return fail(line_no, "prob not valid for this kind");
+          if (!parse_double(value, e.magnitude)) return fail(line_no, "bad prob");
+        } else if (entity_key(e.kind) != nullptr && key == entity_key(e.kind)) {
+          if (!parse_u32(value, e.entity)) return fail(line_no, "bad entity");
+        } else if (param_key(e.kind) != nullptr && key == param_key(e.kind)) {
+          if (!parse_time(value, e.param)) return fail(line_no, "bad time value");
+        } else {
+          return fail(line_no, "unknown field '" + std::string(key) + "'");
+        }
+      }
+      if (e.kind == ChaosEventKind::kPartition) e.magnitude = 1.0;
+      if (!saw_end) {
+        if (kind_uses_window(e.kind)) open_ended.push_back(plan.events.size());
+        else e.end = e.start;
+      }
+      plan.events.push_back(e);
+    } else {
+      return fail(line_no, "unknown directive '" + std::string(word) + "'");
+    }
+  }
+  if (!saw_header) return fail(1, "missing '# pingmesh chaos plan v1' header");
+  for (std::size_t idx : open_ended) plan.events[idx].end = plan.duration;
+  if (auto err = validate_plan(plan)) return fail(0, *err);
+  return plan;
+}
+
+std::string to_text(const ChaosPlan& plan) {
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  out += "seed " + std::to_string(plan.seed) + '\n';
+  out += "duration " + format_time(plan.duration) + '\n';
+  out += "settle " + format_time(plan.settle) + '\n';
+  for (const ChaosEvent& e : plan.events) {
+    out += "event ";
+    out += chaos_event_kind_name(e.kind);
+    if (const char* ek = entity_key(e.kind)) {
+      out += ' ';
+      out += ek;
+      out += '=';
+      out += e.entity == kEntityAll ? "all" : std::to_string(e.entity);
+    }
+    if (kind_has_prob(e.kind)) out += " prob=" + format_prob(e.magnitude);
+    if (const char* pk = param_key(e.kind)) {
+      out += ' ';
+      out += pk;
+      out += '=';
+      out += format_time(e.param);
+    }
+    out += " start=" + format_time(e.start);
+    if (kind_uses_window(e.kind)) out += " end=" + format_time(e.end);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pingmesh::chaos

@@ -1,0 +1,94 @@
+// ChaosPlan — a seeded, declarative schedule of timed fault events.
+//
+// A plan is the unit of chaos testing (DESIGN.md §11): a seed, a run
+// duration, a settle period, and a list of events, each applied and
+// reverted at exact sim ticks by the ChaosInjector. The determinism
+// contract is (seed, plan) => bit-identical run, at any worker count, so a
+// plan file is a complete reproducer — the random-plan generator prints
+// shrunken failing plans in this format and `pingmeshctl chaos run` replays
+// them.
+//
+// Text format (hardened like the other untrusted-byte parsers; fuzzed by
+// tools/fuzz/fuzz_chaos_plan.cc):
+//
+//   # pingmesh chaos plan v1
+//   seed 42
+//   duration 30m
+//   settle 10m
+//   event link-loss switch=12 prob=0.01 start=5m end=15m
+//   event controller-outage replica=all start=4m end=16m
+//
+// Times take an integer plus a unit suffix (ns/us/ms/s/m/h/d); the
+// serializer always emits exact nanoseconds so round-trips are lossless.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pingmesh::chaos {
+
+enum class ChaosEventKind : std::uint8_t {
+  kLinkLoss,          ///< silent random drop on one switch (prob = magnitude)
+  kPartition,         ///< 100% drop on one switch (ToR/leaf/spine cut off)
+  kServerCrash,       ///< one server down, restarts at end
+  kControllerOutage,  ///< controller replica (or all) unreachable
+  kSlbFlap,           ///< replica toggles up/down every `param` until end
+  kUploadFailure,     ///< Cosmos front-end fails uploads with prob = magnitude
+  kUploadDelay,       ///< accepted uploads land with appended_at += param
+  kExtentCorruption,  ///< newest extent's payload bit-flipped at start
+  kClockSkew,         ///< one agent stamps records at now + param (signed)
+};
+
+/// Number of distinct event kinds (generator/shrinker iteration).
+constexpr int kChaosEventKindCount = 9;
+
+const char* chaos_event_kind_name(ChaosEventKind kind);
+std::optional<ChaosEventKind> parse_chaos_event_kind(std::string_view name);
+
+/// `entity` value meaning "every instance" (controller-outage, slb-flap).
+constexpr std::uint32_t kEntityAll = 0xffffffffu;
+
+struct ChaosEvent {
+  ChaosEventKind kind = ChaosEventKind::kLinkLoss;
+  SimTime start = 0;        ///< activation tick
+  SimTime end = 0;          ///< reversion tick ([start, end) window)
+  std::uint32_t entity = 0; ///< switch / server / replica index (kind-specific)
+  double magnitude = 0.0;   ///< probability for link-loss / upload-failure
+  SimTime param = 0;        ///< flap period / upload delay / clock skew (signed)
+
+  bool operator==(const ChaosEvent&) const = default;
+};
+
+struct ChaosPlan {
+  std::uint64_t seed = 42;
+  SimTime duration = minutes(30);  ///< chaos window the events live in
+  SimTime settle = minutes(10);    ///< fault-free tail before invariants run
+  std::vector<ChaosEvent> events;
+
+  bool operator==(const ChaosPlan&) const = default;
+};
+
+/// Hard caps enforced by the parser (adversarial-input bounds).
+constexpr std::size_t kMaxPlanBytes = 256 * 1024;
+constexpr std::size_t kMaxPlanEvents = 1024;
+
+/// Parse the text format. Returns nullopt on any malformed input; when
+/// `error` is non-null it receives a one-line diagnostic with the line
+/// number. Never throws; safe on arbitrary bytes.
+std::optional<ChaosPlan> parse_plan(std::string_view text, std::string* error = nullptr);
+
+/// Serialize to the canonical text form: parse_plan(to_text(p)) == p for
+/// any plan that parses or validates.
+std::string to_text(const ChaosPlan& plan);
+
+/// Structural validation shared by parse_plan and programmatic plan
+/// construction: window ordering, probability ranges, flap-toggle bounds.
+/// Returns nullopt when valid, else a diagnostic.
+std::optional<std::string> validate_plan(const ChaosPlan& plan);
+
+}  // namespace pingmesh::chaos

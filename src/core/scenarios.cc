@@ -100,6 +100,12 @@ SimulationConfig streaming_test_config(std::uint64_t seed) {
   return cfg;
 }
 
+SimulationConfig chaos_test_config(std::uint64_t seed) {
+  SimulationConfig cfg = streaming_test_config(seed);
+  cfg.agent.pinglist_refresh = minutes(2);
+  return cfg;
+}
+
 SimulationConfig observability_test_config(std::uint64_t seed, std::uint64_t sample_every) {
   SimulationConfig cfg = streaming_test_config(seed);
   cfg.observability.enabled = true;

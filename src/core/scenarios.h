@@ -40,6 +40,12 @@ SimulationConfig small_test_config(std::uint64_t seed = 42);
 /// freshness (the sub-minute-detection scenario; DESIGN.md §8).
 SimulationConfig streaming_test_config(std::uint64_t seed = 42);
 
+/// streaming_test_config with chaos-friendly cadences: a 2-minute pinglist
+/// refresh so a controller outage spanning a few refreshes exercises the
+/// agent fail-closed path within a short run. The default base config of
+/// chaos::run_plan (DESIGN.md §11).
+SimulationConfig chaos_test_config(std::uint64_t seed = 42);
+
 /// streaming_test_config with the observability layer on: the fleet-wide
 /// MetricsRegistry plus the sampled data-path tracer (DESIGN.md §10).
 /// `sample_every` controls trace sampling (1 = trace every record).

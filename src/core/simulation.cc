@@ -14,7 +14,7 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
       generator_(topo_, config_.generator),
       source_(topo_, generator_),
       scheduler_(0),
-      cosmos_(),
+      cosmos_(config_.cosmos_extent_limit),
       uploader_(cosmos_, dsa::kLatencyStream, scheduler_.clock()),
       jobs_(config_.ingestion_delay),
       pa_(topo_, db_),
@@ -187,9 +187,11 @@ controller::FetchResult PingmeshSimulation::fetch_pinglist(IpAddr server_ip, Sim
   std::optional<std::size_t> pick;
   bool up = false;
   {
-    // Worker shards fetch concurrently; the VIP's rotation state is the one
-    // shared mutable piece, so it's mutex-guarded. The picked replica
-    // depends only on (flow hash, healthy set), not on arrival order.
+    // Fetches run in the serial phase of tick_agents (driver thread only);
+    // the mutex stays as a guard-rail for any future caller. The picked
+    // replica depends only on (flow hash, rotation state), and rotation
+    // state evolves in server-id order, so outcomes are identical at any
+    // worker count.
     std::lock_guard<std::mutex> lock(vip_mutex_);
     pick = controller_vip_.pick(mix64(server_ip.v ^ static_cast<std::uint64_t>(now)));
     if (pick) up = replica_up_[*pick] != 0;
@@ -269,18 +271,20 @@ void PingmeshSimulation::tick_agents(SimTime now) {
   // shard membership deterministic; probe outcomes are pure functions of
   // (seed, tuple, now), so the result is bit-identical for any thread count.
   const auto& servers = topo_.servers();
-  auto shard = [this, now, &servers](std::size_t begin, std::size_t end) {
+  // Pinglist fetches are only *noted* during the parallel phase and
+  // performed after the barrier: the SLB VIP's pick/report sequence mutates
+  // rotation state, so running it from worker shards would make fetch
+  // outcomes depend on thread interleaving whenever a replica is down
+  // (exactly the chaos scenarios). Serial server-id order matches what the
+  // 1-worker path always did.
+  std::vector<char> wants_fetch(servers.size(), 0);
+  auto shard = [this, now, &servers, &wants_fetch](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       const topo::Server& s = servers[i];
       if (!net_.server_up(s.id, now)) continue;  // podset power-down: agent is gone
       agent::PingmeshAgent& ag = *agents_[s.id.value];
       agent::PingmeshAgent::TickActions actions = ag.tick(now);
-      if (actions.fetch_pinglist) {
-        ag.on_pinglist(fetch_pinglist(s.ip, now), now);
-        // Newly adopted pinglists may have probes due immediately.
-        auto more = ag.tick(now);
-        for (const auto& req : more.probes) actions.probes.push_back(req);
-      }
+      if (actions.fetch_pinglist) wants_fetch[i] = 1;
       for (const agent::ProbeRequest& req : actions.probes) {
         ag.on_probe_result(req, execute_probe(s.id, req, now), now);
       }
@@ -292,9 +296,22 @@ void PingmeshSimulation::tick_agents(SimTime now) {
     shard(0, servers.size());
   }
 
-  // Serial phase (after the barrier): drain deferred uploads in server-id
-  // order so the single-threaded Uploader/CosmosStore sees a deterministic
-  // record stream.
+  // Serial phase 1 (after the barrier): pinglist fetches in server-id
+  // order. A newly adopted pinglist may have probes due immediately; they
+  // run here too (refresh ticks only, so the serialization is cheap).
+  for (const topo::Server& s : servers) {
+    if (wants_fetch[s.id.value] == 0) continue;
+    agent::PingmeshAgent& ag = *agents_[s.id.value];
+    ag.on_pinglist(fetch_pinglist(s.ip, now), now);
+    auto more = ag.tick(now);
+    for (const agent::ProbeRequest& req : more.probes) {
+      ag.on_probe_result(req, execute_probe(s.id, req, now), now);
+    }
+  }
+
+  // Serial phase 2: drain deferred uploads in server-id order so the
+  // single-threaded Uploader/CosmosStore sees a deterministic record
+  // stream.
   for (const topo::Server& s : servers) {
     if (!net_.server_up(s.id, now)) continue;
     agents_[s.id.value]->service_uploads(now);

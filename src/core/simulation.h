@@ -51,6 +51,10 @@ struct SimulationConfig {
   SimTime job_tick = minutes(1);          ///< JobManager wake-up cadence
   SimTime ingestion_delay = minutes(10);  ///< Cosmos->SCOPE availability delay
   SimTime cosmos_retention = hours(1);    ///< expire raw data older than this
+  /// Extent rollover size for the Cosmos store. Expiry works at extent
+  /// granularity, so retention tests shrink this to force rollover within a
+  /// short simulated run.
+  std::size_t cosmos_extent_limit = 4 * 1024 * 1024;
   bool include_server_sla_rows = false;
   dsa::AlertThresholds thresholds;
   /// Near-real-time analytics path (off by default): taps record batches at
@@ -87,7 +91,9 @@ class PingmeshSimulation {
   controller::PinglistGenerator& generator() { return generator_; }
   controller::DirectPinglistSource& pinglist_source() { return source_; }
   dsa::CosmosStore& cosmos() { return cosmos_; }
+  [[nodiscard]] const dsa::CosmosStore& cosmos() const { return cosmos_; }
   dsa::Database& db() { return db_; }
+  [[nodiscard]] const dsa::Database& db() const { return db_; }
   dsa::JobManager& jobs() { return jobs_; }
   dsa::PerfcounterAggregator& pa() { return pa_; }
   /// The streaming pipeline; null unless config().streaming.enabled.
@@ -100,6 +106,9 @@ class PingmeshSimulation {
   topo::ServiceMap& services() { return services_; }
   EventScheduler& scheduler() { return scheduler_; }
   agent::PingmeshAgent& agent(ServerId id) { return *agents_.at(id.value); }
+  [[nodiscard]] const agent::PingmeshAgent& agent(ServerId id) const {
+    return *agents_.at(id.value);
+  }
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
   /// Failure injection on the upload path (Cosmos front-end outages).
   dsa::CosmosUploader& uploader_for_test() { return uploader_; }
@@ -110,8 +119,11 @@ class PingmeshSimulation {
   /// The SLB VIP in front of the controller replica set.
   [[nodiscard]] const controller::SlbVip& controller_vip() const { return controller_vip_; }
   /// Kill / revive one controller replica (failure injection). Call only
-  /// between run_for() segments — replica state is read by worker shards.
+  /// from the driver thread between ticks — i.e. between run_for() segments
+  /// or from a scheduler event (the chaos injector's path) — because
+  /// replica state is read by worker shards during the tick itself.
   void set_controller_replica_up(std::size_t replica, bool up);
+  [[nodiscard]] std::size_t controller_replica_count() const { return replica_up_.size(); }
 
   /// Register a VIP with its destination (DIP) pool (paper §6.2 "VIP
   /// monitoring"). Probes to the VIP address are load-balanced over the

@@ -43,6 +43,7 @@ std::uint64_t CosmosStream::append(std::string_view blob, std::uint64_t record_c
   e.appended_at = now;
   total_bytes_ += blob.size();
   total_records_ += record_count;
+  appended_records_total_ += record_count;
   SimTime prev = prefix_max_last_ts_.size() >= 2
                      ? prefix_max_last_ts_[prefix_max_last_ts_.size() - 2]
                      : std::numeric_limits<SimTime>::min();
@@ -77,9 +78,24 @@ void CosmosStream::corrupt_extent_for_test(std::size_t index) {
   extents_[index].data[0] ^= 0x1;
 }
 
+bool CosmosStream::corrupt_newest_extent() {
+  if (extents_.empty() || extents_.back().data.empty()) return false;
+  corrupt_extent_for_test(extents_.size() - 1);
+  return true;
+}
+
+std::uint64_t CosmosStream::corrupt_records() const {
+  std::uint64_t n = 0;
+  for (const Extent& e : extents_) {
+    if (!e.verify()) n += e.record_count;
+  }
+  return n;
+}
+
 void CosmosStream::restore_extent(Extent extent) {
   total_bytes_ += extent.data.size();
   total_records_ += extent.record_count;
+  appended_records_total_ += extent.record_count;
   next_extent_id_ = std::max(next_extent_id_, extent.id + 1);
   SimTime prev = prefix_max_last_ts_.empty() ? std::numeric_limits<SimTime>::min()
                                              : prefix_max_last_ts_.back();
@@ -95,6 +111,7 @@ std::uint64_t CosmosStream::expire_before(SimTime horizon) {
     reclaimed += keep_from->data.size();
     total_bytes_ -= keep_from->data.size();
     total_records_ -= keep_from->record_count;
+    expired_records_total_ += keep_from->record_count;
   }
   auto erased = static_cast<std::size_t>(keep_from - extents_.begin());
   extents_.erase(extents_.begin(), keep_from);

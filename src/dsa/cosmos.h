@@ -60,8 +60,26 @@ class CosmosStream {
   [[nodiscard]] std::uint64_t total_records() const { return total_records_; }
   [[nodiscard]] std::uint64_t corrupt_extents_skipped() const { return corrupt_skipped_; }
 
+  // Monotonic ledger counters: unlike total_records() (which expire_before
+  // decrements), these only grow, so
+  //   appended_records_total == total_records + expired_records_total
+  // holds at every instant — the conservation identity the chaos invariant
+  // checker asserts after arbitrary fault schedules.
+  [[nodiscard]] std::uint64_t appended_records_total() const {
+    return appended_records_total_;
+  }
+  [[nodiscard]] std::uint64_t expired_records_total() const {
+    return expired_records_total_;
+  }
+  /// Records sitting in extents whose checksum no longer verifies (they
+  /// still count in total_records, but scans skip them).
+  [[nodiscard]] std::uint64_t corrupt_records() const;
+
   /// Deliberately corrupt an extent's payload (failure-injection in tests).
   void corrupt_extent_for_test(std::size_t index);
+  /// Corrupt the most recently written extent (chaos injection). Returns
+  /// false when the stream is empty.
+  bool corrupt_newest_extent();
 
   /// Re-attach a sealed extent loaded from persistent storage (cosmos_io).
   /// The extent is appended as-is; accounting and the id counter update.
@@ -85,6 +103,8 @@ class CosmosStream {
   std::uint64_t next_extent_id_ = 1;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_records_ = 0;
+  std::uint64_t appended_records_total_ = 0;
+  std::uint64_t expired_records_total_ = 0;
   mutable std::uint64_t corrupt_skipped_ = 0;
 };
 

@@ -11,6 +11,7 @@
 #include "agent/agent.h"
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/rng.h"
 #include "dsa/cosmos.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,6 +45,19 @@ class CosmosUploader final : public agent::Uploader {
       if (uploads_failed_counter_ != nullptr) uploads_failed_counter_->inc();
       return false;
     }
+    if (chaos_fail_prob_ > 0.0) {
+      // Chaos failure draws come from a counter stream keyed by (chaos
+      // seed, tick, uploading entity) — never from shared sequential RNG
+      // state — so a chaos run replays bit-identically at any worker count.
+      std::uint32_t entity = batch.empty() ? 0 : batch.front().src_ip.v;
+      CounterRng rng(mix_key(chaos_seed_, static_cast<std::uint64_t>(clock_->now()),
+                             entity));
+      if (rng.chance(chaos_fail_prob_)) {
+        ++chaos_failures_;
+        if (uploads_failed_counter_ != nullptr) uploads_failed_counter_->inc();
+        return false;
+      }
+    }
     if (batch.empty()) return true;
     SimTime first = batch.front().timestamp;
     SimTime last = batch.front().timestamp;
@@ -53,7 +67,8 @@ class CosmosUploader final : public agent::Uploader {
     }
     std::uint64_t extent_id =
         store_->stream(stream_name_)
-            .append(agent::encode_batch(batch), batch.size(), first, last, clock_->now());
+            .append(agent::encode_batch(batch), batch.size(), first, last,
+                    clock_->now() + chaos_delay_);
     ++uploads_;
     if (uploads_ok_counter_ != nullptr) {
       uploads_ok_counter_->inc();
@@ -93,8 +108,26 @@ class CosmosUploader final : public agent::Uploader {
     PINGMESH_CHECK_MSG(n >= 0, "fail_next takes a non-negative count");
     fail_next_ = n;
   }
+  /// Chaos window: while `prob` > 0, each upload fails with that
+  /// probability, drawn from a CounterRng keyed by (seed, now, uploading
+  /// agent). prob = 0 ends the window.
+  void set_chaos_failure(double prob, std::uint64_t seed) {
+    PINGMESH_CHECK_MSG(prob >= 0.0 && prob <= 1.0,
+                       "chaos failure probability must be in [0, 1]");
+    chaos_fail_prob_ = prob;
+    chaos_seed_ = seed;
+  }
+  /// Chaos window: ingestion latency spike — accepted batches land with
+  /// their appended_at pushed `delay` into the future, postponing batch-path
+  /// visibility (the streaming tap, upstream of the front door, is
+  /// unaffected). delay = 0 ends the window.
+  void set_chaos_delay(SimTime delay) {
+    PINGMESH_CHECK_MSG(delay >= 0, "chaos delay must be non-negative");
+    chaos_delay_ = delay;
+  }
 
   [[nodiscard]] std::uint64_t uploads() const { return uploads_; }
+  [[nodiscard]] std::uint64_t chaos_failures() const { return chaos_failures_; }
 
  private:
   CosmosStore* store_;
@@ -103,6 +136,10 @@ class CosmosUploader final : public agent::Uploader {
   RecordTap* tap_ = nullptr;
   bool available_ = true;
   int fail_next_ = 0;
+  double chaos_fail_prob_ = 0.0;
+  std::uint64_t chaos_seed_ = 0;
+  SimTime chaos_delay_ = 0;
+  std::uint64_t chaos_failures_ = 0;
   std::uint64_t uploads_ = 0;
   obs::Counter* uploads_ok_counter_ = nullptr;
   obs::Counter* uploads_failed_counter_ = nullptr;

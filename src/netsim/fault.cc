@@ -89,6 +89,18 @@ FaultId FaultInjector::add_podset_down(PodsetId podset, SimTime start, SimTime e
   return f.id;
 }
 
+FaultId FaultInjector::add_server_down(ServerId server, SimTime start, SimTime end) {
+  Fault f;
+  f.id = next_id_++;
+  f.kind = FaultKind::kServerDown;
+  f.server = server;
+  f.start = start;
+  f.end = end;
+  by_server_[server].push_back(faults_.size());
+  faults_.push_back(f);
+  return f.id;
+}
+
 void FaultInjector::remove(FaultId id) {
   for (auto& f : faults_) {
     if (f.id == id) {
@@ -130,6 +142,7 @@ void FaultInjector::clear() {
   faults_.clear();
   by_switch_.clear();
   by_podset_.clear();
+  by_server_.clear();
 }
 
 bool FaultInjector::pattern_hit(const Fault& f, const FiveTuple& tuple) {
@@ -167,6 +180,8 @@ HopEffect FaultInjector::hop_effect(SwitchId sw, const FiveTuple& tuple,
         break;
       case FaultKind::kPodsetDown:
         break;  // handled via podset_down()
+      case FaultKind::kServerDown:
+        break;  // handled via server_down()
     }
   }
   return e;
@@ -178,6 +193,16 @@ bool FaultInjector::podset_down(PodsetId podset, SimTime now) const {
   for (std::size_t idx : it->second) {
     const Fault& f = faults_[idx];
     if (f.active(now) && f.kind == FaultKind::kPodsetDown) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::server_down(ServerId server, SimTime now) const {
+  auto it = by_server_.find(server);
+  if (it == by_server_.end()) return false;
+  for (std::size_t idx : it->second) {
+    const Fault& f = faults_[idx];
+    if (f.active(now) && f.kind == FaultKind::kServerDown) return true;
   }
   return false;
 }

@@ -36,6 +36,7 @@ enum class FaultKind : std::uint8_t {
   kCongestion,
   kFcsErrors,
   kPodsetDown,
+  kServerDown,
 };
 
 using FaultId = std::uint32_t;
@@ -79,6 +80,11 @@ class FaultInjector {
   /// Whole podset loses power: every server in it stops responding.
   FaultId add_podset_down(PodsetId podset, SimTime start = 0, SimTime end = kForever);
 
+  /// One server crashes at `start` and restarts at `end`: its agent stops
+  /// ticking and it answers no probes, but its state survives the outage
+  /// (a reboot, not a reimage).
+  FaultId add_server_down(ServerId server, SimTime start = 0, SimTime end = kForever);
+
   /// Remove one fault (e.g. switch isolated from live traffic).
   void remove(FaultId id);
   /// Remove all black-hole faults on a switch — the effect of a reload
@@ -94,6 +100,8 @@ class FaultInjector {
                                      SimTime now) const;
 
   [[nodiscard]] bool podset_down(PodsetId podset, SimTime now) const;
+
+  [[nodiscard]] bool server_down(ServerId server, SimTime now) const;
 
   /// Any active fault on this switch at `now`? (ground truth for tests)
   [[nodiscard]] bool has_active_fault(SwitchId sw, SimTime now) const;
@@ -111,8 +119,9 @@ class FaultInjector {
   struct Fault {
     FaultId id;
     FaultKind kind;
-    SwitchId sw;        // invalid for podset faults
-    PodsetId podset;    // invalid for switch faults
+    SwitchId sw;        // invalid for podset/server faults
+    PodsetId podset;    // invalid for switch/server faults
+    ServerId server;    // invalid for switch/podset faults
     BlackholeMode mode = BlackholeMode::kSrcDstPair;
     double magnitude = 0.0;    // entry_fraction / drop_prob / per_kb_drop
     double queue_scale = 1.0;  // congestion only
@@ -133,6 +142,7 @@ class FaultInjector {
   // index: faults per switch for O(active-on-switch) hop queries
   std::unordered_map<SwitchId, std::vector<std::size_t>> by_switch_;
   std::unordered_map<PodsetId, std::vector<std::size_t>> by_podset_;
+  std::unordered_map<ServerId, std::vector<std::size_t>> by_server_;
 };
 
 }  // namespace pingmesh::netsim

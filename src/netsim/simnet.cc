@@ -100,7 +100,8 @@ SimTime SimNetwork::sample_hop_latency(const DcProfile& prof, double queue_scale
 }
 
 bool SimNetwork::server_up(ServerId server, SimTime now) const {
-  return !faults_.podset_down(topo_->server(server).podset, now);
+  return !faults_.podset_down(topo_->server(server).podset, now) &&
+         !faults_.server_down(server, now);
 }
 
 PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, SimTime now,
@@ -114,6 +115,15 @@ PacketResult SimNetwork::send_packet(const FiveTuple& tuple, int size_bytes, Sim
   const topo::Server& d = topo_->server(dst);
   if (faults_.podset_down(s.podset, now) || faults_.podset_down(d.podset, now)) {
     r.drop_site = DropSite::kPodsetDown;
+    return r;
+  }
+  // A crashed server sends nothing and answers nothing.
+  if (faults_.server_down(src, now)) {
+    r.drop_site = DropSite::kSrcHost;
+    return r;
+  }
+  if (faults_.server_down(dst, now)) {
+    r.drop_site = DropSite::kDstHost;
     return r;
   }
 
@@ -311,6 +321,9 @@ std::optional<SwitchId> SimNetwork::traceroute_hop(const FiveTuple& tuple, int t
   const topo::Server& s = topo_->server(src);
   const topo::Server& d = topo_->server(dst);
   if (faults_.podset_down(s.podset, now) || faults_.podset_down(d.podset, now)) {
+    return std::nullopt;
+  }
+  if (faults_.server_down(src, now) || faults_.server_down(dst, now)) {
     return std::nullopt;
   }
   Path path = router_.resolve(tuple);

@@ -1,0 +1,394 @@
+// Chaos schedule engine tests: plan parsing, the determinism contract,
+// property-based invariants under scripted fault schedules, and the
+// random-plan hunt/shrink loop that must catch a deliberately planted
+// defect (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/engine.h"
+#include "chaos/injector.h"
+#include "chaos/invariants.h"
+#include "chaos/plan.h"
+#include "core/scenarios.h"
+#include "core/simulation.h"
+#include "topology/topology.h"
+
+namespace pingmesh::chaos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Plan text format
+// ---------------------------------------------------------------------------
+
+TEST(ChaosPlan, FullTaxonomyRoundTrips) {
+  const std::string text =
+      "# pingmesh chaos plan v1\n"
+      "seed 99\n"
+      "duration 30m\n"
+      "settle 10m\n"
+      "event link-loss switch=12 prob=0.01 start=5m end=15m\n"
+      "event partition switch=3 start=6m end=9m\n"
+      "event server-crash server=17 start=2m end=20m\n"
+      "event controller-outage replica=all start=4m end=16m\n"
+      "event slb-flap replica=1 period=90s start=3m end=12m\n"
+      "event upload-fail prob=0.5 start=10m end=14m\n"
+      "event upload-delay delay=45s start=8m end=11m\n"
+      "event corrupt-extent start=13m\n"
+      "event clock-skew server=9 skew=-2s start=7m end=18m\n";
+  auto plan = parse_plan(text);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed, 99u);
+  EXPECT_EQ(plan->duration, minutes(30));
+  EXPECT_EQ(plan->settle, minutes(10));
+  ASSERT_EQ(plan->events.size(), 9u);
+  EXPECT_EQ(plan->events[0].kind, ChaosEventKind::kLinkLoss);
+  EXPECT_DOUBLE_EQ(plan->events[0].magnitude, 0.01);
+  EXPECT_EQ(plan->events[1].magnitude, 1.0);  // partition forces 100%
+  EXPECT_EQ(plan->events[3].entity, kEntityAll);
+  EXPECT_EQ(plan->events[4].param, seconds(90));
+  EXPECT_EQ(plan->events[8].param, -seconds(2));
+
+  // Canonical serialization is lossless.
+  auto replayed = parse_plan(to_text(*plan));
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(*replayed, *plan);
+}
+
+TEST(ChaosPlan, OmittedEndRunsToPlanDuration) {
+  auto plan = parse_plan(
+      "# pingmesh chaos plan v1\n"
+      "duration 20m\n"
+      "event controller-outage replica=0 start=5m\n");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->events.at(0).end, minutes(20));
+}
+
+TEST(ChaosPlan, MalformedInputsAreRejectedWithDiagnostics) {
+  const char* bad[] = {
+      "",                                                      // no header
+      "seed 42\n",                                             // no header
+      "# pingmesh chaos plan v2\nseed 1\n",                    // wrong header
+      "# pingmesh chaos plan v1\nseed banana\n",               // bad number
+      "# pingmesh chaos plan v1\nduration 5parsecs\n",         // bad unit
+      "# pingmesh chaos plan v1\nevent warp-core-breach\n",    // unknown kind
+      "# pingmesh chaos plan v1\nevent link-loss prob=2 start=0s end=1m\n",
+      "# pingmesh chaos plan v1\nevent link-loss delay=3s\n",  // wrong field
+      "# pingmesh chaos plan v1\nevent slb-flap replica=0 period=1ms start=0s end=1m\n",
+      "# pingmesh chaos plan v1\nevent clock-skew server=0 skew=2h start=0s end=1m\n",
+      "# pingmesh chaos plan v1\nevent link-loss prob=0.1 start=5m end=2m\n",
+      "# pingmesh chaos plan v1\nfrobnicate 12\n",             // unknown directive
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_plan(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ChaosPlan, RandomPlansAreValidDeterministicAndRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosPlan plan = generate_random_plan(seed);
+    EXPECT_EQ(validate_plan(plan), std::nullopt) << "seed " << seed;
+    EXPECT_GE(plan.events.size(), 1u);
+    EXPECT_LE(plan.events.size(), 5u);
+    EXPECT_EQ(plan, generate_random_plan(seed)) << "generator not deterministic";
+    auto replayed = parse_plan(to_text(plan));
+    ASSERT_TRUE(replayed.has_value()) << to_text(plan);
+    EXPECT_EQ(*replayed, plan);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract
+// ---------------------------------------------------------------------------
+
+// A ToR switch index in the canonical chaos topology (one small DC).
+std::uint32_t chaos_config_tor(std::size_t which) {
+  topo::Topology topo =
+      topo::Topology::build({topo::small_dc_spec("DC1", "US West")});
+  return topo.switches_in_dc(DcId{0}, topo::SwitchKind::kTor).at(which).value;
+}
+
+TEST(ChaosEngine, SamePlanIsBitIdenticalAtOneAndFourWorkers) {
+  ChaosPlan plan;
+  plan.seed = 2024;
+  plan.duration = minutes(12);
+  plan.settle = minutes(4);
+  // Mixed schedule that exercises every order-sensitive path: a partial
+  // controller outage (SLB rotation), upload chaos (CounterRng draws),
+  // network loss, and skewed record timestamps.
+  plan.events.push_back({ChaosEventKind::kControllerOutage, minutes(2), minutes(8), 0});
+  plan.events.push_back(
+      {ChaosEventKind::kLinkLoss, minutes(1), minutes(9), chaos_config_tor(1), 0.02});
+  plan.events.push_back(
+      {ChaosEventKind::kUploadFailure, minutes(3), minutes(7), 0, 0.4});
+  plan.events.push_back(
+      {ChaosEventKind::kClockSkew, minutes(2), minutes(10), 5, 0.0, seconds(3)});
+  ASSERT_EQ(validate_plan(plan), std::nullopt);
+
+  ChaosRunOptions serial;
+  serial.worker_threads = 1;
+  ChaosRunOptions parallel;
+  parallel.worker_threads = 4;
+  ChaosRunResult a = run_plan(plan, serial);
+  ChaosRunResult b = run_plan(plan, parallel);
+
+  EXPECT_EQ(a.total_probes, b.total_probes);
+  EXPECT_EQ(a.records, b.records) << "uploaded record streams diverged";
+  EXPECT_EQ(a.report.to_text(), b.report.to_text());
+  EXPECT_TRUE(a.ok()) << a.report.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// Invariants under scripted schedules
+// ---------------------------------------------------------------------------
+
+TEST(ChaosEngine, RecordConservationHoldsUnderUploadChaos) {
+  ChaosPlan plan;
+  plan.seed = 7;
+  plan.duration = minutes(14);
+  plan.settle = minutes(5);
+  plan.events.push_back(
+      {ChaosEventKind::kUploadFailure, minutes(2), minutes(10), 0, 0.7});
+  ChaosRunResult r = run_plan(plan);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  // The chaos window actually bit: uploads failed and retry exhaustion
+  // discarded data — yet every record stays accounted.
+  EXPECT_GT(r.totals.uploads_failed, 0u);
+  EXPECT_GT(r.totals.records_discarded, 0u);
+  EXPECT_EQ(r.totals.probes_launched, r.totals.records_uploaded +
+                                          r.totals.records_discarded +
+                                          r.totals.records_buffered);
+}
+
+TEST(ChaosEngine, UploadRetryHighWaterMarkUnderChaos) {
+  // PR-4 regression, now under chaos: records that ride a retried upload
+  // must hit the local log exactly once (the high-water mark), however many
+  // chaos-injected failures the batch survives.
+  core::SimulationConfig base = core::chaos_test_config(11);
+  base.agent.local_log_path = testing::TempDir() + "chaos_retry_log.bin";
+  ChaosRunOptions opts;
+  opts.base_config = &base;
+
+  ChaosPlan plan;
+  plan.seed = 11;
+  plan.duration = minutes(12);
+  plan.settle = minutes(4);
+  plan.events.push_back(
+      {ChaosEventKind::kUploadFailure, minutes(2), minutes(9), 0, 0.8});
+  ChaosRunResult r = run_plan(plan, opts);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  EXPECT_GT(r.totals.log_dup_avoided, 0u)
+      << "no retried batch exercised the local-log high-water mark";
+  // Exactly-once: the log holds at most one entry per buffered record.
+  EXPECT_LE(r.totals.records_logged,
+            r.totals.records_uploaded + r.totals.records_discarded +
+                r.totals.records_buffered);
+}
+
+TEST(ChaosEngine, SlbHalfOpenRecoveryUnderScheduledFlaps) {
+  // PR-4 regression under chaos: a replica flapping through the SLB must be
+  // removed from rotation while down and re-admitted half-open when it
+  // recovers — permanently losing a controller replica is the bug class the
+  // recovery_after fix addressed.
+  ChaosPlan plan;
+  plan.seed = 13;
+  plan.duration = minutes(24);
+  plan.settle = minutes(10);
+  ChaosEvent flap;
+  flap.kind = ChaosEventKind::kSlbFlap;
+  flap.entity = 0;
+  flap.param = minutes(2);
+  flap.start = minutes(3);
+  flap.end = minutes(20);
+  plan.events.push_back(flap);
+  ChaosRunResult r = run_plan(plan);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  EXPECT_GT(r.totals.slb_half_open_trials, 0u)
+      << "flap never drove the VIP through its half-open path";
+  EXPECT_EQ(r.totals.slb_healthy, r.totals.slb_backends)
+      << "replica not re-admitted after the flap window closed";
+}
+
+TEST(ChaosEngine, ServerCrashAndRestartKeepsLedger) {
+  ChaosPlan plan;
+  plan.seed = 17;
+  plan.duration = minutes(16);
+  plan.settle = minutes(6);
+  plan.events.push_back({ChaosEventKind::kServerCrash, minutes(3), minutes(10), 5});
+  plan.events.push_back({ChaosEventKind::kServerCrash, minutes(4), minutes(12), 40});
+  ChaosRunResult r = run_plan(plan);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  EXPECT_GT(r.total_probes, 0u);
+}
+
+TEST(ChaosEngine, ClockSkewKeepsStreamingAndBatchConsistent) {
+  ChaosPlan plan;
+  plan.seed = 19;
+  plan.duration = minutes(14);
+  plan.settle = minutes(5);
+  // One agent far in the past (beyond the streaming horizon: late-dropped),
+  // one slightly ahead — the ingest partition must still account for every
+  // uploaded record.
+  plan.events.push_back(
+      {ChaosEventKind::kClockSkew, minutes(2), minutes(11), 3, 0.0, -minutes(2)});
+  plan.events.push_back(
+      {ChaosEventKind::kClockSkew, minutes(2), minutes(11), 9, 0.0, seconds(5)});
+  ChaosRunResult r = run_plan(plan);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  const InvariantFinding* f = r.report.find("streaming-batch");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->applicable);
+}
+
+TEST(ChaosEngine, CosmosLedgerSurvivesCorruptionAndExpiry) {
+  core::SimulationConfig base = core::chaos_test_config(23);
+  base.cosmos_retention = minutes(10);
+  // Expiry works at extent granularity: shrink extents so the 20-minute run
+  // rolls over several and the retention sweep has sealed extents to drop.
+  base.cosmos_extent_limit = 64 * 1024;
+  ChaosRunOptions opts;
+  opts.base_config = &base;
+
+  ChaosPlan plan;
+  plan.seed = 23;
+  plan.duration = minutes(20);
+  plan.settle = minutes(10);
+  ChaosEvent corrupt;
+  corrupt.kind = ChaosEventKind::kExtentCorruption;
+  corrupt.start = minutes(12);
+  corrupt.end = minutes(12);
+  plan.events.push_back(corrupt);
+  plan.events.push_back(
+      {ChaosEventKind::kUploadDelay, minutes(5), minutes(9), 0, 0.0, seconds(40)});
+  ChaosRunResult r = run_plan(plan, opts);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  EXPECT_GT(r.totals.cosmos_expired, 0u) << "retention never expired an extent";
+  EXPECT_EQ(r.totals.cosmos_appended, r.totals.cosmos_live + r.totals.cosmos_expired);
+}
+
+TEST(ChaosEngine, LoneTorFaultBlameLocalizes) {
+  ChaosPlan plan;
+  plan.seed = 29;
+  plan.duration = minutes(14);
+  plan.settle = minutes(5);
+  plan.events.push_back(
+      {ChaosEventKind::kLinkLoss, minutes(2), minutes(12), chaos_config_tor(2), 0.03});
+  ChaosRunResult r = run_plan(plan);
+  const InvariantFinding* f = r.report.find("blame-localization");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->applicable) << f->detail;
+  EXPECT_TRUE(f->ok) << f->detail;
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// Fail-closed: holds normally, and the planted defect is caught + shrunk
+// ---------------------------------------------------------------------------
+
+ChaosPlan outage_plan() {
+  ChaosPlan plan;
+  plan.seed = 31;
+  plan.duration = minutes(20);
+  plan.settle = minutes(8);
+  ChaosEvent outage;
+  outage.kind = ChaosEventKind::kControllerOutage;
+  outage.entity = kEntityAll;
+  outage.start = minutes(4);
+  outage.end = minutes(16);
+  plan.events.push_back(outage);
+  return plan;
+}
+
+TEST(ChaosEngine, FailClosedHoldsThroughTotalControllerOutage) {
+  ChaosRunResult r = run_plan(outage_plan());
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  const InvariantFinding* f = r.report.find("fail-closed");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->ok) << f->detail;
+}
+
+TEST(ChaosEngine, BrokenFailClosedThresholdIsCaught) {
+  ChaosRunOptions broken;
+  broken.break_fail_closed = true;
+  ChaosRunResult r = run_plan(outage_plan(), broken);
+  EXPECT_FALSE(r.ok());
+  const InvariantFinding* f = r.report.find("fail-closed");
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->ok);
+}
+
+TEST(ChaosEngine, HuntFindsPlantedDefectAndShrinksToReplayableRepro) {
+  // Pick a generator seed whose random plan contains an all-replica
+  // controller outage (the schedule shape that exposes a disabled
+  // fail-closed threshold) and stays small so the shrink loop is cheap.
+  std::uint64_t seed = 0;
+  bool picked = false;
+  for (std::uint64_t s = 1; s <= 400 && !picked; ++s) {
+    ChaosPlan candidate = generate_random_plan(s);
+    if (candidate.events.size() > 2) continue;
+    for (const ChaosEvent& e : candidate.events) {
+      if (e.kind == ChaosEventKind::kControllerOutage && e.entity == kEntityAll &&
+          e.end - e.start >= minutes(8)) {
+        seed = s;
+        picked = true;
+      }
+    }
+  }
+  ASSERT_TRUE(picked) << "no suitable generator seed in range";
+
+  ChaosRunOptions broken;
+  broken.break_fail_closed = true;
+  HuntResult hunt_result = hunt(seed, 1, broken);
+  ASSERT_TRUE(hunt_result.found);
+  EXPECT_EQ(hunt_result.seed, seed);
+  EXPECT_LE(hunt_result.minimal.events.size(), 3u);
+  EXPECT_GT(hunt_result.runs, 0);
+
+  // The minimal plan is a complete reproducer: it round-trips through the
+  // plan file format and still fails on replay...
+  auto replayed = parse_plan(to_text(hunt_result.minimal));
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(*replayed, hunt_result.minimal);
+  EXPECT_FALSE(run_plan(*replayed, broken).ok());
+  // ...while the unbroken agent passes the same schedule.
+  EXPECT_TRUE(run_plan(*replayed).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Injector plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ChaosInjector, ArmRejectsInvalidPlans) {
+  core::PingmeshSimulation sim(core::chaos_test_config(1));
+  ChaosInjector injector(sim);
+  ChaosPlan plan;
+  plan.events.push_back(
+      {ChaosEventKind::kLinkLoss, minutes(5), minutes(2), 0, 0.5});  // end < start
+  EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+  EXPECT_EQ(injector.armed_events(), 0u);
+}
+
+TEST(ChaosInjector, ServerCrashSilencesAgentDuringWindow) {
+  core::PingmeshSimulation sim(core::chaos_test_config(3));
+  ChaosInjector injector(sim);
+  ChaosPlan plan;
+  plan.duration = minutes(10);
+  plan.settle = minutes(2);
+  plan.events.push_back({ChaosEventKind::kServerCrash, minutes(2), minutes(6), 7});
+  injector.arm(plan);
+
+  sim.run_until(minutes(2) - seconds(1));
+  std::uint64_t before = sim.agent(ServerId{7}).probes_launched();
+  EXPECT_GT(before, 0u);
+  sim.run_until(minutes(6) - seconds(1));
+  EXPECT_EQ(sim.agent(ServerId{7}).probes_launched(), before)
+      << "crashed server kept probing";
+  sim.run_until(minutes(10));
+  EXPECT_GT(sim.agent(ServerId{7}).probes_launched(), before)
+      << "server never came back";
+}
+
+}  // namespace
+}  // namespace pingmesh::chaos

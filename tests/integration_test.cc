@@ -5,6 +5,9 @@
 
 #include "analysis/heatmap.h"
 #include "analysis/sla.h"
+#include "chaos/injector.h"
+#include "chaos/invariants.h"
+#include "chaos/plan.h"
 #include "core/scenarios.h"
 #include "core/simulation.h"
 #include "dsa/scopeql.h"
@@ -269,6 +272,88 @@ TEST(Integration, JobFreshnessMatchesPaperShape) {
       EXPECT_LE(job.last_e2e_delay(), minutes(35));
     }
   }
+}
+
+TEST(Integration, ChaosPodsetPacketDropCaseStudy) {
+  // The paper's §5.2 case study, replayed as a chaos schedule: every switch
+  // of one podset silently drops ~1% of packets mid-run. All three
+  // detection surfaces must see it — drop-rate inference from the 10-minute
+  // SCOPE windows, the Figure-8 heatmap pattern, and the streaming detector
+  // within about one window of onset.
+  SimulationConfig cfg = chaos_test_config(77);
+  PingmeshSimulation sim(cfg);
+  const topo::Topology& topo = sim.topology();
+  const topo::Podset& podset0 = topo.podsets()[0];
+
+  chaos::ChaosPlan plan;
+  plan.seed = 77;
+  plan.duration = minutes(50);
+  plan.settle = minutes(5);
+  auto add_loss = [&plan](SwitchId sw) {
+    chaos::ChaosEvent e;
+    e.kind = chaos::ChaosEventKind::kLinkLoss;
+    e.entity = sw.value;
+    e.magnitude = 0.01;
+    e.start = minutes(20);
+    e.end = minutes(50);
+    plan.events.push_back(e);
+  };
+  for (PodId pod : podset0.pods) add_loss(topo.pod(pod).tor);
+  for (SwitchId leaf : podset0.leaves) add_loss(leaf);
+
+  chaos::ChaosInjector injector(sim);
+  injector.arm(plan);
+  sim.run_for(minutes(55));
+
+  // Surface 1: drop-rate inference over the 10-minute pod-pair windows.
+  // Pairs touching the faulted podset must sit far above the 1e-3 SLA line
+  // while the rest of the DC stays near the floor.
+  auto in_podset0 = [&topo, &podset0](PodId pod) {
+    return topo.pod(pod).podset == podset0.id;
+  };
+  std::uint64_t bad_sig = 0, bad_probes = 0, clean_sig = 0, clean_probes = 0;
+  for (const auto& row : sim.db().pod_pairs_between(minutes(30), minutes(40))) {
+    if (in_podset0(row.src_pod) || in_podset0(row.dst_pod)) {
+      bad_sig += row.drop_signatures;
+      bad_probes += row.probes;
+    } else {
+      clean_sig += row.drop_signatures;
+      clean_probes += row.probes;
+    }
+  }
+  ASSERT_GT(bad_probes, 0u);
+  ASSERT_GT(clean_probes, 0u);
+  double bad_rate = static_cast<double>(bad_sig) / static_cast<double>(bad_probes);
+  double clean_rate =
+      static_cast<double>(clean_sig) / static_cast<double>(clean_probes);
+  EXPECT_GT(bad_rate, 1e-3) << "faulted podset under the SLA line";
+  EXPECT_GT(bad_rate, 10 * clean_rate + 1e-9)
+      << "bad=" << bad_rate << " clean=" << clean_rate;
+
+  // Surface 2: the heatmap shows the Figure-8(c) red cross on podset 0.
+  analysis::Heatmap map(topo, DcId{0});
+  map.load(sim.db().pod_pairs_between(minutes(30), minutes(40)));
+  EXPECT_GT(map.fraction(analysis::CellColor::kRed), 0.0);
+  analysis::PatternResult pattern = analysis::classify_pattern(map);
+  EXPECT_EQ(pattern.pattern, analysis::LatencyPattern::kPodsetFailure);
+  EXPECT_EQ(pattern.podset, podset0.id);
+
+  // Surface 3: the streaming detector opens a drop-spike alert within about
+  // one sliding window of fault onset — not after the next 10-minute job.
+  SimTime first_alert = 0;
+  for (const auto& alert : sim.db().alerts) {
+    if (alert.rule == "stream:drop_spike" &&
+        (first_alert == 0 || alert.time < first_alert)) {
+      first_alert = alert.time;
+    }
+  }
+  ASSERT_GT(first_alert, 0) << "streaming detector never fired";
+  EXPECT_GE(first_alert, minutes(20));
+  EXPECT_LE(first_alert, minutes(23)) << "alert latency beyond one window";
+
+  // And the run as a whole still satisfies the system invariants.
+  chaos::InvariantReport report = chaos::check_invariants(sim, plan);
+  EXPECT_TRUE(report.all_ok()) << report.to_text();
 }
 
 }  // namespace

@@ -8,8 +8,13 @@
 #                    replay tests and the lint fixture tests), then an
 #                    observability smoke (pingmeshctl metrics/trace must
 #                    show the wired subsystems; DESIGN.md §10)
-#   3. asan        — tools/asan_check.sh (ASan+UBSan, full suite)
-#   4. tsan        — tools/tsan_check.sh (TSan, concurrency tests)
+#   3. asan        — tools/asan_check.sh (ASan+UBSan, full suite), then the
+#                    chaos smoke on the sanitized build: replay a scripted
+#                    plan from the corpus, and one random-plan hunt round
+#                    against the planted fail-closed defect — the shrunken
+#                    reproducer must replay to a violation (DESIGN.md §11)
+#   4. tsan        — tools/tsan_check.sh (TSan, concurrency tests incl. the
+#                    4-worker chaos determinism run)
 #   5. fuzz smoke  — if the compiler supports -fsanitize=fuzzer (clang),
 #                    build -DPINGMESH_FUZZ=ON and run each harness for
 #                    FUZZ_SECONDS (default 60) starting from its corpus.
@@ -55,6 +60,14 @@ banner "stage 2b: observability smoke"
   | grep -q 'cosmos.append' \
   || { echo "pingmeshctl trace lost the data-path spans"; exit 1; }
 
+# --- 2c. chaos replay smoke --------------------------------------------------
+# A scripted plan from the corpus must replay clean (all invariants OK).
+banner "stage 2c: chaos replay smoke"
+./build/tools/pingmeshctl chaos run \
+  --plan tests/corpus/chaos_plan/valid_open_ended.plan 2>/dev/null \
+  | grep -q 'record-conservation: OK' \
+  || { echo "chaos replay violated an invariant"; exit 1; }
+
 if [[ "$FAST" == "1" ]]; then
   banner "--fast: skipping sanitizers, fuzz smoke, clang-tidy"
   exit 0
@@ -63,6 +76,23 @@ fi
 # --- 3. ASan ---------------------------------------------------------------
 banner "stage 3: ASan/UBSan"
 tools/asan_check.sh
+
+# --- 3b. chaos hunt smoke (ASan build) --------------------------------------
+# One random-plan hunt round against the planted fail-closed defect: the
+# hunter must find a violating plan, shrink it, and the minimal reproducer
+# must replay to the same violation (exit 1) — all on the sanitized build.
+banner "stage 3b: chaos hunt smoke (ASan build)"
+CHAOS_MIN_PLAN=$(mktemp)
+trap 'rm -f "$CHAOS_MIN_PLAN"' EXIT
+./build-asan/tools/pingmeshctl chaos hunt --start-seed 1 --seeds 25 \
+  --break fail-closed >"$CHAOS_MIN_PLAN" \
+  || { echo "chaos hunt missed the planted fail-closed defect"; exit 1; }
+if ./build-asan/tools/pingmeshctl chaos run --plan "$CHAOS_MIN_PLAN" \
+    --break fail-closed >/dev/null 2>&1; then
+  echo "shrunken reproducer no longer fails on replay"; exit 1
+fi
+./build-asan/tools/pingmeshctl chaos run --plan "$CHAOS_MIN_PLAN" >/dev/null \
+  || { echo "reproducer fails even without the planted defect"; exit 1; }
 
 # --- 4. TSan ---------------------------------------------------------------
 banner "stage 4: TSan"
@@ -73,7 +103,7 @@ banner "stage 5: fuzz smoke (${FUZZ_SECONDS}s per harness)"
 cmake -B build-fuzz -S . -DPINGMESH_FUZZ=ON >/dev/null
 cmake --build build-fuzz -j --target tools >/dev/null 2>&1 || cmake --build build-fuzz -j >/dev/null
 if ls build-fuzz/tools/fuzz/fuzz_* >/dev/null 2>&1; then
-  for harness in xml http scopeql cosmos_io; do
+  for harness in xml http scopeql cosmos_io chaos_plan; do
     bin="build-fuzz/tools/fuzz/fuzz_${harness}"
     if [[ -x "$bin" ]]; then
       echo "--- fuzz_${harness}"

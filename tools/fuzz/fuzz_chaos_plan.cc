@@ -1,0 +1,20 @@
+// libFuzzer harness for chaos::parse_plan — plan files come from operators
+// and from shrunken-reproducer output, so the parser must be total on
+// arbitrary bytes. Contract: malformed input yields nullopt (never a crash
+// or unbounded allocation), and any plan that parses round-trips through
+// the canonical serializer: parse(to_text(parse(x))) == parse(x).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "chaos/plan.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto plan = pingmesh::chaos::parse_plan(input);
+  if (!plan) return 0;
+  std::string canonical = pingmesh::chaos::to_text(*plan);
+  auto replayed = pingmesh::chaos::parse_plan(canonical);
+  if (!replayed || !(*replayed == *plan)) __builtin_trap();
+  return 0;
+}

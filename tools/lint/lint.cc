@@ -29,6 +29,7 @@ constexpr struct {
     {"common", 0},    {"net", 1},       {"topology", 1}, {"netsim", 1},
     {"agent", 2},     {"controller", 2}, {"dsa", 2},      {"streaming", 2},
     {"analysis", 2},  {"obs", 2},       {"autopilot", 3}, {"core", 3},
+    {"chaos", 4},
 };
 
 bool is_ident_char(char c) {
@@ -387,7 +388,8 @@ class Checker {
                  ") must not include '" + inc.path + "' (layer " +
                  std::to_string(target) +
                  "); the DAG is common -> net/topology/netsim -> "
-                 "agent/controller/dsa/streaming/analysis -> autopilot/core");
+                 "agent/controller/dsa/streaming/analysis -> autopilot/core -> "
+                 "chaos");
       }
     }
   }

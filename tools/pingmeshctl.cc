@@ -25,6 +25,16 @@
 //       run with the data-path tracer on and print one sampled record's
 //       end-to-end span timeline (probe -> buffer -> upload -> extent
 //       append -> streaming ingest -> SCOPE scan)
+//   pingmeshctl chaos run --plan FILE [--workers N] [--break fail-closed]
+//       replay a chaos plan file and print the invariant report (exit 1 on
+//       a violation); --break fail-closed plants the defect the hunter
+//       must catch
+//   pingmeshctl chaos random [--seed S]
+//       print the seeded random plan for a generator seed
+//   pingmeshctl chaos hunt [--start-seed S] [--seeds N] [--workers W]
+//                          [--break fail-closed]
+//       run random plans until one violates an invariant, then shrink it
+//       and print the minimal reproducer (exit 3 if all plans pass)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +44,7 @@
 
 #include "analysis/droprate.h"
 #include "analysis/heatmap.h"
+#include "chaos/engine.h"
 #include "controller/generator.h"
 #include "core/fleet.h"
 #include "core/scenarios.h"
@@ -384,11 +395,104 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+void print_chaos_result(const chaos::ChaosRunResult& result) {
+  std::fputs(result.report.to_text().c_str(), stdout);
+  const chaos::FleetTotals& t = result.totals;
+  std::printf(
+      "probes=%llu uploaded=%llu discarded=%llu buffered=%llu "
+      "uploads_ok=%llu uploads_failed=%llu log_dup_avoided=%llu\n"
+      "cosmos: appended=%llu live=%llu expired=%llu corrupt=%llu\n"
+      "slb: backends=%llu healthy=%llu half_open_trials=%llu\n",
+      static_cast<unsigned long long>(result.total_probes),
+      static_cast<unsigned long long>(t.records_uploaded),
+      static_cast<unsigned long long>(t.records_discarded),
+      static_cast<unsigned long long>(t.records_buffered),
+      static_cast<unsigned long long>(t.uploads_ok),
+      static_cast<unsigned long long>(t.uploads_failed),
+      static_cast<unsigned long long>(t.log_dup_avoided),
+      static_cast<unsigned long long>(t.cosmos_appended),
+      static_cast<unsigned long long>(t.cosmos_live),
+      static_cast<unsigned long long>(t.cosmos_expired),
+      static_cast<unsigned long long>(t.cosmos_corrupt_records),
+      static_cast<unsigned long long>(t.slb_backends),
+      static_cast<unsigned long long>(t.slb_healthy),
+      static_cast<unsigned long long>(t.slb_half_open_trials));
+}
+
+int cmd_chaos(const Args& args) {
+  const char* chaos_usage =
+      "usage: pingmeshctl chaos run --plan FILE [--workers N] [--break fail-closed]\n"
+      "       pingmeshctl chaos random [--seed S]\n"
+      "       pingmeshctl chaos hunt [--start-seed S] [--seeds N] [--workers W]\n"
+      "                              [--break fail-closed]\n";
+  if (args.positional.empty()) {
+    std::fputs(chaos_usage, stderr);
+    return 2;
+  }
+  chaos::ChaosRunOptions options;
+  options.worker_threads = static_cast<int>(args.flag_int("workers", 1));
+  options.break_fail_closed = args.flag("break", "") == "fail-closed";
+
+  const std::string& sub = args.positional[0];
+  if (sub == "run") {
+    std::string path = args.flag("plan", "");
+    if (path.empty()) {
+      std::fputs(chaos_usage, stderr);
+      return 2;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    std::optional<chaos::ChaosPlan> plan = chaos::parse_plan(text, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "replaying %zu event(s), seed %llu (workers=%d)...\n",
+                 plan->events.size(), static_cast<unsigned long long>(plan->seed),
+                 options.worker_threads);
+    chaos::ChaosRunResult result = chaos::run_plan(*plan, options);
+    print_chaos_result(result);
+    return result.ok() ? 0 : 1;
+  }
+  if (sub == "random") {
+    auto seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));
+    std::fputs(chaos::to_text(chaos::generate_random_plan(seed)).c_str(), stdout);
+    return 0;
+  }
+  if (sub == "hunt") {
+    auto start = static_cast<std::uint64_t>(args.flag_int("start-seed", 1));
+    int attempts = static_cast<int>(args.flag_int("seeds", 20));
+    std::fprintf(stderr, "hunting: %d random plan(s) from seed %llu...\n", attempts,
+                 static_cast<unsigned long long>(start));
+    chaos::HuntResult hunt = chaos::hunt(start, attempts, options);
+    if (!hunt.found) {
+      std::printf("no invariant violation in %d plan(s) (%d run(s))\n", attempts,
+                  hunt.runs);
+      return 3;
+    }
+    std::fprintf(stderr,
+                 "seed %llu violates invariants; shrunk to %zu event(s) in %d "
+                 "run(s). minimal reproducer:\n",
+                 static_cast<unsigned long long>(hunt.seed), hunt.minimal.events.size(),
+                 hunt.runs);
+    std::fputs(chaos::to_text(hunt.minimal).c_str(), stdout);
+    return 0;
+  }
+  std::fputs(chaos_usage, stderr);
+  return 2;
+}
+
 void usage() {
   std::fprintf(stderr,
                "pingmeshctl <command> [args]\n"
                "commands: pinglist simulate report heatmap traceroute drops query"
-               " metrics trace\n"
+               " metrics trace chaos\n"
                "see the header of tools/pingmeshctl.cc for details\n");
 }
 
@@ -410,6 +514,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return cmd_query(args);
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   usage();
   return 2;
 }

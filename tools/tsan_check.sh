@@ -5,16 +5,18 @@
 # (the upload-time tap runs in the serial drain phase; the determinism test
 # exercises it under 4 workers), and the observability tests (worker shards
 # bump shared counters, observe spinlocked histograms, and emit trace spans
-# concurrently — ObsSim runs the loop at 4 workers). A clean run certifies
-# the fleet tick path (SimNetwork::tcp_probe and everything it reaches) is
-# race-free under real parallel execution.
+# concurrently — ObsSim runs the loop at 4 workers), and the chaos tests
+# (the 1-vs-4-worker bit-identity run executes a full fault schedule on
+# 4 worker shards). A clean run certifies the fleet tick path
+# (SimNetwork::tcp_probe and everything it reaches) is race-free under real
+# parallel execution.
 #
 # Usage: tools/tsan_check.sh [extra ctest -R pattern]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
-PATTERN=${1:-'ThreadPool|Parallel|Streaming|Metrics|Trace|ObsSim'}
+PATTERN=${1:-'ThreadPool|Parallel|Streaming|Metrics|Trace|ObsSim|Chaos'}
 
 cmake -B "$BUILD_DIR" -S . -DPINGMESH_SANITIZE=thread
 # Build everything, not just parallel_test/streaming_test: the ctest pattern
