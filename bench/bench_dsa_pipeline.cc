@@ -76,7 +76,10 @@ int main(int argc, char** argv) {
   bool ran = ten_min_runs >= 10;
   bool pa_flowing =
       sim.db().pa_counters.size() >= pods * 30;  // ~4h/5min = 48 flushes, allow slack
-  bool footprint_sane = per_probe > 30 && per_probe < 400;
+  // Binary columnar extents (DESIGN.md §12.2) bring the footprint well under
+  // the paper's ~120 B CSV-era cost; anything below the varint floor (~10 B
+  // of dict index + delta ts + rtt + flags) would mean rows are being lost.
+  bool footprint_sane = per_probe > 10 && per_probe < 400;
   bench::note(std::string("10-min path ~20min fresh:  ") + (fresh ? "yes" : "NO"));
   bench::note(std::string("jobs ran continuously:     ") + (ran ? "yes" : "NO"));
   bench::note(std::string("PA fast path flowing:      ") + (pa_flowing ? "yes" : "NO"));

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a BENCH_fleet.json report against the committed
+baseline (bench/perf_baseline.json).
+
+Rules:
+  - min_exact:   metric must equal the baseline value (identity contracts);
+  - throughput:  metric must be >= baseline/2 — a >2x regression fails
+                 (the divisor absorbs runner-to-runner variance);
+  - ratios:      metric must be >= baseline/2 (speedup targets, e.g. the
+                 columnar-vs-CSV 3x claim must not quietly halve).
+
+Usage: check_perf.py BENCH_fleet.json [baseline.json]
+"""
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    report_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+    )
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    metrics = {m["name"]: m["value"] for m in report.get("metrics", [])}
+    failures = []
+
+    def get(name):
+        if name not in metrics:
+            failures.append(f"metric '{name}' missing from {report_path}")
+            return None
+        return metrics[name]
+
+    for name, want in baseline.get("min_exact", {}).items():
+        got = get(name)
+        if got is not None and got != want:
+            failures.append(f"{name}: expected exactly {want}, got {got}")
+
+    for section in ("throughput", "ratios"):
+        for name, ref in baseline.get(section, {}).items():
+            got = get(name)
+            floor = ref / 2.0
+            if got is not None and got < floor:
+                failures.append(
+                    f"{name}: {got:.3g} < {floor:.3g} "
+                    f"(>2x regression vs baseline {ref:.3g})"
+                )
+            elif got is not None:
+                print(f"ok: {name} = {got:.3g} (floor {floor:.3g})")
+
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

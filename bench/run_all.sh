@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Run every experiment harness; with --json, drop one BENCH_<name>.json
+# report per harness into --out (default: the current directory) so the
+# perf trajectory is tracked across PRs. bench_fleet_parallel's report is
+# named BENCH_fleet.json — the artifact the CI perf-smoke job gates on.
+#
+# Usage: bench/run_all.sh [--json] [--out DIR] [--scale small|paper]
+#                         [--build DIR] [--only NAME]
+set -euo pipefail
+
+json=0
+out="."
+scale="paper"
+build="build"
+only=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --json) json=1 ;;
+    --out) out="$2"; shift ;;
+    --scale) scale="$2"; shift ;;
+    --build) build="$2"; shift ;;
+    --only) only="$2"; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cd "$(dirname "$0")/.."
+if [[ ! -d "$build/bench" ]]; then
+  echo "run_all.sh: no $build/bench — build first (cmake -B $build -S . && cmake --build $build)" >&2
+  exit 1
+fi
+mkdir -p "$out"
+
+benches=(
+  bench_fig3_agent_overhead
+  bench_fig4_latency_cdf
+  bench_fig5_service_sla
+  bench_fig6_blackhole
+  bench_fig7_silent_drops
+  bench_fig8_patterns
+  bench_table1_drop_rates
+  bench_dsa_pipeline
+  bench_ablation
+  bench_fleet_parallel
+  bench_streaming_freshness
+  bench_limitations
+  bench_qos_monitoring
+  bench_interdc
+)
+
+failed=()
+for name in "${benches[@]}"; do
+  [[ -n "$only" && "$name" != "$only" ]] && continue
+  bin="$build/bench/$name"
+  [[ -x "$bin" ]] || { echo "skip $name (not built)"; continue; }
+  args=()
+  if [[ "$name" == "bench_fleet_parallel" ]]; then
+    # The artifact name the CI perf gate and dashboards key on.
+    args+=(--scale "$scale")
+    [[ $json -eq 1 ]] && args+=(--json "$out/BENCH_fleet.json")
+  elif [[ $json -eq 1 ]]; then
+    args+=(--json "$out/BENCH_${name#bench_}.json")
+  fi
+  echo "==================================================================="
+  echo ">>> $name ${args[*]}"
+  if ! "$bin" "${args[@]}"; then
+    failed+=("$name")
+  fi
+done
+
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "all benches completed"

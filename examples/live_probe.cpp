@@ -61,7 +61,7 @@ int main() {
 
   class NullUploader final : public agent::Uploader {
    public:
-    bool upload(const std::vector<agent::LatencyRecord>&) override { return true; }
+    bool upload(const agent::RecordColumns&) override { return true; }
   } uploader;
 
   const topo::Server& self = topo.servers()[0];

@@ -78,9 +78,16 @@ void PingmeshAgent::fail_closed() {
 
 PingmeshAgent::TickActions PingmeshAgent::tick(SimTime now) {
   TickActions actions;
+  tick(now, actions);
+  return actions;
+}
+
+void PingmeshAgent::tick(SimTime now, TickActions& out) {
+  out.fetch_pinglist = false;
+  out.probes.clear();
 
   if (!fetch_outstanding_ && now >= next_fetch_) {
-    actions.fetch_pinglist = true;
+    out.fetch_pinglist = true;
     fetch_outstanding_ = true;
   }
 
@@ -90,14 +97,13 @@ PingmeshAgent::TickActions PingmeshAgent::tick(SimTime now) {
       ProbeRequest req;
       req.target = ts.target;
       req.src_port = next_src_port();
-      actions.probes.push_back(req);
+      out.probes.push_back(req);
       ++probes_launched_;
       ts.next_due = now + ts.target.interval;
     }
   }
 
   maybe_upload(now, /*force=*/false);
-  return actions;
 }
 
 void PingmeshAgent::on_pinglist(const controller::FetchResult& result, SimTime now) {
@@ -157,7 +163,7 @@ void PingmeshAgent::on_probe_result(const ProbeRequest& request, const ProbeResu
 
   if (buffer_.size() >= config_.max_buffered_records) {
     // Bounded memory: shed the oldest record rather than grow.
-    buffer_.pop_front();
+    buffer_.drop_front(1);
     ++records_discarded_;
     if (hooks_.records_shed != nullptr) hooks_.records_shed->inc();
   }
@@ -211,7 +217,7 @@ void PingmeshAgent::perform_upload(SimTime now) {
     return;
   }
 
-  std::vector<LatencyRecord> batch(buffer_.begin(), buffer_.end());
+  const std::size_t batch_size = buffer_.size();
 
   // Local log: each record is appended exactly once, however many upload
   // attempts it rides. The buffer's records occupy the sequence range
@@ -220,14 +226,9 @@ void PingmeshAgent::perform_upload(SimTime now) {
   std::uint64_t base = buffered_total_ - buffer_.size();
   std::uint64_t already = std::max(logged_total_, base) - base;
   if (local_log_.enabled()) {
-    if (already < batch.size()) {
-      std::uint64_t fresh = batch.size() - already;
-      if (already == 0) {
-        local_log_.append(encode_batch(batch));
-      } else {
-        local_log_.append(encode_batch(std::vector<LatencyRecord>(
-            batch.begin() + static_cast<std::ptrdiff_t>(already), batch.end())));
-      }
+    if (already < batch_size) {
+      std::uint64_t fresh = batch_size - already;
+      local_log_.append(buffer_.encode_csv(static_cast<std::size_t>(already)));
       records_logged_ += fresh;
       if (hooks_.log_records != nullptr) hooks_.log_records->inc(fresh);
     }
@@ -239,15 +240,17 @@ void PingmeshAgent::perform_upload(SimTime now) {
   logged_total_ = buffered_total_;
 
   int attempt = upload_failures_ + 1;
-  bool ok = uploader_->upload(batch);
+  // The buffer itself is the batch: columnar handoff, no AoS copy.
+  bool ok = uploader_->upload(buffer_);
   if (hooks_.upload_batch != nullptr) {
-    hooks_.upload_batch->observe(static_cast<std::int64_t>(batch.size()));
+    hooks_.upload_batch->observe(static_cast<std::int64_t>(batch_size));
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
     std::string note = std::string("result=") + (ok ? "ok" : "fail") +
                        ";attempt=" + std::to_string(attempt) +
-                       ";batch=" + std::to_string(batch.size());
-    for (const LatencyRecord& r : batch) {
+                       ";batch=" + std::to_string(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      LatencyRecord r = buffer_.row(i);
       std::uint64_t key = obs::trace_key(r.timestamp, r.src_ip.v, r.dst_ip.v, r.src_port);
       if (tracer_->sampled(key)) tracer_->span(key, "agent.upload", now, now, note);
     }
@@ -257,10 +260,10 @@ void PingmeshAgent::perform_upload(SimTime now) {
     buffer_.clear();
     upload_failures_ = 0;
     ++uploads_ok_;
-    records_uploaded_ += batch.size();
+    records_uploaded_ += batch_size;
     if (hooks_.uploads_ok != nullptr) {
       hooks_.uploads_ok->inc();
-      hooks_.records_uploaded->inc(batch.size());
+      hooks_.records_uploaded->inc(batch_size);
     }
   } else {
     ++uploads_failed_;

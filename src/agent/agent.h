@@ -22,13 +22,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "agent/counters.h"
 #include "agent/record.h"
+#include "agent/record_columns.h"
 #include "agent/rotating_log.h"
 #include "common/types.h"
 #include "controller/pinglist.h"
@@ -55,11 +55,14 @@ struct ProbeRequest {
 };
 
 /// Destination of uploaded record batches (Cosmos in production; the DSA
-/// module's store here; fakes in tests).
+/// module's store here; fakes in tests). Batches arrive columnar — the
+/// agent's buffer is handed over by reference, so an upload moves zero
+/// record bytes; implementations must not retain the reference past the
+/// call.
 class Uploader {
  public:
   virtual ~Uploader() = default;
-  virtual bool upload(const std::vector<LatencyRecord>& batch) = 0;
+  virtual bool upload(const RecordColumns& batch) = 0;
 };
 
 struct AgentConfig {
@@ -90,6 +93,10 @@ class PingmeshAgent {
 
   /// Advance to `now`; returns the work the driver should perform.
   TickActions tick(SimTime now);
+  /// Arena-reuse variant for hot-loop drivers: clears and refills `out`
+  /// (its probe vector keeps capacity across ticks, so a steady-state tick
+  /// allocates nothing).
+  void tick(SimTime now, TickActions& out);
 
   /// Deliver the outcome of a pinglist fetch the driver performed.
   void on_pinglist(const controller::FetchResult& result, SimTime now);
@@ -192,7 +199,11 @@ class PingmeshAgent {
   bool fetch_outstanding_ = false;
   SimTime clock_skew_ = 0;
 
-  std::deque<LatencyRecord> buffer_;
+  // Columnar record buffer doubling as this agent's arena: clear() after a
+  // successful upload keeps column capacity, so the steady state re-fills
+  // warmed storage instead of re-allocating (the old std::deque paid block
+  // allocations continuously).
+  RecordColumns buffer_;
   // Local-log exactly-once bookkeeping: records are numbered by the order
   // they entered buffer_ (buffered_total_); logged_total_ is the high-water
   // sequence already appended to the local log, so a batch that rides a

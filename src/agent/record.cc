@@ -91,14 +91,20 @@ std::string encode_batch(const std::vector<LatencyRecord>& records) {
   return out;
 }
 
-std::vector<LatencyRecord> decode_batch(std::string_view csv_data) {
+std::vector<LatencyRecord> decode_batch(std::string_view csv_data,
+                                        DecodeStats* stats) {
   std::vector<LatencyRecord> out;
   std::size_t pos = 0;
   std::vector<std::string> row;
   while (csv::parse_row(csv_data, pos, row)) {
     if (row.size() == 1 && row[0].empty()) continue;  // blank line
-    if (auto r = LatencyRecord::from_csv_row(row)) out.push_back(*r);
+    if (auto r = LatencyRecord::from_csv_row(row)) {
+      out.push_back(*r);
+    } else if (stats != nullptr) {
+      ++stats->rows_dropped;
+    }
   }
+  if (stats != nullptr) stats->rows_decoded += out.size();
   return out;
 }
 

@@ -33,14 +33,38 @@ struct LatencyRecord {
   /// CSV column headers, in row order.
   static const std::vector<std::string>& csv_header();
 
-  /// In-memory footprint estimate for the agent's memory budget.
-  static constexpr std::size_t kApproxBytes = 64;
+  /// Per-record footprint in the agent's buffer, for the memory budget.
+  /// The buffer is columnar (RecordColumns), so the footprint is exactly
+  /// the sum of the column element sizes — computed, not guessed, and
+  /// pinned by a static_assert in record_columns.h plus a unit test. (The
+  /// old hand-written constant of 64 drifted from the real representation;
+  /// a wrong value here scales the whole fleet's admission budget.)
+  static constexpr std::size_t kApproxBytes =
+      sizeof(SimTime)                // timestamp
+      + 2 * sizeof(std::uint32_t)    // src_ip, dst_ip
+      + 2 * sizeof(std::uint16_t)    // src_port, dst_port
+      + 3 * sizeof(std::uint8_t)     // kind, qos, success
+      + sizeof(SimTime)              // rtt
+      + sizeof(std::uint8_t)         // payload_success
+      + sizeof(SimTime)              // payload_rtt
+      + sizeof(std::uint32_t);       // payload_bytes
+};
+
+/// Row-level accounting for batch decoders. Malformed rows used to be
+/// skipped silently; every decode path now reports them so the scan layer
+/// can count drops into the obs MetricsRegistry and the chaos
+/// record-conservation invariant can assert zero for non-corruption plans.
+struct DecodeStats {
+  std::uint64_t rows_decoded = 0;
+  std::uint64_t rows_dropped = 0;
 };
 
 /// Encode a batch as CSV (header-free; streams are schema-on-read like the
 /// paper's Cosmos extents).
 std::string encode_batch(const std::vector<LatencyRecord>& records);
-/// Decode a CSV batch, skipping malformed rows.
-std::vector<LatencyRecord> decode_batch(std::string_view csv_data);
+/// Decode a CSV batch. Malformed rows are skipped and counted into
+/// `stats` (if given) — never silently lost.
+std::vector<LatencyRecord> decode_batch(std::string_view csv_data,
+                                        DecodeStats* stats = nullptr);
 
 }  // namespace pingmesh::agent

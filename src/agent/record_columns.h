@@ -1,0 +1,119 @@
+// RecordColumns: struct-of-arrays batch representation for LatencyRecord.
+//
+// The agent buffer and the upload/scan hot paths used to move probe results
+// as std::vector<LatencyRecord> (array-of-structs) and std::deque, paying a
+// heap allocation per batch and poor cache behaviour per column scan. At
+// paper scale (~100k servers, §3: tens of TB/day) that churn dominates the
+// tick. RecordColumns keeps each field in its own contiguous array:
+//
+//  - clear() drops the rows but keeps every column's capacity, so a
+//    per-shard instance acts as an arena that is reused tick after tick;
+//  - drop_front() is amortized O(1) via a head offset (the agent's
+//    shed-oldest path), compacting only when more than half the storage
+//    is dead;
+//  - column() accessors expose the raw arrays for SIMD-friendly scans
+//    (the dsa scan cache filters on the timestamp column without
+//    materializing rows).
+//
+// Row order is preserved: row(i) materializes the i-th LatencyRecord
+// exactly as it was pushed, so CSV encodings produced from a RecordColumns
+// are byte-identical to the AoS path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "agent/record.h"
+#include "common/types.h"
+
+namespace pingmesh::agent {
+
+class RecordColumns {
+ public:
+  /// Exact per-row footprint of the columnar storage. Must match the
+  /// budget constant the agent uses for admission control.
+  static constexpr std::size_t kBytesPerRecord =
+      sizeof(SimTime)                // timestamp
+      + 2 * sizeof(std::uint32_t)    // src_ip, dst_ip
+      + 2 * sizeof(std::uint16_t)    // src_port, dst_port
+      + 3 * sizeof(std::uint8_t)     // kind, qos, success
+      + sizeof(SimTime)              // rtt
+      + sizeof(std::uint8_t)         // payload_success
+      + sizeof(SimTime)              // payload_rtt
+      + sizeof(std::uint32_t);       // payload_bytes
+  static_assert(kBytesPerRecord == LatencyRecord::kApproxBytes,
+                "LatencyRecord::kApproxBytes must track the columnar "
+                "representation; update both together");
+
+  [[nodiscard]] std::size_t size() const { return timestamp_.size() - head_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  void push_back(const LatencyRecord& r);
+
+  /// Materialize row i (0 == oldest retained row).
+  [[nodiscard]] LatencyRecord row(std::size_t i) const;
+
+  /// Drop the n oldest rows (amortized O(1); storage is compacted lazily).
+  void drop_front(std::size_t n);
+
+  /// Drop all rows but keep column capacity — the arena-reuse path.
+  void clear();
+
+  /// Release all storage (capacity included).
+  void reset();
+
+  void reserve(std::size_t n);
+  [[nodiscard]] std::size_t capacity() const { return timestamp_.capacity(); }
+
+  /// Append all rows of `other` to this batch.
+  void append(const RecordColumns& other);
+
+  /// Raw column access for scans. Index 0 is the oldest retained row;
+  /// pointers are invalidated by any mutation.
+  [[nodiscard]] const SimTime* timestamps() const { return timestamp_.data() + head_; }
+  [[nodiscard]] const std::uint32_t* src_ips() const { return src_ip_.data() + head_; }
+  [[nodiscard]] const std::uint32_t* dst_ips() const { return dst_ip_.data() + head_; }
+  [[nodiscard]] const std::uint16_t* src_ports() const { return src_port_.data() + head_; }
+  [[nodiscard]] const std::uint16_t* dst_ports() const { return dst_port_.data() + head_; }
+  [[nodiscard]] const std::uint8_t* kinds() const { return kind_.data() + head_; }
+  [[nodiscard]] const std::uint8_t* qos() const { return qos_.data() + head_; }
+  [[nodiscard]] const std::uint8_t* successes() const { return success_.data() + head_; }
+  [[nodiscard]] const SimTime* rtts() const { return rtt_.data() + head_; }
+  [[nodiscard]] const std::uint8_t* payload_successes() const {
+    return payload_success_.data() + head_;
+  }
+  [[nodiscard]] const SimTime* payload_rtts() const { return payload_rtt_.data() + head_; }
+  [[nodiscard]] const std::uint32_t* payload_bytes() const {
+    return payload_bytes_.data() + head_;
+  }
+
+  /// Materialize rows [from, size()) as an AoS vector.
+  [[nodiscard]] std::vector<LatencyRecord> to_records(std::size_t from = 0) const;
+
+  /// CSV-encode rows [from, size()) — byte-identical to
+  /// agent::encode_batch over the same rows.
+  [[nodiscard]] std::string encode_csv(std::size_t from = 0) const;
+
+ private:
+  void compact();
+
+  std::size_t head_ = 0;  // rows [0, head_) in the vectors are dead
+  std::vector<SimTime> timestamp_;
+  std::vector<std::uint32_t> src_ip_;
+  std::vector<std::uint32_t> dst_ip_;
+  std::vector<std::uint16_t> src_port_;
+  std::vector<std::uint16_t> dst_port_;
+  std::vector<std::uint8_t> kind_;
+  std::vector<std::uint8_t> qos_;
+  std::vector<std::uint8_t> success_;
+  std::vector<SimTime> rtt_;
+  std::vector<std::uint8_t> payload_success_;
+  std::vector<SimTime> payload_rtt_;
+  std::vector<std::uint32_t> payload_bytes_;
+};
+
+/// Build a RecordColumns from an AoS batch.
+RecordColumns to_columns(const std::vector<LatencyRecord>& records);
+
+}  // namespace pingmesh::agent

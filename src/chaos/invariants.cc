@@ -214,6 +214,24 @@ InvariantFinding check_blame_localization(const core::PingmeshSimulation& sim,
   return make("blame-localization", involves, std::move(detail));
 }
 
+InvariantFinding check_decode_integrity(const core::PingmeshSimulation& sim,
+                                        const ChaosPlan& plan) {
+  // Force a full scan so every live extent is decoded (CSV or columnar)
+  // before the drop counter is read — an idle cache would vacuously pass.
+  (void)sim.records_between(0, plan.duration + plan.settle + 1);
+  std::uint64_t dropped = sim.decode_rows_dropped();
+  for (const ChaosEvent& e : plan.events) {
+    if (e.kind == ChaosEventKind::kExtentCorruption) {
+      return not_applicable("decode-integrity",
+                            "plan corrupts extents deliberately; dropped " +
+                                std::to_string(dropped) + " rows");
+    }
+  }
+  return make("decode-integrity", dropped == 0,
+              "scan path dropped " + std::to_string(dropped) +
+                  " malformed rows (must be 0 without deliberate corruption)");
+}
+
 InvariantFinding check_bounded_buffer(const core::PingmeshSimulation& sim) {
   std::size_t cap = sim.config().agent.max_buffered_records;
   std::size_t n = sim.topology().server_count();
@@ -291,6 +309,7 @@ InvariantReport check_invariants(const core::PingmeshSimulation& sim,
   report.findings.push_back(check_fail_closed(sim));
   report.findings.push_back(check_streaming_batch(sim));
   report.findings.push_back(check_blame_localization(sim, plan));
+  report.findings.push_back(check_decode_integrity(sim, plan));
   report.findings.push_back(check_bounded_buffer(sim));
   return report;
 }

@@ -15,6 +15,9 @@
 //                         ingested / skipped / late, nothing lost);
 //   blame-localization    a single-switch loss fault shows up worst on pod
 //                         pairs under that switch, nowhere else;
+//   decode-integrity      the extent scan path decoded every uploaded row;
+//                         zero rows dropped unless the plan corrupts
+//                         extents deliberately (then not applicable);
 //   bounded-buffer        no agent's buffer exceeded its configured cap.
 //
 // Checks that don't apply to a given plan (e.g. blame-localization for a

@@ -45,7 +45,7 @@ std::pair<std::size_t, std::size_t> ThreadPool::shard_bounds(int shard) const {
 void ThreadPool::worker_loop(int shard_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    const ShardFn* body = nullptr;
+    const IndexedShardFn* body = nullptr;
     std::size_t begin = 0, end = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -55,7 +55,7 @@ void ThreadPool::worker_loop(int shard_index) {
       body = task_body_;
       std::tie(begin, end) = shard_bounds(shard_index);
     }
-    if (begin < end) (*body)(begin, end);
+    if (begin < end) (*body)(shard_index, begin, end);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) work_done_.notify_one();
@@ -64,13 +64,18 @@ void ThreadPool::worker_loop(int shard_index) {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const ShardFn& body) {
+  parallel_for_shards(
+      n, [&body](int /*shard*/, std::size_t begin, std::size_t end) { body(begin, end); });
+}
+
+void ThreadPool::parallel_for_shards(std::size_t n, const IndexedShardFn& body) {
   if (n == 0) return;
   std::uint64_t t0 = mono_ns();
   ++stats_.parallel_for_calls;
   stats_.items_total += n;
   stats_.max_items = std::max<std::uint64_t>(stats_.max_items, n);
   if (threads_.empty()) {
-    body(0, n);
+    body(0, 0, n);
   } else {
     std::size_t begin0 = 0, end0 = 0;
     {
@@ -82,7 +87,7 @@ void ThreadPool::parallel_for(std::size_t n, const ShardFn& body) {
       std::tie(begin0, end0) = shard_bounds(0);
     }
     work_ready_.notify_all();
-    if (begin0 < end0) body(begin0, end0);
+    if (begin0 < end0) body(0, begin0, end0);
     std::unique_lock<std::mutex> lock(mutex_);
     work_done_.wait(lock, [&] { return remaining_ == 0; });
     task_body_ = nullptr;

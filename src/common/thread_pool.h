@@ -30,6 +30,12 @@ class ThreadPool {
  public:
   /// Body invoked per shard with its half-open index range [begin, end).
   using ShardFn = std::function<void(std::size_t begin, std::size_t end)>;
+  /// Body that also receives its shard index. Shard i always executes on
+  /// the same OS thread for the pool's lifetime (the caller thread for
+  /// shard 0, spawned worker i otherwise), so state indexed by shard —
+  /// arenas, scratch buffers — stays core- and NUMA-local across calls.
+  using IndexedShardFn =
+      std::function<void(int shard, std::size_t begin, std::size_t end)>;
 
   /// `workers` is the total parallelism including the calling thread;
   /// values < 1 are clamped to 1. A pool of 1 spawns no threads.
@@ -45,6 +51,11 @@ class ThreadPool {
   /// all shards complete. Exceptions thrown by shard 0 propagate; a spawned
   /// worker's exception terminates (bodies must not throw).
   void parallel_for(std::size_t n, const ShardFn& body);
+
+  /// parallel_for variant passing the shard index to the body — the hook
+  /// for shard-affine scratch reuse (see IndexedShardFn). Same barrier,
+  /// sharding, and determinism rules as parallel_for.
+  void parallel_for_shards(std::size_t n, const IndexedShardFn& body);
 
   /// Pool-level counters maintained on the caller thread (parallel_for is a
   /// barrier and not reentrant, so no synchronization is needed to read
@@ -74,7 +85,7 @@ class ThreadPool {
   std::condition_variable work_done_;
   std::uint64_t epoch_ = 0;     // bumped per parallel_for; workers watch it
   std::size_t task_n_ = 0;      // current task's range size
-  const ShardFn* task_body_ = nullptr;
+  const IndexedShardFn* task_body_ = nullptr;
   int remaining_ = 0;           // spawned workers still running the epoch
   bool stopping_ = false;
   Stats stats_;

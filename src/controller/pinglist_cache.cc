@@ -1,0 +1,19 @@
+#include "controller/pinglist_cache.h"
+
+namespace pingmesh::controller {
+
+std::shared_ptr<const Pinglist> PinglistCache::get(ServerId server) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_.at(server.value);
+  const std::uint64_t current = gen_->version();
+  if (slot.pinglist != nullptr && slot.version == current) {
+    ++hits_;
+    return slot.pinglist;
+  }
+  slot.pinglist = std::make_shared<const Pinglist>(gen_->generate_for(server));
+  slot.version = current;
+  ++rebuilds_;
+  return slot.pinglist;
+}
+
+}  // namespace pingmesh::controller

@@ -1,0 +1,61 @@
+// Incremental pinglist materialization.
+//
+// The controller used to regenerate a server's pinglist from scratch on
+// every fetch (and the HTTP service regenerated the whole fleet's files on
+// any version bump). At paper scale — 100k servers x ~2500 peers — a full
+// regeneration is ~250M target entries, far too much work to repeat when a
+// topology change only matters to the servers that actually fetch next.
+//
+// PinglistCache keeps one slot per server holding the last materialized
+// pinglist and the generator version it was built from. A fetch returns the
+// cached list while the version matches and rebuilds only that server's
+// slot when the generator moved — delta updates with work proportional to
+// the fetch rate, not the fleet size. Version-bump semantics are unchanged:
+// a bumped generator version still reaches every agent on its next refresh
+// (the PR-4 stale-pinglist guard keys off Pinglist::version, which the
+// rebuilt slot carries).
+//
+// Slots hand out shared_ptr<const Pinglist>, so a reader's list stays valid
+// even if the slot is rebuilt underneath it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "controller/generator.h"
+#include "controller/pinglist.h"
+#include "topology/topology.h"
+
+namespace pingmesh::controller {
+
+class PinglistCache {
+ public:
+  PinglistCache(const topo::Topology& topo, const PinglistGenerator& gen)
+      : topo_(&topo), gen_(&gen), slots_(topo.server_count()) {}
+
+  /// The server's pinglist at the generator's current version; rebuilds the
+  /// slot iff its version is stale. Thread-safe.
+  std::shared_ptr<const Pinglist> get(ServerId server);
+
+  /// Slots rebuilt since construction (fleet-wide regeneration work).
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+  /// Fetches served straight from a fresh slot.
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<const Pinglist> pinglist;
+    std::uint64_t version = 0;
+  };
+
+  const topo::Topology* topo_;
+  const PinglistGenerator* gen_;
+  std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace pingmesh::controller

@@ -12,19 +12,19 @@ FetchResult DirectPinglistSource::fetch(IpAddr server_ip) {
   fetches_.fetch_add(1, std::memory_order_relaxed);
   if (!reachable_) {
     if (fetch_unreachable_ != nullptr) fetch_unreachable_->inc();
-    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+    return FetchResult{FetchStatus::kUnreachable, nullptr};
   }
   if (!serving_) {
     if (fetch_none_ != nullptr) fetch_none_->inc();
-    return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+    return FetchResult{FetchStatus::kNoPinglist, nullptr};
   }
   auto server = topo_->find_server_by_ip(server_ip);
   if (!server) {
     if (fetch_none_ != nullptr) fetch_none_->inc();
-    return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+    return FetchResult{FetchStatus::kNoPinglist, nullptr};
   }
   if (fetch_ok_ != nullptr) fetch_ok_->inc();
-  return FetchResult{FetchStatus::kOk, gen_->generate_for(*server)};
+  return FetchResult{FetchStatus::kOk, cache_.get(*server)};
 }
 
 void DirectPinglistSource::enable_observability(obs::MetricsRegistry& registry) {
@@ -42,6 +42,7 @@ ControllerHttpService::ControllerHttpService(net::Reactor& reactor,
                                              const topo::Topology& topo,
                                              const PinglistGenerator& gen)
     : topo_(&topo), gen_(&gen), server_(reactor, bind_addr) {
+  for (const topo::Server& s : topo_->servers()) ip_index_.emplace(s.ip.str(), s.id);
   regenerate();
   // Both the canonical "/pinglist/<ip>" form and the bare "/pinglist" path
   // land in handle_pinglist; the handler itself validates the prefix, so a
@@ -56,12 +57,12 @@ ControllerHttpService::ControllerHttpService(net::Reactor& reactor,
 }
 
 void ControllerHttpService::regenerate() {
+  // Invalidate, don't materialize: each server's XML re-renders on its next
+  // request, so a topology change costs work proportional to the request
+  // rate instead of the fleet size.
   files_.clear();
-  for (const topo::Server& s : topo_->servers()) {
-    files_[s.ip.str()] = gen_->generate_for(s.id).to_xml();
-  }
-  generated_version_ = gen_->version();
   withdrawn_ = false;
+  served_version_ = gen_->version();
   ++regenerations_;
   if (regen_counter_ != nullptr) regen_counter_->inc();
 }
@@ -78,29 +79,37 @@ void ControllerHttpService::enable_observability(obs::MetricsRegistry& registry)
   regen_counter_ = &registry.counter("controller.pinglist_regenerations_total");
 }
 
-void ControllerHttpService::refresh_if_stale() {
-  // The service used to serve only what the constructor generated; a live
-  // topology/version change silently kept stale files on the wire. Withdrawn
-  // state is sticky — the kill switch must not be undone by a version bump.
-  if (!withdrawn_ && generated_version_ != gen_->version()) regenerate();
-}
-
 net::HttpResponse ControllerHttpService::handle_pinglist(const net::HttpRequest& req) {
   constexpr std::string_view kPrefix = "/pinglist/";
   if (!std::string_view(req.path).starts_with(kPrefix)) {
     if (req_bad_path_ != nullptr) req_bad_path_->inc();
     return net::HttpResponse::not_found("expected /pinglist/<ip>");
   }
-  refresh_if_stale();
   std::string ip = req.path.substr(kPrefix.size());
   if (auto q = ip.find('?'); q != std::string::npos) ip.resize(q);
-  auto it = files_.find(ip);
-  if (it == files_.end()) {
+  // Withdrawn state is sticky — the kill switch must not be undone by a
+  // version bump; only an explicit regenerate() resumes serving.
+  auto known = ip_index_.find(ip);
+  if (withdrawn_ || known == ip_index_.end()) {
     if (req_miss_ != nullptr) req_miss_->inc();
     return net::HttpResponse::not_found("no pinglist for " + ip);
   }
+  // Each distinct generator version served counts as one (lazy)
+  // regeneration, so version-driven refreshes stay visible to operators
+  // even though no fleet-wide materialization happens anymore.
+  if (gen_->version() != served_version_) {
+    served_version_ = gen_->version();
+    ++regenerations_;
+    if (regen_counter_ != nullptr) regen_counter_->inc();
+  }
+  FileSlot& slot = files_[ip];
+  if (slot.xml.empty() || slot.version != gen_->version()) {
+    slot.xml = gen_->generate_for(known->second).to_xml();
+    slot.version = gen_->version();
+    ++files_rendered_;
+  }
   if (req_ok_ != nullptr) req_ok_->inc();
-  return net::HttpResponse::ok(it->second, "application/xml");
+  return net::HttpResponse::ok(slot.xml, "application/xml");
 }
 
 // ---------------------------------------------------------------------------
@@ -114,9 +123,9 @@ HttpPinglistSource::HttpPinglistSource(net::Reactor& reactor, SlbVip& vip,
 
 FetchResult HttpPinglistSource::fetch(IpAddr server_ip) {
   auto pick = vip_->pick(++flow_seq_);
-  if (!pick) return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  if (!pick) return FetchResult{FetchStatus::kUnreachable, nullptr};
   std::size_t idx = *pick;
-  if (idx >= backends_.size()) return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+  if (idx >= backends_.size()) return FetchResult{FetchStatus::kUnreachable, nullptr};
 
   net::HttpClient client(*reactor_);
   std::optional<net::HttpResult> result;
@@ -127,23 +136,24 @@ FetchResult HttpPinglistSource::fetch(IpAddr server_ip) {
 
   if (!result || (!result->ok && !result->timed_out && result->error_errno == 0)) {
     vip_->report(idx, false);
-    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+    return FetchResult{FetchStatus::kUnreachable, nullptr};
   }
   if (result->timed_out || !result->ok) {
     vip_->report(idx, false);
-    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+    return FetchResult{FetchStatus::kUnreachable, nullptr};
   }
   vip_->report(idx, true);
   if (result->response.status == 404) {
-    return FetchResult{FetchStatus::kNoPinglist, std::nullopt};
+    return FetchResult{FetchStatus::kNoPinglist, nullptr};
   }
   if (result->response.status != 200) {
-    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+    return FetchResult{FetchStatus::kUnreachable, nullptr};
   }
   try {
-    return FetchResult{FetchStatus::kOk, Pinglist::from_xml(result->response.body)};
+    return FetchResult{FetchStatus::kOk, std::make_shared<const Pinglist>(
+                                             Pinglist::from_xml(result->response.body))};
   } catch (const std::exception&) {
-    return FetchResult{FetchStatus::kUnreachable, std::nullopt};
+    return FetchResult{FetchStatus::kUnreachable, nullptr};
   }
 }
 

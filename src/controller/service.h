@@ -16,6 +16,7 @@
 
 #include "controller/generator.h"
 #include "controller/pinglist.h"
+#include "controller/pinglist_cache.h"
 #include "controller/slb.h"
 #include "net/http.h"
 #include "obs/metrics.h"
@@ -34,7 +35,10 @@ enum class FetchStatus : std::uint8_t {
 
 struct FetchResult {
   FetchStatus status = FetchStatus::kUnreachable;
-  std::optional<Pinglist> pinglist;
+  /// Non-null iff status == kOk. Shared, not owned: at paper scale the
+  /// controller hands the same materialized pinglist to its caches and
+  /// every fetcher instead of copying ~2500 targets per fetch.
+  std::shared_ptr<const Pinglist> pinglist;
 };
 
 /// Synchronous fetch interface used by simulation drivers and tests.
@@ -48,13 +52,18 @@ class PinglistSource {
 /// (unreachable) and pinglist withdrawal ("we can stop the Pingmesh Agent
 /// from working by simply removing all the pinglist files").
 ///
-/// fetch() is safe to call from concurrent driver shards: generation is
-/// const over immutable state and the fetch counter is atomic. The
+/// Fetches go through a PinglistCache: a server's list is generated once
+/// per generator version and shared to every subsequent fetcher — a
+/// topology change only costs regeneration for servers that actually fetch
+/// afterwards.
+///
+/// fetch() is safe to call from concurrent driver shards: the cache is
+/// internally locked and the fetch counter is atomic. The
 /// reachable/serving toggles must only be flipped between ticks.
 class DirectPinglistSource final : public PinglistSource {
  public:
   DirectPinglistSource(const topo::Topology& topo, const PinglistGenerator& gen)
-      : topo_(&topo), gen_(&gen) {}
+      : topo_(&topo), cache_(topo, gen) {}
 
   FetchResult fetch(IpAddr server_ip) override;
 
@@ -63,6 +72,7 @@ class DirectPinglistSource final : public PinglistSource {
   [[nodiscard]] std::uint64_t fetches() const {
     return fetches_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] const PinglistCache& cache() const { return cache_; }
 
   /// Register controller.fetches_total{status=...} counters. The counters
   /// are atomic, so instrumented fetch() stays shard-safe.
@@ -70,7 +80,7 @@ class DirectPinglistSource final : public PinglistSource {
 
  private:
   const topo::Topology* topo_;
-  const PinglistGenerator* gen_;
+  PinglistCache cache_;
   bool reachable_ = true;
   bool serving_ = true;
   std::atomic<std::uint64_t> fetches_{0};
@@ -82,16 +92,19 @@ class DirectPinglistSource final : public PinglistSource {
 /// The controller's RESTful web service. Serves:
 ///   GET /pinglist/<dotted-ip>   -> 200 with the pinglist XML, or 404
 ///   GET /health                 -> 200 "ok"
-/// Pinglist files are pre-generated (the real controller stores them on SSD
-/// and serves them statically), refreshed via regenerate(), and — because a
-/// live controller outlasts its first topology — re-generated lazily when
-/// the generator's pinglist version moves past what was served.
+/// Pinglist XML is materialized lazily, one server at a time, on first
+/// request after a version change — never the whole fleet at once (the old
+/// eager regenerate() was O(servers x targets) per topology change). A
+/// served file is memoized together with the generator version it was
+/// rendered from, so the stale-pinglist guard semantics are unchanged: a
+/// version bump invalidates exactly the slots that get requested again.
 class ControllerHttpService {
  public:
   ControllerHttpService(net::Reactor& reactor, const net::SockAddr& bind_addr,
                         const topo::Topology& topo, const PinglistGenerator& gen);
 
-  /// Re-run the generator (topology or config changed).
+  /// Drop all memoized files and resume serving (topology or config
+  /// changed, or recovery from withdraw_all). Files re-render on demand.
   void regenerate();
   /// Withdraw all pinglist files (fail-closed drill). Sticks until the next
   /// explicit regenerate() — a version bump alone does not undo a withdrawal.
@@ -103,17 +116,25 @@ class ControllerHttpService {
   [[nodiscard]] std::uint16_t port() const { return server_.port(); }
   [[nodiscard]] std::uint64_t requests_served() const { return server_.requests_served(); }
   [[nodiscard]] std::uint64_t regenerations() const { return regenerations_; }
+  /// Per-server XML renders performed (the incremental work counter).
+  [[nodiscard]] std::uint64_t files_rendered() const { return files_rendered_; }
 
  private:
+  struct FileSlot {
+    std::uint64_t version = 0;
+    std::string xml;
+  };
+
   net::HttpResponse handle_pinglist(const net::HttpRequest& req);
-  void refresh_if_stale();
 
   const topo::Topology* topo_;
   const PinglistGenerator* gen_;
-  std::unordered_map<std::string, std::string> files_;  // dotted ip -> XML
-  std::uint64_t generated_version_ = 0;  ///< gen_->version() when files_ was built
+  std::unordered_map<std::string, ServerId> ip_index_;  // dotted ip -> server
+  std::unordered_map<std::string, FileSlot> files_;     // dotted ip -> memo
   bool withdrawn_ = false;
+  std::uint64_t served_version_ = 0;  // generator version last counted
   std::uint64_t regenerations_ = 0;
+  std::uint64_t files_rendered_ = 0;
   obs::Counter* req_ok_ = nullptr;
   obs::Counter* req_miss_ = nullptr;
   obs::Counter* req_bad_path_ = nullptr;

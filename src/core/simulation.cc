@@ -41,6 +41,10 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
   if (config_.worker_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
   }
+  shard_scratch_.resize(pool_ ? static_cast<std::size_t>(pool_->worker_count()) : 1);
+
+  uploader_.set_encoding(config_.columnar_extents ? dsa::ExtentEncoding::kColumnar
+                                                  : dsa::ExtentEncoding::kCsv);
 
   if (config_.streaming.enabled) {
     // The tap runs in the serial upload-drain phase of tick_agents and the
@@ -151,6 +155,8 @@ void PingmeshSimulation::wire_observability() {
                [this] { return static_cast<double>(scan_cache_.evictions()); });
   reg.gauge_fn("dsa.scan_cache_entries", "",
                [this] { return static_cast<double>(scan_cache_.size()); });
+  reg.gauge_fn("dsa.decode_rows_dropped_total", "",
+               [this] { return static_cast<double>(scan_cache_.rows_dropped()); });
   if (streaming_) {
     reg.gauge_fn("streaming.records_ingested_total", "", [this] {
       return static_cast<double>(streaming_->windows().records_ingested());
@@ -278,12 +284,18 @@ void PingmeshSimulation::tick_agents(SimTime now) {
   // (exactly the chaos scenarios). Serial server-id order matches what the
   // 1-worker path always did.
   std::vector<char> wants_fetch(servers.size(), 0);
-  auto shard = [this, now, &servers, &wants_fetch](std::size_t begin, std::size_t end) {
+  // Each shard refills its own TickActions arena (shard-affine: shard i is
+  // pinned to one pool thread), so the steady-state tick performs no probe-
+  // vector allocations at all.
+  auto shard = [this, now, &servers, &wants_fetch](int shard_index, std::size_t begin,
+                                                   std::size_t end) {
+    agent::PingmeshAgent::TickActions& actions =
+        shard_scratch_[static_cast<std::size_t>(shard_index)];
     for (std::size_t i = begin; i < end; ++i) {
       const topo::Server& s = servers[i];
       if (!net_.server_up(s.id, now)) continue;  // podset power-down: agent is gone
       agent::PingmeshAgent& ag = *agents_[s.id.value];
-      agent::PingmeshAgent::TickActions actions = ag.tick(now);
+      ag.tick(now, actions);
       if (actions.fetch_pinglist) wants_fetch[i] = 1;
       for (const agent::ProbeRequest& req : actions.probes) {
         ag.on_probe_result(req, execute_probe(s.id, req, now), now);
@@ -291,19 +303,20 @@ void PingmeshSimulation::tick_agents(SimTime now) {
     }
   };
   if (pool_) {
-    pool_->parallel_for(servers.size(), shard);
+    pool_->parallel_for_shards(servers.size(), shard);
   } else {
-    shard(0, servers.size());
+    shard(0, 0, servers.size());
   }
 
   // Serial phase 1 (after the barrier): pinglist fetches in server-id
   // order. A newly adopted pinglist may have probes due immediately; they
   // run here too (refresh ticks only, so the serialization is cheap).
+  agent::PingmeshAgent::TickActions& more = shard_scratch_[0];  // free after barrier
   for (const topo::Server& s : servers) {
     if (wants_fetch[s.id.value] == 0) continue;
     agent::PingmeshAgent& ag = *agents_[s.id.value];
     ag.on_pinglist(fetch_pinglist(s.ip, now), now);
-    auto more = ag.tick(now);
+    ag.tick(now, more);
     for (const agent::ProbeRequest& req : more.probes) {
       ag.on_probe_result(req, execute_probe(s.id, req, now), now);
     }

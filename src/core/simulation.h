@@ -73,6 +73,10 @@ struct SimulationConfig {
   /// (seed, five-tuple, time) and uploads drain in server-id order after a
   /// barrier, so the thread count only changes wall-clock time.
   int worker_threads = 1;
+  /// Extent payload encoding for the latency stream (DESIGN.md §12): true
+  /// stores binary columnar extents (the paper-scale fast path), false the
+  /// paper's CSV. Scans decode either; decoded records are identical.
+  bool columnar_extents = true;
 };
 
 class PingmeshSimulation {
@@ -140,6 +144,11 @@ class PingmeshSimulation {
   }
   /// Decoded-extent cache statistics (SCOPE scan path).
   [[nodiscard]] const dsa::DecodedExtentCache& scan_cache() const { return scan_cache_; }
+  /// Malformed rows dropped while decoding extents on the scan path. Must
+  /// stay 0 unless extents were deliberately corrupted (chaos invariant).
+  [[nodiscard]] std::uint64_t decode_rows_dropped() const {
+    return scan_cache_.rows_dropped();
+  }
   /// Worker parallelism actually in use (>= 1).
   [[nodiscard]] int worker_threads() const { return pool_ ? pool_->worker_count() : 1; }
 
@@ -174,6 +183,10 @@ class PingmeshSimulation {
   dsa::JobContext job_ctx_;
   mutable dsa::DecodedExtentCache scan_cache_;
   std::unique_ptr<ThreadPool> pool_;  // null when worker_threads == 1
+  /// Per-shard TickActions arenas, indexed by shard. Shard i always runs on
+  /// the same pool thread, so its scratch stays core-local across ticks and
+  /// the steady-state tick allocates nothing.
+  std::vector<agent::PingmeshAgent::TickActions> shard_scratch_;
   std::vector<std::unique_ptr<agent::PingmeshAgent>> agents_;  // by ServerId
   std::unordered_map<IpAddr, std::vector<ServerId>> vips_;
   std::atomic<std::uint64_t> total_probes_{0};

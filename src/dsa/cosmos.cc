@@ -21,14 +21,18 @@ std::uint32_t fnv1a(std::string_view data) { return fnv1a_continue(2166136261u, 
 bool Extent::verify() const { return fnv1a(data) == checksum; }
 
 std::uint64_t CosmosStream::append(std::string_view blob, std::uint64_t record_count,
-                                   SimTime first_ts, SimTime last_ts, SimTime now) {
-  bool need_new = extents_.empty() || extents_.back().data.size() + blob.size() > extent_limit_;
+                                   SimTime first_ts, SimTime last_ts, SimTime now,
+                                   ExtentEncoding encoding) {
+  bool need_new = extents_.empty() ||
+                  extents_.back().data.size() + blob.size() > extent_limit_ ||
+                  extents_.back().encoding != encoding;
   if (need_new) {
     Extent e;
     e.id = next_extent_id_++;
     e.first_ts = first_ts;
     e.last_ts = last_ts;
     e.appended_at = now;
+    e.encoding = encoding;
     extents_.push_back(std::move(e));
     prefix_max_last_ts_.push_back(std::numeric_limits<SimTime>::min());
   }

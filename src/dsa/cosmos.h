@@ -21,6 +21,14 @@
 
 namespace pingmesh::dsa {
 
+/// Payload encoding of one extent. Extents are homogeneous: append() rolls
+/// over to a fresh extent when the encoding changes, so a scan dispatches
+/// one decoder per extent.
+enum class ExtentEncoding : std::uint8_t {
+  kCsv = 0,       ///< newline-delimited CSV rows (paper §6.2)
+  kColumnar = 1,  ///< binary columnar blocks (dsa/extent_codec.h)
+};
+
 struct Extent {
   std::uint64_t id = 0;
   SimTime first_ts = 0;         ///< min record timestamp inside
@@ -29,7 +37,8 @@ struct Extent {
   std::uint64_t record_count = 0;
   std::uint32_t checksum = 0;   ///< FNV-1a over the payload
   int replicas = 3;
-  std::string data;             ///< CSV-encoded records
+  ExtentEncoding encoding = ExtentEncoding::kCsv;
+  std::string data;             ///< encoded records (see `encoding`)
 
   [[nodiscard]] bool verify() const;
 };
@@ -44,9 +53,11 @@ class CosmosStream {
       : name_(std::move(name)), extent_limit_(extent_size_limit) {}
 
   /// Append a blob; starts a new extent when the open one would exceed the
-  /// extent size limit. Returns the extent id written to.
+  /// extent size limit or carries a different encoding. Returns the extent
+  /// id written to.
   std::uint64_t append(std::string_view blob, std::uint64_t record_count,
-                       SimTime first_ts, SimTime last_ts, SimTime now);
+                       SimTime first_ts, SimTime last_ts, SimTime now,
+                       ExtentEncoding encoding = ExtentEncoding::kCsv);
 
   /// Scan all extents overlapping [from, to); calls fn(extent). Corrupt
   /// extents (checksum mismatch) are skipped and counted. The prefix of

@@ -8,7 +8,10 @@ namespace pingmesh::dsa {
 
 namespace {
 
-constexpr const char* kMagic = "PMCOSMOS1";
+// Version 2 adds the per-extent encoding token; version-1 files (no token,
+// always CSV) still load.
+constexpr const char* kMagic = "PMCOSMOS2";
+constexpr const char* kMagicV1 = "PMCOSMOS1";
 
 /// Stream names may contain '/', never newlines; reject anything else odd.
 bool name_ok(const std::string& name) {
@@ -29,7 +32,8 @@ bool save_store(const CosmosStore& store, const std::string& path) {
     for (const Extent& e : stream->extents()) {
       out << "extent " << e.id << ' ' << e.first_ts << ' ' << e.last_ts << ' '
           << e.appended_at << ' ' << e.record_count << ' ' << e.checksum << ' '
-          << e.replicas << ' ' << e.data.size() << '\n';
+          << e.replicas << ' ' << static_cast<unsigned>(e.encoding) << ' '
+          << e.data.size() << '\n';
       out.write(e.data.data(), static_cast<std::streamsize>(e.data.size()));
       out << '\n';
     }
@@ -42,7 +46,9 @@ std::optional<LoadResult> load_store(const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;
+  const bool v1 = line == kMagicV1;
+  if (!v1 && line != kMagic) return std::nullopt;
 
   LoadResult result{CosmosStore(extent_size_limit), 0, 0, 0};
   while (std::getline(in, line)) {
@@ -61,9 +67,14 @@ std::optional<LoadResult> load_store(const std::string& path,
       std::string etag;
       Extent e;
       std::size_t size = 0;
+      unsigned encoding = 0;
       eh >> etag >> e.id >> e.first_ts >> e.last_ts >> e.appended_at >> e.record_count >>
-          e.checksum >> e.replicas >> size;
+          e.checksum >> e.replicas;
+      if (!v1) eh >> encoding;
+      eh >> size;
       if (etag != "extent" || !eh) return std::nullopt;
+      if (encoding > static_cast<unsigned>(ExtentEncoding::kColumnar)) return std::nullopt;
+      e.encoding = static_cast<ExtentEncoding>(encoding);
       // A single oversized append can legitimately produce an extent larger
       // than extent_size_limit, but only modestly so; an adversarial header
       // demanding a giant allocation makes the file unparseable instead of

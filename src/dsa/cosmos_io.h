@@ -5,9 +5,11 @@
 // experiment can archive its raw latency data and a later analysis session
 // (or the pingmeshctl CLI) can reopen it. One file holds a whole store.
 //
-// Format (version 1): a text header per stream/extent, raw extent bytes
-// in-line. Checksums are verified on load; corrupt extents are dropped and
-// counted, mirroring the replicated-extent semantics.
+// Format (version 2): a text header per stream/extent (including the
+// extent's payload encoding), raw extent bytes in-line. Version-1 files
+// (pre-columnar, implicitly CSV) still load. Checksums are verified on
+// load; corrupt extents are dropped and counted, mirroring the
+// replicated-extent semantics.
 #pragma once
 
 #include <optional>

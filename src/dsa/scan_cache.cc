@@ -4,28 +4,30 @@
 
 namespace pingmesh::dsa {
 
-const std::vector<agent::LatencyRecord>& DecodedExtentCache::rows(const Extent& e) {
+const agent::RecordColumns& DecodedExtentCache::columns(const Extent& e) {
   auto it = entries_.find(e.id);
   if (it != entries_.end() && it->second.checksum == e.checksum) {
     ++hits_;
-    return it->second.rows;
+    return it->second.columns;
   }
   ++misses_;
   Entry entry;
   entry.checksum = e.checksum;
   entry.last_ts = e.last_ts;
-  entry.rows = agent::decode_batch(e.data);
+  agent::DecodeStats stats;
+  entry.columns = decode_extent(e, &stats);
+  rows_dropped_ += stats.rows_dropped;
   if (it != entries_.end()) {
     // Stale entry for a grown tail extent: replace in place.
     it->second = std::move(entry);
-    return it->second.rows;
+    return it->second.columns;
   }
   while (max_entries_ > 0 && entries_.size() >= max_entries_) {
     entries_.erase(entries_.begin());
     ++evictions_;
   }
   PINGMESH_DCHECK(max_entries_ == 0 || entries_.size() < max_entries_);
-  return entries_.emplace(e.id, std::move(entry)).first->second.rows;
+  return entries_.emplace(e.id, std::move(entry)).first->second.columns;
 }
 
 void DecodedExtentCache::expire_before(SimTime horizon) {

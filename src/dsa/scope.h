@@ -23,6 +23,7 @@
 
 #include "agent/record.h"
 #include "dsa/cosmos.h"
+#include "dsa/extent_codec.h"
 
 namespace pingmesh::dsa::scope {
 
@@ -111,8 +112,10 @@ inline DataSet<agent::LatencyRecord> extract_records(const CosmosStream& stream,
                                                      SimTime from, SimTime to) {
   std::vector<agent::LatencyRecord> rows;
   stream.scan(from, to, [&](const Extent& e) {
-    for (agent::LatencyRecord& r : agent::decode_batch(e.data)) {
-      if (r.timestamp >= from && r.timestamp < to) rows.push_back(r);
+    const agent::RecordColumns cols = decode_extent(e);
+    const SimTime* ts = cols.timestamps();
+    for (std::size_t i = 0, n = cols.size(); i < n; ++i) {
+      if (ts[i] >= from && ts[i] < to) rows.push_back(cols.row(i));
     }
   });
   return DataSet<agent::LatencyRecord>(std::move(rows));

@@ -9,10 +9,12 @@
 #include <string>
 
 #include "agent/agent.h"
+#include "agent/record_columns.h"
 #include "common/check.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "dsa/cosmos.h"
+#include "dsa/extent_codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -23,11 +25,11 @@ namespace pingmesh::dsa {
 /// an agent's upload lands — before the batch SCOPE path, whose end-to-end
 /// freshness is ~20 minutes (paper §3.5/§5 "moving towards streaming").
 /// Called from the driver thread only (the serial upload-drain phase).
+/// Batches arrive columnar; the reference is only valid for the call.
 class RecordTap {
  public:
   virtual ~RecordTap() = default;
-  virtual void on_records(const std::vector<agent::LatencyRecord>& batch,
-                          SimTime now) = 0;
+  virtual void on_records(const agent::RecordColumns& batch, SimTime now) = 0;
 };
 
 class CosmosUploader final : public agent::Uploader {
@@ -35,7 +37,7 @@ class CosmosUploader final : public agent::Uploader {
   CosmosUploader(CosmosStore& store, std::string stream_name, const Clock& clock)
       : store_(&store), stream_name_(std::move(stream_name)), clock_(&clock) {}
 
-  bool upload(const std::vector<agent::LatencyRecord>& batch) override {
+  bool upload(const agent::RecordColumns& batch) override {
     if (!available_) {
       if (uploads_failed_counter_ != nullptr) uploads_failed_counter_->inc();
       return false;
@@ -49,7 +51,7 @@ class CosmosUploader final : public agent::Uploader {
       // Chaos failure draws come from a counter stream keyed by (chaos
       // seed, tick, uploading entity) — never from shared sequential RNG
       // state — so a chaos run replays bit-identically at any worker count.
-      std::uint32_t entity = batch.empty() ? 0 : batch.front().src_ip.v;
+      std::uint32_t entity = batch.empty() ? 0 : batch.src_ips()[0];
       CounterRng rng(mix_key(chaos_seed_, static_cast<std::uint64_t>(clock_->now()),
                              entity));
       if (rng.chance(chaos_fail_prob_)) {
@@ -58,33 +60,43 @@ class CosmosUploader final : public agent::Uploader {
         return false;
       }
     }
-    if (batch.empty()) return true;
-    SimTime first = batch.front().timestamp;
-    SimTime last = batch.front().timestamp;
-    for (const auto& r : batch) {
-      first = std::min(first, r.timestamp);
-      last = std::max(last, r.timestamp);
+    const std::size_t n = batch.size();
+    if (n == 0) return true;
+    const SimTime* ts = batch.timestamps();
+    SimTime first = ts[0];
+    SimTime last = ts[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      first = std::min(first, ts[i]);
+      last = std::max(last, ts[i]);
     }
+    std::string blob = encoding_ == ExtentEncoding::kColumnar
+                           ? encode_columnar(batch)
+                           : batch.encode_csv();
     std::uint64_t extent_id =
         store_->stream(stream_name_)
-            .append(agent::encode_batch(batch), batch.size(), first, last,
-                    clock_->now() + chaos_delay_);
+            .append(blob, n, first, last, clock_->now() + chaos_delay_, encoding_);
     ++uploads_;
     if (uploads_ok_counter_ != nullptr) {
       uploads_ok_counter_->inc();
-      records_counter_->inc(batch.size());
+      records_counter_->inc(n);
     }
     if (tracer_ != nullptr && tracer_->enabled()) {
       SimTime now = clock_->now();
       std::string note = "extent=" + std::to_string(extent_id);
-      for (const auto& r : batch) {
-        std::uint64_t key = obs::trace_key(r.timestamp, r.src_ip.v, r.dst_ip.v, r.src_port);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t key = obs::trace_key(ts[i], batch.src_ips()[i], batch.dst_ips()[i],
+                                           batch.src_ports()[i]);
         if (tracer_->sampled(key)) tracer_->span(key, "cosmos.append", now, now, note);
       }
     }
     if (tap_ != nullptr) tap_->on_records(batch, clock_->now());
     return true;
   }
+
+  /// Extent payload encoding for subsequent uploads (default CSV, matching
+  /// the paper; the columnar format is the paper-scale fast path).
+  void set_encoding(ExtentEncoding encoding) { encoding_ = encoding; }
+  [[nodiscard]] ExtentEncoding encoding() const { return encoding_; }
 
   /// Register dsa.upload* instruments and (optionally) the data-path
   /// tracer; sampled records get a cosmos.append span naming their extent.
@@ -133,6 +145,7 @@ class CosmosUploader final : public agent::Uploader {
   CosmosStore* store_;
   std::string stream_name_;
   const Clock* clock_;
+  ExtentEncoding encoding_ = ExtentEncoding::kCsv;
   RecordTap* tap_ = nullptr;
   bool available_ = true;
   int fail_next_ = 0;

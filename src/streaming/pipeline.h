@@ -31,8 +31,9 @@ class StreamingPipeline final : public dsa::RecordTap {
       : cfg_(cfg), windows_(topo, cfg.windows), detector_(topo, db, cfg.detector) {}
 
   /// dsa::RecordTap: a record batch just landed in Cosmos.
-  void on_records(const std::vector<agent::LatencyRecord>& batch, SimTime now) override {
-    for (const agent::LatencyRecord& r : batch) {
+  void on_records(const agent::RecordColumns& batch, SimTime now) override {
+    for (std::size_t i = 0, n = batch.size(); i < n; ++i) {
+      const agent::LatencyRecord r = batch.row(i);
       windows_.ingest(r);
       if (tracer_ != nullptr && tracer_->enabled()) {
         std::uint64_t key = obs::trace_key(r.timestamp, r.src_ip.v, r.dst_ip.v, r.src_port);

@@ -18,13 +18,14 @@ namespace {
 
 class FakeUploader final : public Uploader {
  public:
-  bool upload(const std::vector<LatencyRecord>& batch) override {
+  bool upload(const RecordColumns& batch) override {
     ++attempts;
     if (fail_count > 0) {
       --fail_count;
       return false;
     }
-    uploaded.insert(uploaded.end(), batch.begin(), batch.end());
+    std::vector<LatencyRecord> rows = batch.to_records();
+    uploaded.insert(uploaded.end(), rows.begin(), rows.end());
     return true;
   }
 
@@ -50,7 +51,8 @@ controller::Pinglist make_pinglist(int targets, SimTime interval = seconds(30)) 
 }
 
 controller::FetchResult ok_fetch(controller::Pinglist pl) {
-  return controller::FetchResult{controller::FetchStatus::kOk, std::move(pl)};
+  return controller::FetchResult{controller::FetchStatus::kOk,
+                                 std::make_shared<const controller::Pinglist>(std::move(pl))};
 }
 
 AgentConfig test_config() {
@@ -163,7 +165,7 @@ TEST(Agent, FailClosedAfterThreeUnreachableFetches) {
   agent.on_pinglist(ok_fetch(make_pinglist(3)), 0);
   EXPECT_TRUE(agent.probing_active());
 
-  controller::FetchResult unreachable{controller::FetchStatus::kUnreachable, std::nullopt};
+  controller::FetchResult unreachable{controller::FetchStatus::kUnreachable, nullptr};
   SimTime t = 0;
   for (int i = 0; i < 3; ++i) {
     t += minutes(10);
@@ -183,7 +185,7 @@ TEST(Agent, TwoFailuresThenSuccessKeepsProbing) {
   PingmeshAgent agent("s", IpAddr(10, 0, 0, 1), test_config(), up);
   agent.tick(0);
   agent.on_pinglist(ok_fetch(make_pinglist(3)), 0);
-  controller::FetchResult unreachable{controller::FetchStatus::kUnreachable, std::nullopt};
+  controller::FetchResult unreachable{controller::FetchStatus::kUnreachable, nullptr};
   agent.on_pinglist(unreachable, minutes(10));
   agent.on_pinglist(unreachable, minutes(20));
   EXPECT_TRUE(agent.probing_active());
@@ -200,7 +202,7 @@ TEST(Agent, NoPinglistStopsImmediately) {
   agent.tick(0);
   agent.on_pinglist(ok_fetch(make_pinglist(3)), 0);
   EXPECT_TRUE(agent.probing_active());
-  agent.on_pinglist(controller::FetchResult{controller::FetchStatus::kNoPinglist, std::nullopt},
+  agent.on_pinglist(controller::FetchResult{controller::FetchStatus::kNoPinglist, nullptr},
                     minutes(10));
   EXPECT_FALSE(agent.probing_active());
 }
@@ -209,7 +211,7 @@ TEST(Agent, RecoversAfterFailClosed) {
   FakeUploader up;
   PingmeshAgent agent("s", IpAddr(10, 0, 0, 1), test_config(), up);
   agent.tick(0);
-  agent.on_pinglist(controller::FetchResult{controller::FetchStatus::kNoPinglist, std::nullopt},
+  agent.on_pinglist(controller::FetchResult{controller::FetchStatus::kNoPinglist, nullptr},
                     0);
   EXPECT_FALSE(agent.probing_active());
   // Next periodic fetch succeeds -> probing resumes.

@@ -377,7 +377,7 @@ TEST(DirectSource, ServesAndWithdraws) {
 
   FetchResult r = source.fetch(t.servers()[0].ip);
   EXPECT_EQ(r.status, FetchStatus::kOk);
-  ASSERT_TRUE(r.pinglist.has_value());
+  ASSERT_TRUE(r.pinglist != nullptr);
   EXPECT_FALSE(r.pinglist->targets.empty());
 
   source.set_serving(false);
@@ -403,7 +403,7 @@ TEST(HttpDistribution, EndToEndOverLoopback) {
   const topo::Server& s = t.servers()[3];
   FetchResult r = source.fetch(s.ip);
   ASSERT_EQ(r.status, FetchStatus::kOk);
-  ASSERT_TRUE(r.pinglist.has_value());
+  ASSERT_TRUE(r.pinglist != nullptr);
   EXPECT_EQ(r.pinglist->server_ip, s.ip);
   EXPECT_EQ(r.pinglist->to_xml(), gen.generate_for(s.id).to_xml());
 

@@ -467,7 +467,7 @@ TEST(CosmosUploader, WritesBatches) {
       make_record(t, t.servers()[0].id, t.servers()[1].id, seconds(1), micros(200)),
       make_record(t, t.servers()[0].id, t.servers()[1].id, seconds(2), micros(210)),
   };
-  EXPECT_TRUE(up.upload(batch));
+  EXPECT_TRUE(up.upload(agent::to_columns(batch)));
   const CosmosStream* s = store.find(kLatencyStream);
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->total_records(), 2u);
@@ -484,11 +484,11 @@ TEST(CosmosUploader, FailureInjection) {
   std::vector<LatencyRecord> batch = {
       make_record(t, t.servers()[0].id, t.servers()[1].id, 0, micros(200))};
   up.fail_next(2);
-  EXPECT_FALSE(up.upload(batch));
-  EXPECT_FALSE(up.upload(batch));
-  EXPECT_TRUE(up.upload(batch));
+  EXPECT_FALSE(up.upload(agent::to_columns(batch)));
+  EXPECT_FALSE(up.upload(agent::to_columns(batch)));
+  EXPECT_TRUE(up.upload(agent::to_columns(batch)));
   up.set_available(false);
-  EXPECT_FALSE(up.upload(batch));
+  EXPECT_FALSE(up.upload(agent::to_columns(batch)));
 }
 
 TEST(Pa, AggregatesPerPod) {

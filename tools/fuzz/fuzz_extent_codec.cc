@@ -1,0 +1,31 @@
+// libFuzzer harness for the binary columnar extent decoder — extents cross
+// a process/disk boundary via cosmos_io, so decode_columnar parses
+// untrusted bytes. Contract: never crash, never allocate from unvalidated
+// counts, and account every claimed-but-unrecovered row in DecodeStats
+// (rows out must equal rows_decoded). Whatever decodes must re-encode and
+// decode back to the identical row set.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "dsa/extent_codec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  constexpr std::size_t kLimit = 256 * 1024;  // keep adversarial counts cheap
+  if (size > kLimit) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  pingmesh::agent::DecodeStats stats;
+  pingmesh::agent::RecordColumns cols = pingmesh::dsa::decode_columnar(input, &stats);
+  if (cols.size() != stats.rows_decoded) __builtin_trap();
+
+  // Round-trip the surviving rows: encode must accept anything decode
+  // produced, and the second decode must reproduce it exactly.
+  std::string re = pingmesh::dsa::encode_columnar(cols);
+  pingmesh::agent::DecodeStats stats2;
+  pingmesh::agent::RecordColumns again = pingmesh::dsa::decode_columnar(re, &stats2);
+  if (stats2.rows_dropped != 0) __builtin_trap();
+  if (again.size() != cols.size()) __builtin_trap();
+  if (again.encode_csv() != cols.encode_csv()) __builtin_trap();
+  return 0;
+}
