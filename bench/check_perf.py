@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""CI perf gate: compare a BENCH_fleet.json report against the committed
-baseline (bench/perf_baseline.json).
+"""CI perf gate: compare one or more BENCH_*.json reports against the
+committed baseline (bench/perf_baseline.json).
 
 Rules:
-  - min_exact:   metric must equal the baseline value (identity contracts);
-  - throughput:  metric must be >= baseline/2 — a >2x regression fails
-                 (the divisor absorbs runner-to-runner variance);
-  - ratios:      metric must be >= baseline/2 (speedup targets, e.g. the
-                 columnar-vs-CSV 3x claim must not quietly halve).
+  - min_exact:         metric must equal the baseline value (identity
+                       contracts);
+  - throughput:        metric must be >= baseline/2 — a >2x regression fails
+                       (the divisor absorbs runner-to-runner variance);
+  - ratios:            metric must be >= baseline/2 (speedup targets, e.g.
+                       the columnar-vs-CSV 3x claim must not quietly halve);
+  - latency_ceilings:  metric must be <= baseline*2 — a >2x latency blowup
+                       fails (serving P99 and friends).
 
-Usage: check_perf.py BENCH_fleet.json [baseline.json]
+Usage: check_perf.py BENCH_a.json [BENCH_b.json ...] [baseline.json]
+
+Metrics from all reports are merged (later reports win on name clashes).
+The last positional argument is treated as the baseline when its basename
+contains "baseline"; otherwise the default bench/perf_baseline.json is used.
 """
 import json
 import os
@@ -17,26 +24,34 @@ import sys
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    if not args:
         print(__doc__)
         return 2
-    report_path = sys.argv[1]
-    baseline_path = (
-        sys.argv[2]
-        if len(sys.argv) > 2
-        else os.path.join(os.path.dirname(__file__), "perf_baseline.json")
-    )
-    with open(report_path) as f:
-        report = json.load(f)
+    baseline_path = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+    if len(args) > 1 and "baseline" in os.path.basename(args[-1]):
+        baseline_path = args[-1]
+        args = args[:-1]
+    report_paths = args
+
+    metrics = {}
+    sources = {}
+    for path in report_paths:
+        with open(path) as f:
+            report = json.load(f)
+        for m in report.get("metrics", []):
+            metrics[m["name"]] = m["value"]
+            sources[m["name"]] = path
     with open(baseline_path) as f:
         baseline = json.load(f)
 
-    metrics = {m["name"]: m["value"] for m in report.get("metrics", [])}
     failures = []
 
     def get(name):
         if name not in metrics:
-            failures.append(f"metric '{name}' missing from {report_path}")
+            failures.append(
+                f"metric '{name}' missing from {', '.join(report_paths)}"
+            )
             return None
         return metrics[name]
 
@@ -56,6 +71,17 @@ def main() -> int:
                 )
             elif got is not None:
                 print(f"ok: {name} = {got:.3g} (floor {floor:.3g})")
+
+    for name, ref in baseline.get("latency_ceilings", {}).items():
+        got = get(name)
+        ceiling = ref * 2.0
+        if got is not None and got > ceiling:
+            failures.append(
+                f"{name}: {got:.3g} > {ceiling:.3g} "
+                f"(>2x latency blowup vs baseline {ref:.3g})"
+            )
+        elif got is not None:
+            print(f"ok: {name} = {got:.3g} (ceiling {ceiling:.3g})")
 
     if failures:
         print("\nPERF GATE FAILED:")

@@ -47,6 +47,7 @@ benches=(
   bench_limitations
   bench_qos_monitoring
   bench_interdc
+  bench_serving
 )
 
 failed=()

@@ -76,6 +76,8 @@ void ControllerHttpService::enable_observability(obs::MetricsRegistry& registry)
   req_ok_ = &registry.counter("controller.pinglist_requests_total", "result=ok");
   req_miss_ = &registry.counter("controller.pinglist_requests_total", "result=miss");
   req_bad_path_ = &registry.counter("controller.pinglist_requests_total", "result=bad_path");
+  req_not_modified_ =
+      &registry.counter("controller.pinglist_requests_total", "result=not_modified");
   regen_counter_ = &registry.counter("controller.pinglist_regenerations_total");
 }
 
@@ -102,6 +104,16 @@ net::HttpResponse ControllerHttpService::handle_pinglist(const net::HttpRequest&
     ++regenerations_;
     if (regen_counter_ != nullptr) regen_counter_->inc();
   }
+  // Conditional GET: the validator is (generator version, server ip), so an
+  // agent re-polling an unchanged pinglist revalidates with a 304 before
+  // any XML is rendered — a 100k-agent herd against a stable topology costs
+  // zero regeneration work, only header exchanges.
+  std::string etag = "\"pl-" + std::to_string(gen_->version()) + "-" + ip + "\"";
+  if (auto inm = req.headers.find("if-none-match");
+      inm != req.headers.end() && net::etag_match(inm->second, etag)) {
+    if (req_not_modified_ != nullptr) req_not_modified_->inc();
+    return net::HttpResponse::not_modified(std::move(etag));
+  }
   FileSlot& slot = files_[ip];
   if (slot.xml.empty() || slot.version != gen_->version()) {
     slot.xml = gen_->generate_for(known->second).to_xml();
@@ -109,7 +121,9 @@ net::HttpResponse ControllerHttpService::handle_pinglist(const net::HttpRequest&
     ++files_rendered_;
   }
   if (req_ok_ != nullptr) req_ok_->inc();
-  return net::HttpResponse::ok(slot.xml, "application/xml");
+  net::HttpResponse resp = net::HttpResponse::ok(slot.xml, "application/xml");
+  resp.headers["etag"] = std::move(etag);
+  return resp;
 }
 
 // ---------------------------------------------------------------------------
@@ -129,8 +143,14 @@ FetchResult HttpPinglistSource::fetch(IpAddr server_ip) {
 
   net::HttpClient client(*reactor_);
   std::optional<net::HttpResult> result;
-  client.get(backends_[idx], "/pinglist/" + server_ip.str(), timeout_,
-             [&result](const net::HttpResult& r) { result = r; });
+  net::HttpRequest req{"GET", "/pinglist/" + server_ip.str(), {}, ""};
+  // Revalidate instead of refetch: present the validator from the last 200
+  // for this server, so an unchanged pinglist costs a 304 with no XML body
+  // and no parse (the agent-side half of the thundering-herd fix).
+  auto cached = cached_.find(server_ip.v);
+  if (cached != cached_.end()) req.headers["if-none-match"] = cached->second.etag;
+  client.request(backends_[idx], std::move(req), timeout_,
+                 [&result](const net::HttpResult& r) { result = r; });
   reactor_->run_until([&result] { return result.has_value(); },
                       net::Reactor::Clock::now() + timeout_ + std::chrono::milliseconds(200));
 
@@ -143,15 +163,25 @@ FetchResult HttpPinglistSource::fetch(IpAddr server_ip) {
     return FetchResult{FetchStatus::kUnreachable, nullptr};
   }
   vip_->report(idx, true);
+  if (result->response.status == 304 && cached != cached_.end()) {
+    ++revalidated_;
+    return FetchResult{FetchStatus::kOk, cached->second.pinglist};
+  }
   if (result->response.status == 404) {
+    cached_.erase(server_ip.v);
     return FetchResult{FetchStatus::kNoPinglist, nullptr};
   }
   if (result->response.status != 200) {
+    cached_.erase(server_ip.v);
     return FetchResult{FetchStatus::kUnreachable, nullptr};
   }
   try {
-    return FetchResult{FetchStatus::kOk, std::make_shared<const Pinglist>(
-                                             Pinglist::from_xml(result->response.body))};
+    auto list = std::make_shared<const Pinglist>(Pinglist::from_xml(result->response.body));
+    if (auto etag = result->response.headers.find("etag");
+        etag != result->response.headers.end()) {
+      cached_[server_ip.v] = CachedList{etag->second, list};
+    }
+    return FetchResult{FetchStatus::kOk, list};
   } catch (const std::exception&) {
     return FetchResult{FetchStatus::kUnreachable, nullptr};
   }

@@ -90,7 +90,8 @@ class DirectPinglistSource final : public PinglistSource {
 };
 
 /// The controller's RESTful web service. Serves:
-///   GET /pinglist/<dotted-ip>   -> 200 with the pinglist XML, or 404
+///   GET /pinglist/<dotted-ip>   -> 200 with the pinglist XML (+ ETag),
+///                                  304 on If-None-Match revalidation, or 404
 ///   GET /health                 -> 200 "ok"
 /// Pinglist XML is materialized lazily, one server at a time, on first
 /// request after a version change — never the whole fleet at once (the old
@@ -138,6 +139,7 @@ class ControllerHttpService {
   obs::Counter* req_ok_ = nullptr;
   obs::Counter* req_miss_ = nullptr;
   obs::Counter* req_bad_path_ = nullptr;
+  obs::Counter* req_not_modified_ = nullptr;
   obs::Counter* regen_counter_ = nullptr;
   net::HttpServer server_;
 };
@@ -147,6 +149,10 @@ class ControllerHttpService {
 /// Synchronous (drives the reactor until the response or timeout) — the
 /// agent fetches rarely, so blocking its driver thread briefly is the
 /// simple, correct choice.
+///
+/// Conditional GET: the source remembers the last 200's ETag + parsed list
+/// per server and presents If-None-Match on refetch; a 304 reuses the
+/// cached list with no body transfer and no XML parse.
 class HttpPinglistSource final : public PinglistSource {
  public:
   HttpPinglistSource(net::Reactor& reactor, SlbVip& vip,
@@ -155,12 +161,22 @@ class HttpPinglistSource final : public PinglistSource {
 
   FetchResult fetch(IpAddr server_ip) override;
 
+  /// Fetches answered by 304 revalidation (cached list reused).
+  [[nodiscard]] std::uint64_t revalidated() const { return revalidated_; }
+
  private:
+  struct CachedList {
+    std::string etag;
+    std::shared_ptr<const Pinglist> pinglist;
+  };
+
   net::Reactor* reactor_;
   SlbVip* vip_;
   std::vector<net::SockAddr> backends_;
   std::chrono::milliseconds timeout_;
   std::uint64_t flow_seq_ = 0;
+  std::uint64_t revalidated_ = 0;
+  std::unordered_map<std::uint32_t, CachedList> cached_;  // key: server ip
 };
 
 }  // namespace pingmesh::controller

@@ -72,9 +72,13 @@ std::optional<std::size_t> content_length(
 }
 
 /// If a full message (head + Content-Length body) is present in `data`,
-/// returns the byte count it occupies; otherwise 0.
-template <class Msg, class HeadParser>
-std::size_t try_parse_message(std::string_view data, HeadParser head_parser, Msg& out) {
+/// returns the byte count it occupies; otherwise 0. `body_omitted(msg)` is
+/// consulted after the head parses: when true (HEAD exchanges, 304/204
+/// statuses) the message completes at the end of the header block and any
+/// Content-Length only describes the entity that was *not* sent.
+template <class Msg, class HeadParser, class BodyOmitted>
+std::size_t try_parse_message(std::string_view data, HeadParser head_parser,
+                              BodyOmitted body_omitted, Msg& out) {
   auto head_end = data.find("\r\n\r\n");
   std::size_t sep = 4;
   if (head_end == std::string_view::npos) {
@@ -92,11 +96,17 @@ std::size_t try_parse_message(std::string_view data, HeadParser head_parser, Msg
   parse_headers(rest, msg.headers);
   std::optional<std::size_t> body_len = content_length(msg.headers);
   if (!body_len.has_value()) return 0;
+  if (body_omitted(msg)) *body_len = 0;
   std::size_t total = head_end + sep + *body_len;
   if (data.size() < total) return 0;
   msg.body = std::string(data.substr(head_end + sep, *body_len));
   out = std::move(msg);
   return total;
+}
+
+template <class Msg>
+bool never_omits_body(const Msg&) {
+  return false;
 }
 
 bool parse_request_line(std::string_view line, HttpRequest& req) {
@@ -151,15 +161,45 @@ HttpResponse HttpResponse::error(int status, std::string reason, std::string mes
   return r;
 }
 
-std::string serialize(const HttpResponse& resp) {
+HttpResponse HttpResponse::not_modified(std::string etag) {
+  HttpResponse r;
+  r.status = 304;
+  r.reason = "Not Modified";
+  r.headers["etag"] = std::move(etag);
+  return r;
+}
+
+bool etag_match(std::string_view header, std::string_view etag) {
+  auto opaque = [](std::string_view tag) {
+    if (tag.starts_with("W/")) tag.remove_prefix(2);
+    return tag;
+  };
+  std::size_t pos = 0;
+  while (pos <= header.size()) {
+    auto comma = header.find(',', pos);
+    std::string_view one = trim(header.substr(
+        pos, comma == std::string_view::npos ? header.size() - pos : comma - pos));
+    if (one == "*") return true;
+    if (!one.empty() && opaque(one) == opaque(etag)) return true;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+std::string serialize(const HttpResponse& resp, bool head_request) {
   std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " + resp.reason + "\r\n";
   for (const auto& [k, v] : resp.headers) {
     if (k == "content-length" || k == "connection") continue;
     out += k + ": " + v + "\r\n";
   }
-  out += "content-length: " + std::to_string(resp.body.size()) + "\r\n";
+  bool omit_body = head_request || resp.body_forbidden();
+  // HEAD keeps the entity's Content-Length (the client learns the size
+  // without the bytes); body-forbidden statuses always advertise 0.
+  std::size_t advertised = resp.body_forbidden() ? 0 : resp.body.size();
+  out += "content-length: " + std::to_string(advertised) + "\r\n";
   out += "connection: close\r\n\r\n";
-  out += resp.body;
+  if (!omit_body) out += resp.body;
   return out;
 }
 
@@ -178,13 +218,18 @@ std::string serialize(const HttpRequest& req, const std::string& host) {
 
 std::optional<HttpRequest> parse_request(std::string_view data) {
   HttpRequest req;
-  if (try_parse_message(data, parse_request_line, req) == 0) return std::nullopt;
+  if (try_parse_message(data, parse_request_line, never_omits_body<HttpRequest>, req) == 0) {
+    return std::nullopt;
+  }
   return req;
 }
 
-std::optional<HttpResponse> parse_response(std::string_view data) {
+std::optional<HttpResponse> parse_response(std::string_view data, bool head_request) {
   HttpResponse resp;
-  if (try_parse_message(data, parse_status_line, resp) == 0) return std::nullopt;
+  auto omitted = [head_request](const HttpResponse& r) {
+    return head_request || r.body_forbidden();
+  };
+  if (try_parse_message(data, parse_status_line, omitted, resp) == 0) return std::nullopt;
   return resp;
 }
 
@@ -247,17 +292,20 @@ void HttpServer::close_conn(int fd) {
 
 void HttpServer::try_dispatch(int fd, Conn& c) {
   HttpRequest req;
-  std::size_t consumed = try_parse_message(std::string_view(c.in), parse_request_line, req);
+  std::size_t consumed = try_parse_message(std::string_view(c.in), parse_request_line,
+                                           never_omits_body<HttpRequest>, req);
   if (consumed == 0) {
     if (c.in.size() > kMaxHead + kMaxBody) close_conn(fd);
     return;
   }
   c.in.erase(0, consumed);
+  // HEAD routes exactly like GET; the serializer strips the body while
+  // keeping the entity's Content-Length (RFC 7231 §4.3.2).
   const Handler* handler = match(req.path);
   HttpResponse resp =
       handler ? (*handler)(req) : HttpResponse::not_found("no route for " + req.path);
   ++served_;
-  c.out = serialize(resp);
+  c.out = serialize(resp, req.method == "HEAD");
   c.out_off = 0;
   c.responding = true;
   reactor_.modify(fd, EPOLLOUT);
@@ -329,6 +377,7 @@ void HttpClient::request(const SockAddr& dst, HttpRequest req,
   auto call = std::make_unique<Call>();
   call->cb = std::move(cb);
   call->start = std::chrono::steady_clock::now();
+  call->head = req.method == "HEAD";
   call->out = serialize(req, dst.str());
 
   try {
@@ -423,7 +472,7 @@ void HttpClient::on_event(int fd, std::uint32_t events) {
       }
       if (n == 0) {  // server closed: response should be complete
         HttpResult r;
-        if (auto resp = parse_response(c.in)) {
+        if (auto resp = parse_response(c.in, c.head)) {
           r.ok = true;
           r.response = std::move(*resp);
         } else {
@@ -440,7 +489,7 @@ void HttpClient::on_event(int fd, std::uint32_t events) {
       return;
     }
     // Fast path: complete message with Content-Length already in buffer.
-    if (auto resp = parse_response(c.in)) {
+    if (auto resp = parse_response(c.in, c.head)) {
       HttpResult r;
       r.ok = true;
       r.response = std::move(*resp);

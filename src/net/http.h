@@ -9,6 +9,13 @@
 // Scope: request line + headers + Content-Length bodies, Connection: close
 // semantics (each exchange is one connection — matching the probe model of
 // a new connection per probe). No chunked encoding, no pipelining.
+//
+// Conditional-request machinery for the serving tier (DESIGN.md §13): the
+// serializer/parser understand body-less messages — 304 Not Modified and
+// 204 No Content carry no body regardless of Content-Length (RFC 7230
+// §3.3.3), and HEAD exchanges keep the entity's Content-Length while
+// omitting the bytes. etag_match() implements If-None-Match comparison
+// (list form, `*`, weak validators).
 #pragma once
 
 #include <chrono>
@@ -43,10 +50,26 @@ struct HttpResponse {
   static HttpResponse ok(std::string body, std::string content_type = "text/plain");
   static HttpResponse not_found(std::string message = "not found");
   static HttpResponse error(int status, std::string reason, std::string message = "");
+  /// 304 with the validator echoed back; must_not carry a body.
+  static HttpResponse not_modified(std::string etag);
+
+  /// True for statuses that never carry a body (1xx, 204, 304).
+  [[nodiscard]] bool body_forbidden() const {
+    return status == 204 || status == 304 || (status >= 100 && status < 200);
+  }
 };
 
-/// Serialize a response (adds Content-Length and Connection: close).
-std::string serialize(const HttpResponse& resp);
+/// If-None-Match comparison: `header` is the raw If-None-Match value (a
+/// single validator, a comma-separated list, or `*`); `etag` is the
+/// resource's current entity tag including quotes. Weak validators (W/
+/// prefix) compare by their opaque part, as conditional GET requires.
+[[nodiscard]] bool etag_match(std::string_view header, std::string_view etag);
+
+/// Serialize a response (adds Content-Length and Connection: close). With
+/// `head_request`, the entity's Content-Length is kept but the body bytes
+/// are omitted — the HEAD contract. Body-forbidden statuses always
+/// serialize without a body.
+std::string serialize(const HttpResponse& resp, bool head_request = false);
 /// Serialize a request (adds Content-Length for non-empty bodies and Host).
 std::string serialize(const HttpRequest& req, const std::string& host);
 
@@ -115,6 +138,10 @@ class HttpClient {
            std::chrono::milliseconds timeout, Callback cb) {
     request(dst, HttpRequest{"GET", path, {}, ""}, timeout, std::move(cb));
   }
+  void head(const SockAddr& dst, const std::string& path,
+            std::chrono::milliseconds timeout, Callback cb) {
+    request(dst, HttpRequest{"HEAD", path, {}, ""}, timeout, std::move(cb));
+  }
   void request(const SockAddr& dst, HttpRequest req, std::chrono::milliseconds timeout,
                Callback cb);
 
@@ -130,6 +157,7 @@ class HttpClient {
     Reactor::TimerId timer = 0;
     Callback cb;
     bool connected = false;
+    bool head = false;  ///< HEAD request: the response has no body bytes
   };
 
   void on_event(int fd, std::uint32_t events);
@@ -139,8 +167,11 @@ class HttpClient {
   std::unordered_map<int, std::unique_ptr<Call>> calls_;
 };
 
-/// Parse helpers (exposed for tests).
+/// Parse helpers (exposed for tests). `head_request` tells the response
+/// parser the exchange was a HEAD, so the message completes at the end of
+/// the header block whatever Content-Length promises.
 std::optional<HttpRequest> parse_request(std::string_view head_and_body);
-std::optional<HttpResponse> parse_response(std::string_view head_and_body);
+std::optional<HttpResponse> parse_response(std::string_view head_and_body,
+                                           bool head_request = false);
 
 }  // namespace pingmesh::net

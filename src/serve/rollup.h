@@ -1,0 +1,211 @@
+// RollupStore — materialized multi-resolution rollups for the interactive
+// read path (DESIGN.md §13).
+//
+// The paper's users query heatmaps and per-service SLAs over months of
+// data; re-scanning Cosmos extents per query is the ~20-minute batch path.
+// The serving tier instead materializes three tiers of pre-merged cells —
+// 10 min → 1 h → 1 day by default — keyed by pod pair and by service, and
+// maintained incrementally from the uploader's RecordTap. A query merges
+// O(cells-in-range) LatencySketches instead of touching raw records, so
+// heatmap / SLA / top-k answers cost microseconds regardless of how much
+// history the store holds.
+//
+// Seal-and-merge contract (the disjointness that makes queries correct):
+//  - a record lands in the tier-0 cell of its *measurement* timestamp;
+//  - a tier-0 cell SEALS once `now >= start + width0 + seal_grace`; sealing
+//    merges it into its (unsealed) tier-1 parent accumulator, but the cell
+//    itself stays queryable;
+//  - when a tier-1 cell seals, its tier-0 children are ERASED (the parent
+//    now answers for them) and the tier-1 cell merges into tier 2;
+//  - when a tier-2 cell seals, its tier-1 children are erased;
+//  - per series, the oldest sealed tier-2 cells beyond `max_tier2_cells`
+//    are evicted (their probes counted in expired_records()).
+// The queryable set — sealed tier-2 cells, sealed tier-1 cells, and ALL
+// tier-0 cells — is therefore disjoint and covers every placed record
+// except evicted ones. Unsealed tier-1/tier-2 accumulators are never
+// queried (they duplicate live children). Old data degrades in resolution,
+// never in coverage; memory is bounded by construction.
+//
+// Robustness against faulty inputs (chaos: clock skew, controller outage):
+//  - records stamped further than `future_slack` past the ingest watermark
+//    are rejected (rejected_future()) — a skewed agent cannot plant records
+//    in windows that would seal out from under later arrivals;
+//  - records for already-sealed tier-0 windows are dropped
+//    (late_dropped()) — seals are final, so replays/retries cannot mutate
+//    history and the digest of a sealed prefix never changes.
+// check_conservation() asserts the resulting ledger exactly:
+//   ingested == placed + skipped + rejected_future + late_dropped  and
+//   sum(queryable pair-cell probes) + expired == placed.
+//
+// Determinism: ingest runs on the driver thread (serial upload-drain phase,
+// like the streaming pipeline), all maps are ordered, and merge order is
+// fixed by timestamp — digest() is byte-identical at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "agent/record_columns.h"
+#include "common/types.h"
+#include "dsa/uploader.h"
+#include "streaming/sketch.h"
+#include "streaming/window.h"
+#include "topology/topology.h"
+
+namespace pingmesh::serve {
+
+struct RollupConfig {
+  /// Cell widths, finest first; each must divide the next (10 min → 1 h →
+  /// 1 day by default). Tests/benches shrink these to exercise sealing.
+  SimTime tier_width[3] = {minutes(10), hours(1), days(1)};
+  /// A tier-0 window seals `seal_grace` after it closes; until then late
+  /// records within the window still land.
+  SimTime seal_grace = seconds(30);
+  /// Records stamped further than this past the ingest watermark are
+  /// rejected (clock-skew guard).
+  SimTime future_slack = minutes(1);
+  /// Sealed tier-2 cells retained per series (default ~2 months of days).
+  std::size_t max_tier2_cells = 64;
+  /// Sketch geometry of every cell; matches the streaming sub-window
+  /// geometry so rollup and streaming answers share an error bound.
+  streaming::LatencySketch::Config sketch{/*relative_error=*/0.02,
+                                          /*min_value_ns=*/1'000,
+                                          /*max_value_ns=*/16 * kNanosPerSecond};
+};
+
+/// One pod pair's merged stats over a queried range (snapshot form).
+struct PairRollup {
+  PodId src_pod;
+  PodId dst_pod;
+  streaming::WindowStats stats;
+};
+
+class RollupStore final : public dsa::RecordTap {
+ public:
+  /// `services` may be null (pair scope only); when given, a record also
+  /// rolls into every service its *source* server belongs to — per-service
+  /// SLA tracks the latency the service's own servers experience (§4.3).
+  /// Register services before constructing the store (membership is
+  /// precomputed). Both referents must outlive the store.
+  RollupStore(const topo::Topology& topo, const topo::ServiceMap* services,
+              RollupConfig cfg);
+
+  // -- ingest ---------------------------------------------------------------
+  /// Uploader-tap entry point: classify + place each record, then advance
+  /// the seal watermark to `now`. Driver thread only.
+  void on_records(const agent::RecordColumns& batch, SimTime now) override;
+  /// Advance the watermark without new records (seals/merges/evicts).
+  void advance(SimTime now);
+
+  // -- queries (all const; bounds round outward to tier-0 boundaries) -------
+  [[nodiscard]] std::optional<streaming::WindowStats> query_pair(
+      PodId src, PodId dst, SimTime from, SimTime to) const;
+  [[nodiscard]] std::optional<streaming::WindowStats> query_service(
+      ServiceId service, SimTime from, SimTime to) const;
+  /// Every pair with queryable data overlapping [from, to), sorted by
+  /// (src, dst) — the heatmap / top-k source.
+  [[nodiscard]] std::vector<PairRollup> pair_stats(SimTime from, SimTime to) const;
+
+  // -- serving metadata ------------------------------------------------------
+  /// Monotone state version: bumps whenever a batch changes cell contents or
+  /// a watermark moves. The QueryService derives ETags from it.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  /// Ingest watermark (max `now` seen).
+  [[nodiscard]] SimTime now() const { return last_now_; }
+  /// Everything strictly before this is sealed at the given tier (0-2).
+  [[nodiscard]] SimTime sealed_until(int tier) const { return sealed_until_[tier]; }
+  /// FNV-1a digest over every queryable cell + the counter ledger, in
+  /// deterministic order — the 1-vs-N-worker identity probe.
+  [[nodiscard]] std::uint64_t digest() const;
+  /// The ingest/coverage ledger described in the header comment.
+  [[nodiscard]] bool check_conservation() const;
+
+  // -- counters --------------------------------------------------------------
+  [[nodiscard]] std::uint64_t ingested() const { return ingested_; }
+  [[nodiscard]] std::uint64_t placed() const { return placed_; }
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+  [[nodiscard]] std::uint64_t rejected_future() const { return rejected_future_; }
+  [[nodiscard]] std::uint64_t late_dropped() const { return late_dropped_; }
+  [[nodiscard]] std::uint64_t expired_records() const { return expired_; }
+  [[nodiscard]] std::size_t pair_series_count() const { return pairs_.size(); }
+  [[nodiscard]] std::size_t cell_count() const;
+  [[nodiscard]] std::size_t memory_bytes() const;
+  [[nodiscard]] const RollupConfig& config() const { return cfg_; }
+  /// Worst-case relative error of any percentile answered from the store.
+  [[nodiscard]] double relative_error_bound() const;
+
+ private:
+  struct Cell {
+    std::uint64_t probes = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t probes_3s = 0;
+    std::uint64_t probes_9s = 0;
+    streaming::LatencySketch sketch;
+
+    explicit Cell(const streaming::LatencySketch::Config& c) : sketch(c) {}
+    void merge_from(const Cell& o) {
+      probes += o.probes;
+      successes += o.successes;
+      failures += o.failures;
+      probes_3s += o.probes_3s;
+      probes_9s += o.probes_9s;
+      sketch.merge(o.sketch);
+    }
+  };
+
+  /// One scope's three tiers, each keyed by cell start time.
+  struct Series {
+    std::map<SimTime, Cell> tier[3];
+  };
+
+  static std::uint64_t pair_key(PodId src, PodId dst) {
+    return (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
+  }
+
+  void place(Series& s, SimTime ts, bool success, SimTime rtt);
+  void seal_series(Series& s);
+  [[nodiscard]] bool cell_queryable(int tier, SimTime start) const;
+  /// Merge queryable cells of `s` overlapping [from, to); nullopt when none.
+  [[nodiscard]] std::optional<streaming::WindowStats> merge_range(
+      const Series& s, SimTime from, SimTime to) const;
+
+  const topo::Topology* topo_;
+  RollupConfig cfg_;
+  /// services_of(src server), precomputed; empty when no ServiceMap.
+  std::vector<std::vector<std::uint32_t>> server_services_;
+
+  std::map<std::uint64_t, Series> pairs_;      // (src_pod << 32 | dst_pod)
+  std::map<std::uint32_t, Series> services_;   // ServiceId.value
+
+  SimTime last_now_ = 0;
+  SimTime sealed_until_[3] = {0, 0, 0};
+  std::uint64_t version_ = 0;
+
+  std::uint64_t ingested_ = 0;
+  std::uint64_t placed_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t rejected_future_ = 0;
+  std::uint64_t late_dropped_ = 0;
+  std::uint64_t expired_ = 0;
+
+  mutable streaming::LatencySketch scratch_;  // query merges, driver thread
+};
+
+/// Fan a single uploader tap out to several consumers (the sim exposes one
+/// tap slot; bench/tools attach both the streaming pipeline and a
+/// RollupStore through this).
+class RecordTapFanout final : public dsa::RecordTap {
+ public:
+  void add(dsa::RecordTap* tap) { taps_.push_back(tap); }
+  void on_records(const agent::RecordColumns& batch, SimTime now) override {
+    for (dsa::RecordTap* t : taps_) t->on_records(batch, now);
+  }
+
+ private:
+  std::vector<dsa::RecordTap*> taps_;
+};
+
+}  // namespace pingmesh::serve

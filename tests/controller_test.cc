@@ -474,6 +474,82 @@ TEST(HttpDistribution, ServesFreshFilesAfterVersionChange) {
   EXPECT_EQ(http_get_status(reactor, svc.port(), "/pinglist/" + s.ip.str()), 404);
 }
 
+TEST(HttpDistribution, ConditionalGetRevalidatesWithoutRerender) {
+  // The thundering-herd path: a re-poll with If-None-Match must come back
+  // 304 before the render path runs, so an unchanged pinglist costs the
+  // controller headers only. A generator version bump invalidates the
+  // validator and the next conditional GET gets a fresh 200.
+  topo::Topology t = two_small_dcs();
+  PinglistGenerator gen(t, fast_config());
+  net::Reactor reactor;
+  ControllerHttpService svc(reactor, net::SockAddr::loopback(0), t, gen);
+  const topo::Server& s = t.servers()[0];
+  const std::string path = "/pinglist/" + s.ip.str();
+
+  net::HttpClient client(reactor);
+  auto fetch = [&](const std::string& inm) {
+    net::HttpRequest req{"GET", path, {}, ""};
+    if (!inm.empty()) req.headers["if-none-match"] = inm;
+    std::optional<net::HttpResult> result;
+    client.request(net::SockAddr::loopback(svc.port()), std::move(req),
+                   std::chrono::milliseconds(2000),
+                   [&result](const net::HttpResult& r) { result = r; });
+    reactor.run_until([&result] { return result.has_value(); },
+                      net::Reactor::Clock::now() + std::chrono::milliseconds(2500));
+    EXPECT_TRUE(result && result->ok);
+    return result->response;
+  };
+
+  net::HttpResponse first = fetch("");
+  ASSERT_EQ(first.status, 200);
+  std::string etag = first.headers.at("etag");
+  std::uint64_t renders = svc.files_rendered();
+
+  // Herd re-poll: 8 revalidations, zero new renders, empty bodies.
+  for (int i = 0; i < 8; ++i) {
+    net::HttpResponse again = fetch(etag);
+    EXPECT_EQ(again.status, 304);
+    EXPECT_TRUE(again.body.empty());
+  }
+  EXPECT_EQ(svc.files_rendered(), renders);
+
+  // Version bump: old validator no longer matches; exactly one re-render.
+  gen.set_version(gen.version() + 1);
+  net::HttpResponse fresh = fetch(etag);
+  EXPECT_EQ(fresh.status, 200);
+  EXPECT_NE(fresh.headers.at("etag"), etag);
+  EXPECT_EQ(svc.files_rendered(), renders + 1);
+}
+
+TEST(HttpDistribution, PinglistSourceCachesAndRevalidates) {
+  // HttpPinglistSource remembers (etag, parsed pinglist) per server: a 304
+  // reuses the cached parse, so agents re-polling an unchanged controller
+  // skip both the XML transfer and the parse.
+  topo::Topology t = two_small_dcs();
+  PinglistGenerator gen(t, fast_config());
+  net::Reactor reactor;
+  ControllerHttpService svc(reactor, net::SockAddr::loopback(0), t, gen);
+  SlbVip vip;
+  vip.add_backend("controller-0");
+  HttpPinglistSource source(reactor, vip, {net::SockAddr::loopback(svc.port())});
+  const topo::Server& s = t.servers()[2];
+
+  FetchResult cold = source.fetch(s.ip);
+  ASSERT_EQ(cold.status, FetchStatus::kOk);
+  EXPECT_EQ(source.revalidated(), 0u);
+
+  FetchResult warm = source.fetch(s.ip);
+  ASSERT_EQ(warm.status, FetchStatus::kOk);
+  EXPECT_EQ(source.revalidated(), 1u);
+  EXPECT_EQ(warm.pinglist.get(), cold.pinglist.get());  // cached parse reused
+
+  gen.set_version(gen.version() + 1);
+  FetchResult fresh = source.fetch(s.ip);
+  ASSERT_EQ(fresh.status, FetchStatus::kOk);
+  EXPECT_EQ(source.revalidated(), 1u);  // changed content: full 200 again
+  EXPECT_EQ(fresh.pinglist->version, gen.version());
+}
+
 TEST(HttpDistribution, SlbFailsOverBetweenControllerReplicas) {
   // Two controller replicas behind one VIP: killing one removes it from
   // rotation after a few failures and fetches keep succeeding (§3.3.2).

@@ -1,0 +1,3 @@
+#pragma once
+#include "core/fleet.h"
+#include "streaming/sketch.h"

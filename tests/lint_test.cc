@@ -76,6 +76,21 @@ TEST(LintRules, MetricsGlobalFires) {
   EXPECT_EQ(r.violations[0].file, "dsa/g.cc");
 }
 
+TEST(LintRules, ServeBoundaryFiresBothWays) {
+  // core/uses_serve.h includes serve/ (nothing in src/ may consume the
+  // serving tier) and serve/uses_core.h includes core/ (off the serve
+  // allow-list). Both are layer 3, so plain layering stays silent — the
+  // boundary rule is what catches them.
+  lint::Report r = lint::run_tree(fixture("serve_boundary"));
+  ASSERT_EQ(r.violations.size(), 2u);
+  for (const auto& v : r.violations) EXPECT_EQ(v.rule, "serve-boundary");
+  EXPECT_EQ(r.violations[0].file, "core/uses_serve.h");
+  EXPECT_EQ(r.violations[0].line, 2);  // the "serve/rollup.h" include
+  EXPECT_EQ(r.violations[1].file, "serve/uses_core.h");
+  EXPECT_EQ(r.violations[1].line, 2);  // the "core/fleet.h" include
+  // streaming/sketch.h is allow-listed for serve: must not fire.
+}
+
 TEST(LintRules, MissingHeaderGuardFires) {
   lint::Report r = lint::run_tree(fixture("guard"));
   ASSERT_EQ(r.violations.size(), 1u);
@@ -161,6 +176,7 @@ TEST(LintLayers, ModuleMapMatchesDesignDag) {
   EXPECT_EQ(lint::module_layer("obs"), 2);
   EXPECT_EQ(lint::module_layer("autopilot"), 3);
   EXPECT_EQ(lint::module_layer("core"), 3);
+  EXPECT_EQ(lint::module_layer("serve"), 3);
   EXPECT_EQ(lint::module_layer("no_such_module"), -1);
 }
 
@@ -169,7 +185,8 @@ TEST(LintRules, RuleCatalogIsStable) {
   std::set<std::string> expected = {"layering",   "include-cycle",
                                     "wallclock",  "rng",
                                     "using-namespace-header", "printf",
-                                    "header-guard", "metrics-global"};
+                                    "header-guard", "metrics-global",
+                                    "serve-boundary"};
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
 }
 

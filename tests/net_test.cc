@@ -201,6 +201,59 @@ TEST(HttpParse, SerializeRoundTrip) {
   EXPECT_EQ(parsed->headers.at("content-type"), "application/xml");
 }
 
+TEST(HttpParse, NotModifiedHasNoBodyDespiteContentLength) {
+  // RFC 7230 §3.3.3: 304/204/1xx never carry a body; a Content-Length on a
+  // 304 describes the entity that WOULD have been sent. The parser must not
+  // wait for (or consume) body bytes.
+  auto resp = parse_response("HTTP/1.1 304 Not Modified\r\ncontent-length: 128\r\n\r\n");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 304);
+  EXPECT_TRUE(resp->body.empty());
+  EXPECT_TRUE(resp->body_forbidden());
+  auto no_content = parse_response("HTTP/1.1 204 No Content\r\ncontent-length: 9\r\n\r\n");
+  ASSERT_TRUE(no_content.has_value());
+  EXPECT_TRUE(no_content->body.empty());
+}
+
+TEST(HttpParse, HeadResponseParsesWithoutBodyBytes) {
+  // A HEAD response advertises the entity's Content-Length but sends no
+  // body; the caller signals HEAD context via the head_request flag.
+  auto resp = parse_response("HTTP/1.1 200 OK\r\ncontent-length: 42\r\n\r\n",
+                             /*head_request=*/true);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_TRUE(resp->body.empty());
+  EXPECT_EQ(resp->headers.at("content-length"), "42");
+}
+
+TEST(HttpParse, SerializeHeadKeepsEntityContentLength) {
+  HttpResponse r = HttpResponse::ok("hello world");
+  std::string wire = serialize(r, /*head_request=*/true);
+  EXPECT_NE(wire.find("content-length: 11"), std::string::npos);
+  EXPECT_EQ(wire.find("hello world"), std::string::npos);  // no body on the wire
+}
+
+TEST(HttpParse, SerializeNotModified) {
+  HttpResponse r = HttpResponse::not_modified("\"v7\"");
+  std::string wire = serialize(r);
+  EXPECT_NE(wire.find("304 Not Modified"), std::string::npos);
+  EXPECT_NE(wire.find("etag: \"v7\""), std::string::npos);
+  EXPECT_NE(wire.find("content-length: 0"), std::string::npos);
+}
+
+TEST(HttpParse, EtagMatch) {
+  EXPECT_TRUE(etag_match("\"abc\"", "\"abc\""));
+  EXPECT_FALSE(etag_match("\"abc\"", "\"xyz\""));
+  // List form: any member may match.
+  EXPECT_TRUE(etag_match("\"a\", \"b\", \"c\"", "\"b\""));
+  // Wildcard matches any current representation.
+  EXPECT_TRUE(etag_match("*", "\"whatever\""));
+  // Weak validators compare equal for If-None-Match (weak comparison).
+  EXPECT_TRUE(etag_match("W/\"abc\"", "\"abc\""));
+  EXPECT_TRUE(etag_match("\"abc\"", "W/\"abc\""));
+  EXPECT_FALSE(etag_match("", "\"abc\""));
+}
+
 class HttpTest : public ::testing::Test {
  protected:
   HttpTest() : server_(reactor_, SockAddr::loopback(0)), client_(reactor_) {
@@ -269,6 +322,43 @@ TEST_F(HttpTest, ManyConcurrentRequests) {
       reactor_.run_until([&] { return done == kCalls; }, Reactor::Clock::now() + 10s));
   EXPECT_EQ(ok, kCalls);
   EXPECT_EQ(server_.requests_served(), static_cast<std::uint64_t>(kCalls));
+}
+
+TEST_F(HttpTest, HeadRoutesLikeGetWithoutBody) {
+  std::optional<HttpResult> result;
+  client_.head(addr(), "/hello", 2000ms, [&](const HttpResult& r) { result = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return result.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  ASSERT_TRUE(result->ok);
+  EXPECT_EQ(result->response.status, 200);
+  EXPECT_TRUE(result->response.body.empty());
+  // Entity metadata survives: content-length names the GET body's size.
+  EXPECT_EQ(result->response.headers.at("content-length"), "5");  // "world"
+}
+
+TEST_F(HttpTest, ConditionalGetRoundTrips304) {
+  server_.route("/versioned", [](const HttpRequest& req) {
+    std::string etag = "\"v1\"";
+    if (auto it = req.headers.find("if-none-match");
+        it != req.headers.end() && etag_match(it->second, etag)) {
+      return HttpResponse::not_modified(std::move(etag));
+    }
+    HttpResponse resp = HttpResponse::ok("content");
+    resp.headers["etag"] = etag;
+    return resp;
+  });
+  std::optional<HttpResult> first, second;
+  client_.get(addr(), "/versioned", 2000ms, [&](const HttpResult& r) { first = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return first.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  ASSERT_TRUE(first->ok);
+  HttpRequest req{"GET", "/versioned", {{"if-none-match", first->response.headers.at("etag")}}, ""};
+  client_.request(addr(), req, 2000ms, [&](const HttpResult& r) { second = r; });
+  ASSERT_TRUE(reactor_.run_until([&] { return second.has_value(); },
+                                 Reactor::Clock::now() + 3s));
+  ASSERT_TRUE(second->ok);
+  EXPECT_EQ(second->response.status, 304);
+  EXPECT_TRUE(second->response.body.empty());
 }
 
 TEST_F(HttpTest, ConnectionRefused) {

@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include "agent/record.h"
+#include "agent/record_columns.h"
 #include "core/scenarios.h"
 #include "core/simulation.h"
 #include "obs/metrics.h"
+#include "serve/query_service.h"
+#include "serve/rollup.h"
 #include "obs/observability.h"
 #include "obs/trace.h"
 #include "streaming/sketch.h"
@@ -88,6 +92,45 @@ TEST(Metrics, ExposeRendersSortedPrometheusText) {
   EXPECT_NE(filtered.find("demo.requests_total{result=ok} 3"), std::string::npos);
   EXPECT_EQ(filtered.find("demo.temperature"), std::string::npos);
   EXPECT_EQ(filtered.find("demo.latency_ns"), std::string::npos);
+}
+
+// --- Serving-tier instruments ------------------------------------------------
+
+// Regression: QueryService::enable_observability must register the full
+// serve.* family — per-endpoint request counters and latency histograms,
+// cache hit/miss, response status classes, and the callback gauges for
+// cache size and rollup version — and they must move with traffic.
+TEST(Metrics, ServeInstrumentsCoverRequestsCacheAndVersion) {
+  topo::Topology topo = topo::Topology::build({topo::small_dc_spec("DC1", "US West")});
+  serve::RollupStore store(topo, nullptr, serve::RollupConfig{});
+  agent::RecordColumns batch;
+  agent::LatencyRecord r;
+  r.timestamp = seconds(1);
+  r.src_ip = topo.server(ServerId{0}).ip;
+  r.dst_ip = topo.server(topo.pod(PodId{1}).servers[0]).ip;
+  r.success = true;
+  r.rtt = 500'000;
+  batch.push_back(r);
+  store.on_records(batch, seconds(2));
+
+  MetricsRegistry reg;
+  serve::QueryService svc(topo, store, nullptr);
+  svc.enable_observability(reg);
+
+  (void)svc.handle({"GET", "/query/heatmap?minutes=60", {}, ""});  // miss
+  (void)svc.handle({"GET", "/query/heatmap?minutes=60", {}, ""});  // hit
+  (void)svc.handle({"GET", "/query/topk?k=3&metric=bogus", {}, ""});  // 400
+
+  std::string text = reg.expose({"serve."});
+  EXPECT_NE(text.find("serve.requests_total{endpoint=heatmap} 2"), std::string::npos);
+  EXPECT_NE(text.find("serve.requests_total{endpoint=topk} 1"), std::string::npos);
+  EXPECT_NE(text.find("serve.cache_total{result=miss} 1"), std::string::npos);
+  EXPECT_NE(text.find("serve.cache_total{result=hit} 1"), std::string::npos);
+  EXPECT_NE(text.find("serve.responses_total{status=200} 2"), std::string::npos);
+  EXPECT_NE(text.find("serve.responses_total{status=400} 1"), std::string::npos);
+  EXPECT_NE(text.find("serve.request_latency_ns{endpoint=heatmap,"), std::string::npos);
+  EXPECT_NE(text.find("serve.cache_entries 1"), std::string::npos);
+  EXPECT_NE(text.find("serve.rollup_version"), std::string::npos);
 }
 
 // --- TraceSink / Tracer units ------------------------------------------------

@@ -29,7 +29,14 @@ constexpr struct {
     {"common", 0},    {"net", 1},       {"topology", 1}, {"netsim", 1},
     {"agent", 2},     {"controller", 2}, {"dsa", 2},      {"streaming", 2},
     {"analysis", 2},  {"obs", 2},       {"autopilot", 3}, {"core", 3},
-    {"chaos", 4},
+    {"serve", 3},     {"chaos", 4},
+};
+
+// The serving tier is a leaf: it may read the measurement substrate but no
+// src/ module may build on it (tools and bench live outside src/ and may).
+// Enforced by the serve-boundary rule on top of the layer numbers above.
+constexpr const char* kServeAllowedDeps[] = {
+    "common", "net", "topology", "agent", "dsa", "streaming", "obs", "serve",
 };
 
 bool is_ident_char(char c) {
@@ -183,6 +190,7 @@ class Checker {
       check_identifier_rules(f);
       check_metrics_global(f);
       check_layering(f);
+      check_serve_boundary(f);
     }
     check_cycles();
     Report report;
@@ -388,8 +396,43 @@ class Checker {
                  ") must not include '" + inc.path + "' (layer " +
                  std::to_string(target) +
                  "); the DAG is common -> net/topology/netsim -> "
-                 "agent/controller/dsa/streaming/analysis -> autopilot/core -> "
-                 "chaos");
+                 "agent/controller/dsa/streaming/analysis -> "
+                 "autopilot/core/serve -> chaos");
+      }
+    }
+  }
+
+  // --- serve-boundary --------------------------------------------------------
+  // Stricter than layering for the serving tier: serve may only include the
+  // allow-listed measurement-substrate modules, and nothing in src/ may
+  // include serve (the read path must never feed back into measurement).
+  void check_serve_boundary(const SourceFile& f) {
+    int own = module_layer(f.module);
+    if (own < 0) return;
+    for (const SourceFile::Include& inc : f.includes) {
+      auto slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      std::string target = inc.path.substr(0, slash);
+      if (module_layer(target) < 0) continue;
+      if (f.module == "serve") {
+        bool allowed = false;
+        for (const char* dep : kServeAllowedDeps) {
+          if (target == dep) {
+            allowed = true;
+            break;
+          }
+        }
+        if (!allowed) {
+          emit(f, inc.line, "serve-boundary",
+               "serve may only depend on common/net/topology/agent/dsa/"
+               "streaming/obs; '" +
+                   inc.path + "' is off-limits");
+        }
+      } else if (target == "serve") {
+        emit(f, inc.line, "serve-boundary",
+             "module '" + f.module +
+                 "' must not include '" + inc.path +
+                 "'; only tools and bench may consume the serving tier");
       }
     }
   }
@@ -444,6 +487,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "layering",     "include-cycle", "wallclock",   "rng",
       "using-namespace-header", "printf", "header-guard", "metrics-global",
+      "serve-boundary",
   };
   return kNames;
 }

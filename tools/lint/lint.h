@@ -20,6 +20,9 @@
 //   metrics-global          global metric/trace state (static MetricsRegistry
 //                           / TraceSink, or global_* accessors) only in
 //                           src/obs; everyone else takes a MetricsRegistry&
+//   serve-boundary          serve may only include common/net/topology/agent/
+//                           dsa/streaming/obs; no src/ module may include
+//                           serve (only tools and bench consume it)
 //
 // Suppression syntax (checked against raw source, so it works in comments):
 //   // lint: allow(rule[, rule...])        — this line only

@@ -18,9 +18,18 @@
 //       (e.g. "SELECT pod(src_ip), COUNT(*), P99(rtt), DROPRATE()
 //              FROM latency WHERE success GROUP BY pod(src_ip)
 //              ORDER BY DROPRATE DESC LIMIT 10")
+//   pingmeshctl query heatmap|sla|topk [--minutes M] [--sim-minutes M]
+//                    [--k N] [--metric p99|drop|failure] [--service NAME]
+//                    [--dc NAME] [--seed S]
+//       run the closed loop with serving-tier rollups attached and answer
+//       the request from the materialized RollupStore via the QueryService
+//       (the interactive read path; prints the endpoint's JSON)
 //   pingmeshctl metrics [--minutes M] [--seed S] [--workers N] [--filter p1,p2]
+//                       [--serve]
 //       run the closed loop with observability on and print the fleet-wide
-//       Prometheus-style metrics exposition (optionally prefix-filtered)
+//       Prometheus-style metrics exposition (optionally prefix-filtered);
+//       --serve also attaches rollups + QueryService so serve.* series
+//       appear
 //   pingmeshctl trace [--minutes M] [--seed S] [--sample N] [--id KEY]
 //       run with the data-path tracer on and print one sampled record's
 //       end-to-end span timeline (probe -> buffer -> upload -> extent
@@ -38,6 +47,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,6 +64,8 @@
 #include "dsa/scope.h"
 #include "dsa/scopeql.h"
 #include "netsim/simnet.h"
+#include "serve/query_service.h"
+#include "serve/rollup.h"
 
 namespace {
 
@@ -307,10 +319,61 @@ int cmd_drops(const Args& args) {
   return 0;
 }
 
+/// The interactive read path: build rollups live from a short simulated
+/// run, then answer one QueryService request from the materialized cells.
+int cmd_query_serve(const Args& args, const std::string& endpoint) {
+  core::SimulationConfig cfg =
+      core::streaming_test_config(static_cast<std::uint64_t>(args.flag_int("seed", 42)));
+  core::PingmeshSimulation sim(cfg);
+  const topo::Topology& topo = sim.topology();
+  sim.services().add_service("Search", topo.pod(PodId{0}).servers);
+  sim.services().add_service("Storage", topo.pod(PodId{1}).servers);
+
+  serve::RollupConfig rcfg;
+  rcfg.tier_width[0] = minutes(1);
+  rcfg.tier_width[1] = minutes(10);
+  rcfg.tier_width[2] = hours(1);
+  serve::RollupStore store(topo, &sim.services(), rcfg);
+  serve::RecordTapFanout fanout;
+  if (sim.streaming() != nullptr) fanout.add(sim.streaming());
+  fanout.add(&store);
+  sim.uploader_for_test().set_tap(&fanout);
+
+  long sim_mins = args.flag_int("sim-minutes", 10);
+  std::fprintf(stderr, "simulating %ld minute(s) of %zu servers...\n", sim_mins,
+               topo.server_count());
+  sim.run_for(minutes(sim_mins));
+  std::fprintf(stderr, "rollups: %llu records in %zu cells, staleness %llds\n",
+               static_cast<unsigned long long>(store.placed()), store.cell_count(),
+               static_cast<long long>((store.now() - store.sealed_until(0)) /
+                                      kNanosPerSecond));
+
+  std::string path = "/query/" + endpoint + "?minutes=" + args.flag("minutes", "60");
+  if (endpoint == "sla") path += "&service=" + args.flag("service", "Search");
+  if (endpoint == "topk") {
+    path += "&k=" + args.flag("k", "10") + "&metric=" + args.flag("metric", "p99");
+  }
+  if (args.flags.count("dc") != 0) path += "&dc=" + args.flag("dc", "");
+
+  serve::QueryService svc(topo, store, &sim.services());
+  net::HttpResponse resp = svc.handle({"GET", path, {}, ""});
+  std::fprintf(stderr, "GET %s -> %d\n", path.c_str(), resp.status);
+  std::printf("%s\n", resp.body.c_str());
+  return resp.status == 200 ? 0 : 1;
+}
+
 int cmd_query(const Args& args) {
+  if (!args.positional.empty() &&
+      (args.positional[0] == "heatmap" || args.positional[0] == "sla" ||
+       args.positional[0] == "topk")) {
+    return cmd_query_serve(args, args.positional[0]);
+  }
   std::string path = args.flag("load", "");
   if (path.empty() || args.positional.empty()) {
-    std::fprintf(stderr, "usage: pingmeshctl query --load FILE \"SELECT ...\"\n");
+    std::fprintf(stderr,
+                 "usage: pingmeshctl query --load FILE \"SELECT ...\"\n"
+                 "       pingmeshctl query heatmap|sla|topk [--minutes M] [--k N]\n"
+                 "               [--metric p99|drop|failure] [--service NAME] [--dc NAME]\n");
     return 2;
   }
   auto loaded = dsa::load_store(path);
@@ -346,9 +409,37 @@ int cmd_metrics(const Args& args) {
   cfg.worker_threads = static_cast<int>(args.flag_int("workers", 1));
   core::PingmeshSimulation sim(cfg);
   long mins = args.flag_int("minutes", 30);
+
+  // --serve: attach the serving tier so its serve.* instruments register
+  // and move (rollups from the uploader tap, a few QueryService calls).
+  bool with_serve = args.flags.count("serve") != 0;
+  std::unique_ptr<serve::RollupStore> store;
+  serve::RecordTapFanout fanout;
+  if (with_serve) {
+    serve::RollupConfig rcfg;
+    rcfg.tier_width[0] = minutes(1);
+    rcfg.tier_width[1] = minutes(10);
+    rcfg.tier_width[2] = hours(1);
+    store = std::make_unique<serve::RollupStore>(sim.topology(), &sim.services(), rcfg);
+    if (sim.streaming() != nullptr) fanout.add(sim.streaming());
+    fanout.add(store.get());
+    sim.uploader_for_test().set_tap(&fanout);
+  }
+
   std::fprintf(stderr, "simulating %ld minute(s) of %zu servers (workers=%d)...\n",
                mins, sim.topology().server_count(), sim.worker_threads());
   sim.run_for(minutes(mins));
+
+  // The service must outlive expose(): its callback gauges (cache size,
+  // rollup version) are evaluated at exposition time.
+  std::unique_ptr<serve::QueryService> svc;
+  if (with_serve) {
+    svc = std::make_unique<serve::QueryService>(sim.topology(), *store, &sim.services());
+    svc->enable_observability(sim.observability()->metrics());
+    (void)svc->handle({"GET", "/query/heatmap?minutes=60", {}, ""});
+    (void)svc->handle({"GET", "/query/heatmap?minutes=60", {}, ""});
+    (void)svc->handle({"GET", "/query/topk?k=10&metric=p99&minutes=60", {}, ""});
+  }
   std::vector<std::string> prefixes;
   std::string filter = args.flag("filter", "");
   for (std::size_t pos = 0; pos < filter.size();) {
