@@ -1,0 +1,39 @@
+// Lock-discipline annotations, checked statically by pingmesh_lint
+// (DESIGN.md §9.1: lock-discipline / lock-order).
+//
+// The macros are documentation that a tool can verify:
+//
+//   class PinglistCache {
+//     std::mutex mutex_;
+//     std::vector<Slot> slots_ PM_GUARDED_BY(mutex_);   // field needs the lock
+//    public:
+//     void rebuild_slot(ServerId id) PM_REQUIRES(mutex_);  // caller holds it
+//     void refresh() PM_ACQUIRE(mutex_);                   // body takes it
+//   };
+//
+//  - PM_GUARDED_BY(m): reads and writes of the annotated field are only legal
+//    while `m` is held (an enclosing std::lock_guard/unique_lock/scoped_lock
+//    on `m`, or a function annotated PM_REQUIRES(m)). Constructors and
+//    destructors are exempt — no concurrent access can exist yet/anymore.
+//  - PM_REQUIRES(m): the function must only be called with `m` already held;
+//    inside its body, `m` counts as held.
+//  - PM_ACQUIRE(m): declares that the function acquires `m` internally; call
+//    sites must NOT hold `m` (self-deadlock), and calls into it contribute
+//    edges to the global lock-order graph.
+//
+// The macros expand to nothing by default, so they cost nothing and work on
+// every compiler. Building with -DPINGMESH_CLANG_THREAD_SAFETY (clang only,
+// together with -Wthread-safety) additionally maps them onto clang's native
+// thread-safety attributes, so the compiler cross-checks the same
+// annotations the lint enforces.
+#pragma once
+
+#if defined(PINGMESH_CLANG_THREAD_SAFETY) && defined(__clang__)
+#define PM_GUARDED_BY(m) __attribute__((guarded_by(m)))
+#define PM_REQUIRES(m) __attribute__((requires_capability(m)))
+#define PM_ACQUIRE(m) __attribute__((acquire_capability(m)))
+#else
+#define PM_GUARDED_BY(m)
+#define PM_REQUIRES(m)
+#define PM_ACQUIRE(m)
+#endif

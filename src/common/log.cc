@@ -4,13 +4,15 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/annotations.h"
+
 namespace pingmesh {
 
 namespace {
 
 std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 std::mutex g_sink_mutex;
-Log::Sink g_sink;  // empty => default stderr sink
+Log::Sink g_sink PM_GUARDED_BY(g_sink_mutex);  // empty => default stderr sink
 
 void default_sink(LogLevel level, std::string_view component, std::string_view msg) {
   // The logging backend is the one place stderr writes belong.

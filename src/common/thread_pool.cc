@@ -6,7 +6,7 @@
 namespace pingmesh {
 
 namespace {
-std::uint64_t mono_ns() {
+std::uint64_t mono_ns() {  // lint: determinism-sink
   // Monotonic elapsed time for Stats only; never observable by sim logic.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace pingmesh {
 
 class ThreadPool {
@@ -75,7 +77,8 @@ class ThreadPool {
 
  private:
   void worker_loop(int shard_index);
-  [[nodiscard]] std::pair<std::size_t, std::size_t> shard_bounds(int shard) const;
+  [[nodiscard]] std::pair<std::size_t, std::size_t> shard_bounds(int shard) const
+      PM_REQUIRES(mutex_);
 
   int workers_;
   std::vector<std::thread> threads_;
@@ -83,12 +86,12 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
-  std::uint64_t epoch_ = 0;     // bumped per parallel_for; workers watch it
-  std::size_t task_n_ = 0;      // current task's range size
-  const IndexedShardFn* task_body_ = nullptr;
-  int remaining_ = 0;           // spawned workers still running the epoch
-  bool stopping_ = false;
-  Stats stats_;
+  std::uint64_t epoch_ PM_GUARDED_BY(mutex_) = 0;  // bumped per parallel_for
+  std::size_t task_n_ PM_GUARDED_BY(mutex_) = 0;   // current task's range size
+  const IndexedShardFn* task_body_ PM_GUARDED_BY(mutex_) = nullptr;
+  int remaining_ PM_GUARDED_BY(mutex_) = 0;  // workers still running the epoch
+  bool stopping_ PM_GUARDED_BY(mutex_) = false;
+  Stats stats_;  // caller-thread only; parallel_for is a barrier
 };
 
 }  // namespace pingmesh

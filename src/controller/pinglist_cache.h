@@ -24,6 +24,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "controller/generator.h"
 #include "controller/pinglist.h"
 #include "topology/topology.h"
@@ -40,9 +41,15 @@ class PinglistCache {
   std::shared_ptr<const Pinglist> get(ServerId server);
 
   /// Slots rebuilt since construction (fleet-wide regeneration work).
-  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::uint64_t rebuilds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rebuilds_;
+  }
   /// Fetches served straight from a fresh slot.
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
 
  private:
   struct Slot {
@@ -52,10 +59,10 @@ class PinglistCache {
 
   const topo::Topology* topo_;
   const PinglistGenerator* gen_;
-  std::mutex mutex_;
-  std::vector<Slot> slots_;
-  std::uint64_t rebuilds_ = 0;
-  std::uint64_t hits_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_ PM_GUARDED_BY(mutex_);
+  std::uint64_t rebuilds_ PM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ PM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pingmesh::controller

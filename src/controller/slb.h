@@ -19,6 +19,11 @@
 // `recovery_after` picks. Before this, report(success) could only re-admit
 // a backend that was still being picked — which an unhealthy backend never
 // was, so removal was permanent.
+//
+// Thread-safety: SlbVip itself is unsynchronized. Its one concurrent owner
+// (PingmeshSimulation) guards every pick()/report() behind vip_mutex_ and
+// annotates the field PM_GUARDED_BY(vip_mutex_), so pingmesh_lint's
+// lock-discipline pass enforces the external locking there.
 #pragma once
 
 #include <cstdint>

@@ -118,7 +118,12 @@ void PingmeshSimulation::wire_observability() {
   const obs::Tracer* tracer = &obs_->tracer();
 
   source_.enable_observability(reg);
-  controller_vip_.enable_observability(reg);
+  {
+    // Setup path, but the VIP is annotated vip_mutex_-guarded; take the
+    // lock so the discipline holds everywhere outside the constructor.
+    std::lock_guard<std::mutex> lock(vip_mutex_);
+    controller_vip_.enable_observability(reg);
+  }
   uploader_.enable_observability(reg, tracer);
   jobs_.enable_observability(reg, tracer);
   scan_cache_.set_observability(tracer, &scheduler_.clock());
@@ -186,6 +191,7 @@ void PingmeshSimulation::wire_observability() {
 }
 
 void PingmeshSimulation::set_controller_replica_up(std::size_t replica, bool up) {
+  std::lock_guard<std::mutex> lock(vip_mutex_);
   replica_up_.at(replica) = up ? 1 : 0;
 }
 

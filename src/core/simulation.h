@@ -23,6 +23,7 @@
 #include "agent/agent.h"
 #include "autopilot/repair.h"
 #include "autopilot/watchdog.h"
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "controller/generator.h"
@@ -120,14 +121,22 @@ class PingmeshSimulation {
   /// Observability layer; null unless config().observability.enabled.
   [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
   [[nodiscard]] const obs::Observability* observability() const { return obs_.get(); }
-  /// The SLB VIP in front of the controller replica set.
-  [[nodiscard]] const controller::SlbVip& controller_vip() const { return controller_vip_; }
+  /// The SLB VIP in front of the controller replica set. Driver-thread
+  /// read-only inspection between ticks; no worker shard is running, so the
+  /// unlocked read cannot race pick/report.
+  [[nodiscard]] const controller::SlbVip& controller_vip() const {
+    return controller_vip_;  // lint: allow(lock-discipline)
+  }
   /// Kill / revive one controller replica (failure injection). Call only
   /// from the driver thread between ticks — i.e. between run_for() segments
   /// or from a scheduler event (the chaos injector's path) — because
   /// replica state is read by worker shards during the tick itself.
   void set_controller_replica_up(std::size_t replica, bool up);
-  [[nodiscard]] std::size_t controller_replica_count() const { return replica_up_.size(); }
+  /// Replica count is fixed at construction; size() never races the
+  /// per-element flips the mutex guards.
+  [[nodiscard]] std::size_t controller_replica_count() const {
+    return replica_up_.size();  // lint: allow(lock-discipline)
+  }
 
   /// Register a VIP with its destination (DIP) pool (paper §6.2 "VIP
   /// monitoring"). Probes to the VIP address are load-balanced over the
@@ -167,9 +176,10 @@ class PingmeshSimulation {
   netsim::SimNetwork net_;
   controller::PinglistGenerator generator_;
   controller::DirectPinglistSource source_;
-  controller::SlbVip controller_vip_;
-  std::vector<char> replica_up_;  // by backend index; flipped between ticks
-  std::mutex vip_mutex_;          // guards VIP pick/report from worker shards
+  controller::SlbVip controller_vip_ PM_GUARDED_BY(vip_mutex_);
+  // by backend index; flipped between ticks
+  std::vector<char> replica_up_ PM_GUARDED_BY(vip_mutex_);
+  std::mutex vip_mutex_;  // guards VIP pick/report from worker shards
   EventScheduler scheduler_;
   dsa::CosmosStore cosmos_;
   dsa::Database db_;

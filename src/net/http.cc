@@ -374,6 +374,8 @@ HttpClient::~HttpClient() {
 
 void HttpClient::request(const SockAddr& dst, HttpRequest req,
                          std::chrono::milliseconds timeout, Callback cb) {
+  // lint: determinism-sink -- measures real network latency on the live
+  // fetch path; simulation drivers never route through HttpClient.
   auto call = std::make_unique<Call>();
   call->cb = std::move(cb);
   call->start = std::chrono::steady_clock::now();
@@ -412,6 +414,8 @@ void HttpClient::request(const SockAddr& dst, HttpRequest req,
 }
 
 void HttpClient::finish(int fd, HttpResult result) {
+  // lint: determinism-sink -- wall-clock end of the real-network timing
+  // started in request().
   auto node = calls_.extract(fd);
   if (node.empty()) return;
   if (node.mapped()->timer) reactor_.cancel_timer(node.mapped()->timer);

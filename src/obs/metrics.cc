@@ -157,38 +157,50 @@ std::string MetricsRegistry::expose(const std::vector<std::string>& name_prefixe
     std::string body;
   };
   std::vector<Entry> entries;
+  // Callback gauges are evaluated OUTSIDE mu_: a callback registered by
+  // another subsystem may take that subsystem's lock, and that subsystem may
+  // call registry methods under the same lock — evaluating under mu_ would
+  // close a lock-order cycle. Key pointers stay valid across the unlock
+  // (std::map nodes are stable and the registry never erases).
+  std::vector<std::pair<const Key*, std::function<double()>>> fns;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [key, c] : counters_) {
-    if (!matches_any_prefix(key.name, filter)) continue;
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(c->value()));
-    entries.push_back({&key, "counter", render_line(key.name, key.labels, buf)});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, c] : counters_) {
+      if (!matches_any_prefix(key.name, filter)) continue;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(c->value()));
+      entries.push_back({&key, "counter", render_line(key.name, key.labels, buf)});
+    }
+    for (const auto& [key, g] : gauges_) {
+      if (!matches_any_prefix(key.name, filter)) continue;
+      entries.push_back(
+          {&key, "gauge", render_line(key.name, key.labels, format_value(g->value()))});
+    }
+    for (const auto& [key, fn] : gauge_fns_) {
+      if (!matches_any_prefix(key.name, filter)) continue;
+      fns.emplace_back(&key, fn);
+    }
+    for (const auto& [key, h] : histograms_) {
+      if (!matches_any_prefix(key.name, filter)) continue;
+      streaming::LatencySketch sk = h->snapshot();
+      std::string body;
+      body += render_line(key.name, with_quantile(key.labels, "0.5"),
+                          format_value(static_cast<double>(sk.p50())));
+      body += render_line(key.name, with_quantile(key.labels, "0.99"),
+                          format_value(static_cast<double>(sk.p99())));
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(sk.count()));
+      body += render_line(key.name + "_count", key.labels, buf);
+      entries.push_back({&key, "summary", std::move(body)});
+    }
   }
-  for (const auto& [key, g] : gauges_) {
-    if (!matches_any_prefix(key.name, filter)) continue;
+
+  for (const auto& [key, fn] : fns) {
     entries.push_back(
-        {&key, "gauge", render_line(key.name, key.labels, format_value(g->value()))});
-  }
-  for (const auto& [key, fn] : gauge_fns_) {
-    if (!matches_any_prefix(key.name, filter)) continue;
-    entries.push_back(
-        {&key, "gauge", render_line(key.name, key.labels, format_value(fn()))});
-  }
-  for (const auto& [key, h] : histograms_) {
-    if (!matches_any_prefix(key.name, filter)) continue;
-    streaming::LatencySketch sk = h->snapshot();
-    std::string body;
-    body += render_line(key.name, with_quantile(key.labels, "0.5"),
-                        format_value(static_cast<double>(sk.p50())));
-    body += render_line(key.name, with_quantile(key.labels, "0.99"),
-                        format_value(static_cast<double>(sk.p99())));
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(sk.count()));
-    body += render_line(key.name + "_count", key.labels, buf);
-    entries.push_back({&key, "summary", std::move(body)});
+        {key, "gauge", render_line(key->name, key->labels, format_value(fn()))});
   }
 
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {

@@ -44,6 +44,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "streaming/sketch.h"
 
 namespace pingmesh::obs {
@@ -147,10 +148,10 @@ class MetricsRegistry {
   static void validate_labels(std::string_view labels);
 
   mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::function<double()>> gauge_fns_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ PM_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ PM_GUARDED_BY(mu_);
+  std::map<Key, std::function<double()>> gauge_fns_ PM_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ PM_GUARDED_BY(mu_);
 };
 
 }  // namespace pingmesh::obs

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -79,8 +80,9 @@ class TraceSink {
  private:
   std::size_t capacity_;
   mutable std::mutex mu_;
-  std::vector<TraceSpan> ring_;   // insertion position = recorded_ % capacity_
-  std::uint64_t recorded_ = 0;
+  // insertion position = recorded_ % capacity_
+  std::vector<TraceSpan> ring_ PM_GUARDED_BY(mu_);
+  std::uint64_t recorded_ PM_GUARDED_BY(mu_) = 0;
 };
 
 /// Hands components the sampling decision and the sink. Components hold a

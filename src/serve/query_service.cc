@@ -85,7 +85,7 @@ std::uint16_t QueryService::port() const { return server_ ? server_->port() : 0;
 void QueryService::enable_observability(obs::MetricsRegistry& registry) {
   metrics_ = &registry;
   registry.gauge_fn("serve.cache_entries", "",
-                    [this] { return static_cast<double>(cache_.size()); });
+                    [this] { return static_cast<double>(cache_size()); });
   registry.gauge_fn("serve.rollup_version", "",
                     [this] { return static_cast<double>(store_->version()); });
 }
@@ -97,7 +97,6 @@ SimTime QueryService::window_from_params(
 }
 
 net::HttpResponse QueryService::handle(const net::HttpRequest& req) {
-  ++requests_;
   const auto t0 = std::chrono::steady_clock::now();
   std::string endpoint;
   std::unordered_map<std::string, std::string> params;
@@ -105,29 +104,46 @@ net::HttpResponse QueryService::handle(const net::HttpRequest& req) {
   const std::string ep_label =
       (endpoint == "heatmap" || endpoint == "sla" || endpoint == "topk") ? endpoint
                                                                          : "other";
-  std::string etag =
-      "\"q-" + std::to_string(store_->version()) + "-" + hex16(fnv1a(req.path)) + "\"";
+  // Snapshot the store version once: the ETag and any cache entry written
+  // below must agree on it, or a body rendered at version N could be cached
+  // as fresh at N+1.
+  const std::uint64_t version = store_->version();
+  std::string etag = "\"q-" + std::to_string(version) + "-" + hex16(fnv1a(req.path)) + "\"";
 
   net::HttpResponse resp;
   const char* cache_result = nullptr;
+  bool need_render = false;
   auto inm = req.headers.find("if-none-match");
   if (inm != req.headers.end() && net::etag_match(inm->second, etag)) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++requests_;
     ++not_modified_;
     resp = net::HttpResponse::not_modified(etag);
   } else {
-    auto cached = cache_.find(req.path);
-    if (cached != cache_.end() && cached->second.version == store_->version()) {
-      ++cache_hits_;
-      cache_result = "hit";
-      lru_.splice(lru_.begin(), lru_, cached->second.lru);
-      resp = net::HttpResponse::ok(cached->second.body, "application/json");
-      resp.headers["etag"] = cached->second.etag;
-    } else {
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      ++requests_;
+      auto cached = cache_.find(req.path);
+      if (cached != cache_.end() && cached->second.version == version) {
+        ++cache_hits_;
+        cache_result = "hit";
+        lru_.splice(lru_.begin(), lru_, cached->second.lru);
+        resp = net::HttpResponse::ok(cached->second.body, "application/json");
+        resp.headers["etag"] = cached->second.etag;
+      } else {
+        need_render = true;
+      }
+    }
+    if (need_render) {
+      // Render outside cache_mu_ — the store is internally locked, and a
+      // slow render must not block concurrent cache hits.
       int status = 200;
       std::string body = render(endpoint, params, &status);
       if (status == 200) {
+        std::lock_guard<std::mutex> lock(cache_mu_);
         ++cache_misses_;
         cache_result = "miss";
+        auto cached = cache_.find(req.path);
         if (cached != cache_.end()) {
           lru_.erase(cached->second.lru);
           cache_.erase(cached);
@@ -137,7 +153,7 @@ net::HttpResponse QueryService::handle(const net::HttpRequest& req) {
           lru_.pop_back();
         }
         lru_.push_front(req.path);
-        cache_[req.path] = CacheEntry{store_->version(), etag, body, lru_.begin()};
+        cache_[req.path] = CacheEntry{version, etag, body, lru_.begin()};
         resp = net::HttpResponse::ok(std::move(body), "application/json");
         resp.headers["etag"] = etag;
       } else {

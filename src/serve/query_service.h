@@ -22,17 +22,28 @@
 //
 // handle() is exposed directly (pingmeshctl and tests call it without
 // sockets); the HTTP constructor additionally binds an HttpServer on the
-// reactor and routes /query/ to it. Driver-thread only, like every other
-// DSA-side consumer.
+// reactor and routes /query/ to it.
+//
+// Thread-safety: the RollupStore is internally locked, so reads of it are
+// safe from any thread. The service's own mutable state — the LRU response
+// cache and the request counters — is PM_GUARDED_BY(cache_mu_). handle()
+// captures the store version ONCE per request and keys both the ETag and
+// the cache entry off that snapshot (re-reading version() mid-request could
+// cache a body rendered at version N under version N+1). Rendering runs
+// outside cache_mu_ so a slow render never blocks cache hits, and metrics
+// are recorded after the lock is released so cache_mu_ never nests inside
+// or around MetricsRegistry::mu_.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "net/http.h"
 #include "net/reactor.h"
 #include "net/sockaddr.h"
@@ -77,11 +88,26 @@ class QueryService {
   /// last expose().
   void enable_observability(obs::MetricsRegistry& registry);
 
-  [[nodiscard]] std::uint64_t requests() const { return requests_; }
-  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
-  [[nodiscard]] std::uint64_t not_modified() const { return not_modified_; }
-  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::uint64_t requests() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return requests_;
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_hits_;
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_misses_;
+  }
+  [[nodiscard]] std::uint64_t not_modified() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return not_modified_;
+  }
+  [[nodiscard]] std::size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_.size();
+  }
 
  private:
   struct CacheEntry {
@@ -109,13 +135,16 @@ class QueryService {
   Config cfg_;
   std::unique_ptr<net::HttpServer> server_;  // null in handle-only form
 
-  std::unordered_map<std::string, CacheEntry> cache_;  // key: full path
-  std::list<std::string> lru_;                         // front == most recent
+  mutable std::mutex cache_mu_;
+  // key: full path
+  std::unordered_map<std::string, CacheEntry> cache_ PM_GUARDED_BY(cache_mu_);
+  // front == most recent
+  std::list<std::string> lru_ PM_GUARDED_BY(cache_mu_);
 
-  std::uint64_t requests_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  std::uint64_t not_modified_ = 0;
+  std::uint64_t requests_ PM_GUARDED_BY(cache_mu_) = 0;
+  std::uint64_t cache_hits_ PM_GUARDED_BY(cache_mu_) = 0;
+  std::uint64_t cache_misses_ PM_GUARDED_BY(cache_mu_) = 0;
+  std::uint64_t not_modified_ PM_GUARDED_BY(cache_mu_) = 0;
 
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -72,6 +72,7 @@ void RollupStore::on_records(const agent::RecordColumns& batch, SimTime now) {
   const std::uint32_t* dst_ips = batch.dst_ips();
   const std::uint8_t* successes = batch.successes();
   const SimTime* rtts = batch.rtts();
+  std::lock_guard<std::mutex> lock(mu_);
   const SimTime horizon = std::max(last_now_, now) + cfg_.future_slack;
   bool changed = false;
   for (std::size_t i = 0; i < n; ++i) {
@@ -103,10 +104,15 @@ void RollupStore::on_records(const agent::RecordColumns& batch, SimTime now) {
     }
   }
   if (changed) ++version_;
-  advance(now);
+  advance_locked(now);
 }
 
 void RollupStore::advance(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  advance_locked(now);
+}
+
+void RollupStore::advance_locked(SimTime now) {
   last_now_ = std::max(last_now_, now);
   const SimTime basis = std::max<SimTime>(0, last_now_ - cfg_.seal_grace);
   SimTime next[3];
@@ -226,6 +232,7 @@ std::optional<streaming::WindowStats> RollupStore::merge_range(const Series& s,
 std::optional<streaming::WindowStats> RollupStore::query_pair(PodId src, PodId dst,
                                                               SimTime from,
                                                               SimTime to) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pairs_.find(pair_key(src, dst));
   if (it == pairs_.end()) return std::nullopt;
   return merge_range(it->second, from, to);
@@ -234,6 +241,7 @@ std::optional<streaming::WindowStats> RollupStore::query_pair(PodId src, PodId d
 std::optional<streaming::WindowStats> RollupStore::query_service(ServiceId service,
                                                                  SimTime from,
                                                                  SimTime to) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = services_.find(service.value);
   if (it == services_.end()) return std::nullopt;
   return merge_range(it->second, from, to);
@@ -241,6 +249,7 @@ std::optional<streaming::WindowStats> RollupStore::query_service(ServiceId servi
 
 std::vector<PairRollup> RollupStore::pair_stats(SimTime from, SimTime to) const {
   std::vector<PairRollup> out;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, series] : pairs_) {
     auto stats = merge_range(series, from, to);
     if (!stats) continue;
@@ -254,6 +263,7 @@ std::vector<PairRollup> RollupStore::pair_stats(SimTime from, SimTime to) const 
 }
 
 std::uint64_t RollupStore::digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t h = kFnvOffset;
   auto mix_series = [&](std::uint64_t scope_key, const Series& s) {
     fnv_mix(h, scope_key);
@@ -287,6 +297,7 @@ std::uint64_t RollupStore::digest() const {
 }
 
 bool RollupStore::check_conservation() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ingested_ != placed_ + skipped_ + rejected_future_ + late_dropped_) return false;
   // Coverage over the pair keyspace: the disjoint queryable set plus
   // evictions accounts for every placed record exactly once. (Service
@@ -304,7 +315,7 @@ bool RollupStore::check_conservation() const {
   return covered + expired_ == placed_;
 }
 
-std::size_t RollupStore::cell_count() const {
+std::size_t RollupStore::cell_count_locked() const {
   std::size_t n = 0;
   for (const auto& [key, s] : pairs_) {
     (void)key;
@@ -317,12 +328,20 @@ std::size_t RollupStore::cell_count() const {
   return n;
 }
 
+std::size_t RollupStore::cell_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cell_count_locked();
+}
+
 std::size_t RollupStore::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::size_t per_cell = sizeof(Cell) + scratch_.memory_bytes();
-  return cell_count() * per_cell + (pairs_.size() + services_.size()) * sizeof(Series);
+  return cell_count_locked() * per_cell +
+         (pairs_.size() + services_.size()) * sizeof(Series);
 }
 
 double RollupStore::relative_error_bound() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return scratch_.relative_error_bound();
 }
 

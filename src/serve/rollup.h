@@ -40,14 +40,22 @@
 // Determinism: ingest runs on the driver thread (serial upload-drain phase,
 // like the streaming pipeline), all maps are ordered, and merge order is
 // fixed by timestamp — digest() is byte-identical at any worker count.
+//
+// Thread-safety: the store is internally locked (mu_). Ingest stays a
+// single-writer driver-thread affair, but the interactive serving tier
+// (QueryService behind HttpServer) reads concurrently with it, so every
+// public method takes mu_ and the mutable state is PM_GUARDED_BY(mu_);
+// pingmesh_lint's lock-discipline pass checks the annotations.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "agent/record_columns.h"
+#include "common/annotations.h"
 #include "common/types.h"
 #include "dsa/uploader.h"
 #include "streaming/sketch.h"
@@ -111,11 +119,20 @@ class RollupStore final : public dsa::RecordTap {
   // -- serving metadata ------------------------------------------------------
   /// Monotone state version: bumps whenever a batch changes cell contents or
   /// a watermark moves. The QueryService derives ETags from it.
-  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
   /// Ingest watermark (max `now` seen).
-  [[nodiscard]] SimTime now() const { return last_now_; }
+  [[nodiscard]] SimTime now() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_now_;
+  }
   /// Everything strictly before this is sealed at the given tier (0-2).
-  [[nodiscard]] SimTime sealed_until(int tier) const { return sealed_until_[tier]; }
+  [[nodiscard]] SimTime sealed_until(int tier) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sealed_until_[tier];
+  }
   /// FNV-1a digest over every queryable cell + the counter ledger, in
   /// deterministic order — the 1-vs-N-worker identity probe.
   [[nodiscard]] std::uint64_t digest() const;
@@ -123,13 +140,34 @@ class RollupStore final : public dsa::RecordTap {
   [[nodiscard]] bool check_conservation() const;
 
   // -- counters --------------------------------------------------------------
-  [[nodiscard]] std::uint64_t ingested() const { return ingested_; }
-  [[nodiscard]] std::uint64_t placed() const { return placed_; }
-  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
-  [[nodiscard]] std::uint64_t rejected_future() const { return rejected_future_; }
-  [[nodiscard]] std::uint64_t late_dropped() const { return late_dropped_; }
-  [[nodiscard]] std::uint64_t expired_records() const { return expired_; }
-  [[nodiscard]] std::size_t pair_series_count() const { return pairs_.size(); }
+  [[nodiscard]] std::uint64_t ingested() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ingested_;
+  }
+  [[nodiscard]] std::uint64_t placed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return placed_;
+  }
+  [[nodiscard]] std::uint64_t skipped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return skipped_;
+  }
+  [[nodiscard]] std::uint64_t rejected_future() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_future_;
+  }
+  [[nodiscard]] std::uint64_t late_dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return late_dropped_;
+  }
+  [[nodiscard]] std::uint64_t expired_records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return expired_;
+  }
+  [[nodiscard]] std::size_t pair_series_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pairs_.size();
+  }
   [[nodiscard]] std::size_t cell_count() const;
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] const RollupConfig& config() const { return cfg_; }
@@ -165,33 +203,36 @@ class RollupStore final : public dsa::RecordTap {
     return (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
   }
 
-  void place(Series& s, SimTime ts, bool success, SimTime rtt);
-  void seal_series(Series& s);
-  [[nodiscard]] bool cell_queryable(int tier, SimTime start) const;
+  void place(Series& s, SimTime ts, bool success, SimTime rtt) PM_REQUIRES(mu_);
+  void seal_series(Series& s) PM_REQUIRES(mu_);
+  void advance_locked(SimTime now) PM_REQUIRES(mu_);
+  [[nodiscard]] bool cell_queryable(int tier, SimTime start) const PM_REQUIRES(mu_);
+  [[nodiscard]] std::size_t cell_count_locked() const PM_REQUIRES(mu_);
   /// Merge queryable cells of `s` overlapping [from, to); nullopt when none.
   [[nodiscard]] std::optional<streaming::WindowStats> merge_range(
-      const Series& s, SimTime from, SimTime to) const;
+      const Series& s, SimTime from, SimTime to) const PM_REQUIRES(mu_);
 
   const topo::Topology* topo_;
   RollupConfig cfg_;
   /// services_of(src server), precomputed; empty when no ServiceMap.
   std::vector<std::vector<std::uint32_t>> server_services_;
 
-  std::map<std::uint64_t, Series> pairs_;      // (src_pod << 32 | dst_pod)
-  std::map<std::uint32_t, Series> services_;   // ServiceId.value
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Series> pairs_ PM_GUARDED_BY(mu_);     // src<<32|dst
+  std::map<std::uint32_t, Series> services_ PM_GUARDED_BY(mu_);  // ServiceId
 
-  SimTime last_now_ = 0;
-  SimTime sealed_until_[3] = {0, 0, 0};
-  std::uint64_t version_ = 0;
+  SimTime last_now_ PM_GUARDED_BY(mu_) = 0;
+  SimTime sealed_until_[3] PM_GUARDED_BY(mu_) = {0, 0, 0};
+  std::uint64_t version_ PM_GUARDED_BY(mu_) = 0;
 
-  std::uint64_t ingested_ = 0;
-  std::uint64_t placed_ = 0;
-  std::uint64_t skipped_ = 0;
-  std::uint64_t rejected_future_ = 0;
-  std::uint64_t late_dropped_ = 0;
-  std::uint64_t expired_ = 0;
+  std::uint64_t ingested_ PM_GUARDED_BY(mu_) = 0;
+  std::uint64_t placed_ PM_GUARDED_BY(mu_) = 0;
+  std::uint64_t skipped_ PM_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_future_ PM_GUARDED_BY(mu_) = 0;
+  std::uint64_t late_dropped_ PM_GUARDED_BY(mu_) = 0;
+  std::uint64_t expired_ PM_GUARDED_BY(mu_) = 0;
 
-  mutable streaming::LatencySketch scratch_;  // query merges, driver thread
+  mutable streaming::LatencySketch scratch_ PM_GUARDED_BY(mu_);  // query merges
 };
 
 /// Fan a single uploader tap out to several consumers (the sim exposes one

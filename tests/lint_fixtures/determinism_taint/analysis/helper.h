@@ -1,0 +1,13 @@
+// Middle link of the taint chain: no primitive of its own, but it calls
+// one — the violation must still point at wall_nanos via this hop.
+#pragma once
+
+#include <cstdint>
+
+#include "common/util.h"
+
+namespace pingmesh::analysis {
+
+inline std::uint64_t jitter(std::uint64_t base) { return base ^ wall_nanos(); }
+
+}  // namespace pingmesh::analysis

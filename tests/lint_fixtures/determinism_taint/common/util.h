@@ -1,0 +1,14 @@
+// A wallclock helper that escaped common/clock: direct taint.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pingmesh {
+
+inline std::uint64_t wall_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace pingmesh

@@ -1,0 +1,16 @@
+// Shard-parallel root: calls parallel_for, so everything it reaches must be
+// deterministic. jitter -> wall_nanos is the tainted chain.
+#include <cstdint>
+
+#include "analysis/helper.h"
+#include "common/thread_pool.h"
+
+namespace pingmesh::core {
+
+void run_shards(ThreadPool& pool, std::uint64_t* out, int n) {
+  pool.parallel_for(0, n, [&](int i) {
+    out[i] = analysis::jitter(static_cast<std::uint64_t>(i));
+  });
+}
+
+}  // namespace pingmesh::core

@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/util.h"
+
+namespace pingmesh::analysis {
+
+inline std::uint64_t jitter(std::uint64_t base) { return base ^ wall_nanos(); }
+
+}  // namespace pingmesh::analysis

@@ -1,0 +1,15 @@
+// Same chain as determinism_taint/, but the primitive user is annotated as
+// an intentional consumer — the whole tree must scan clean.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pingmesh {
+
+inline std::uint64_t wall_nanos() {  // lint: determinism-sink
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace pingmesh

@@ -1,0 +1,7 @@
+#include "obs/store.h"
+
+namespace pingmesh::obs {
+
+void Store::flush_locked() { sum_ = 0; }
+
+}  // namespace pingmesh::obs

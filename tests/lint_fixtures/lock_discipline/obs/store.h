@@ -1,0 +1,28 @@
+// Two lock-discipline violations: sum() reads a guarded field unlocked, and
+// flush() calls a PM_REQUIRES function without the lock. add() is the
+// correct pattern and must stay silent.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace pingmesh::obs {
+
+class Store {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sum_ += v;
+  }
+  int sum() const { return sum_; }   // BAD: guarded field, no lock
+  void flush() { flush_locked(); }   // BAD: callee requires mu_
+
+ private:
+  void flush_locked() PM_REQUIRES(mu_);
+
+  mutable std::mutex mu_;
+  int sum_ PM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pingmesh::obs

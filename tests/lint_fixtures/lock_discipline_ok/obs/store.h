@@ -1,0 +1,33 @@
+// The corrected twin of lock_discipline/: every guarded access holds mu_
+// (directly or via PM_REQUIRES), so the tree scans clean.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace pingmesh::obs {
+
+class Store {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sum_ += v;
+  }
+  int sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  void flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked();
+  }
+
+ private:
+  void flush_locked() PM_REQUIRES(mu_);
+
+  mutable std::mutex mu_;
+  int sum_ PM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pingmesh::obs

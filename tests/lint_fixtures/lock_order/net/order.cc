@@ -1,0 +1,33 @@
+// A three-mutex acquisition-order cycle (a -> b -> c -> a) plus one
+// self-deadlocking re-acquisition. No single function misbehaves — only the
+// global lock-order graph sees the cycle.
+#include <mutex>
+
+namespace pingmesh::net {
+
+std::mutex a;
+std::mutex b;
+std::mutex c;
+std::mutex d;
+
+void fab() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+}
+
+void fbc() {
+  std::lock_guard<std::mutex> lb(b);
+  std::lock_guard<std::mutex> lc(c);
+}
+
+void fca() {
+  std::lock_guard<std::mutex> lc(c);
+  std::lock_guard<std::mutex> la(a);
+}
+
+void fdd() {
+  std::lock_guard<std::mutex> l1(d);
+  std::lock_guard<std::mutex> l2(d);  // BAD: d already held
+}
+
+}  // namespace pingmesh::net

@@ -1,0 +1,27 @@
+// Same cycle as lock_order/, but the file opts out wholesale — e.g. a
+// module with a documented external ordering contract.
+// lint: allow-file(lock-order)
+#include <mutex>
+
+namespace pingmesh::net {
+
+std::mutex a;
+std::mutex b;
+std::mutex c;
+
+void fab() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+}
+
+void fbc() {
+  std::lock_guard<std::mutex> lb(b);
+  std::lock_guard<std::mutex> lc(c);
+}
+
+void fca() {
+  std::lock_guard<std::mutex> lc(c);
+  std::lock_guard<std::mutex> la(a);
+}
+
+}  // namespace pingmesh::net

@@ -1,0 +1,7 @@
+// A typoed rule name in a suppression must be a hard error, not a silent
+// no-op that leaves the real violation unsuppressed forever.
+namespace pingmesh::agent {
+
+int x = 0;  // lint: allow(wallclok)
+
+}  // namespace pingmesh::agent

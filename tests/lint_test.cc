@@ -112,6 +112,115 @@ TEST(LintRules, CleanTreeIsClean) {
   EXPECT_TRUE(r.violations.empty());
 }
 
+TEST(LintRules, DeterminismTaintFollowsTransitiveChain) {
+  // core/engine.cc calls parallel_for (a shard-parallel root); the body
+  // reaches analysis::jitter which reaches common/util.h's wall_nanos,
+  // which touches steady_clock. Only the direct primitive user is flagged,
+  // and the message carries the concrete call path.
+  lint::Report r = lint::run_tree(fixture("determinism_taint"));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "determinism-taint");
+  EXPECT_EQ(r.violations[0].file, "common/util.h");
+  EXPECT_NE(r.violations[0].message.find("steady_clock"), std::string::npos);
+  EXPECT_NE(r.violations[0].message.find("run_shards -> jitter -> wall_nanos"),
+            std::string::npos);
+}
+
+TEST(LintRules, DeterminismSinkDirectiveStopsTheTaint) {
+  // Identical tree, but wall_nanos carries `// lint: determinism-sink`:
+  // the sink neither fires nor propagates taint to its callers.
+  lint::Report r = lint::run_tree(fixture("determinism_taint_sink"));
+  EXPECT_TRUE(r.violations.empty())
+      << (r.violations.empty() ? "" : r.violations[0].rule + ": " + r.violations[0].message);
+}
+
+TEST(LintRules, LockDisciplineCatchesUnlockedFieldAndRequiresCall) {
+  // sum() reads a PM_GUARDED_BY field without the mutex; flush() calls a
+  // PM_REQUIRES function without it. add() (the correct pattern) and the
+  // .cc definition of flush_locked (covered by its decl's PM_REQUIRES)
+  // must both stay silent.
+  lint::Report r = lint::run_tree(fixture("lock_discipline"));
+  ASSERT_EQ(r.violations.size(), 2u);
+  EXPECT_EQ(r.violations[0].rule, "lock-discipline");
+  EXPECT_EQ(r.violations[0].file, "obs/store.h");
+  EXPECT_NE(r.violations[0].message.find("'sum_' is PM_GUARDED_BY(mu_)"),
+            std::string::npos);
+  EXPECT_EQ(r.violations[1].rule, "lock-discipline");
+  EXPECT_NE(r.violations[1].message.find("'Store::flush_locked' which PM_REQUIRES(mu_)"),
+            std::string::npos);
+}
+
+TEST(LintRules, LockDisciplineAcceptsTheAnnotatedTwin) {
+  lint::Report r = lint::run_tree(fixture("lock_discipline_ok"));
+  EXPECT_TRUE(r.violations.empty())
+      << (r.violations.empty() ? "" : r.violations[0].rule + ": " + r.violations[0].message);
+}
+
+TEST(LintRules, LockOrderCycleAndDoubleLockFire) {
+  // fab/fbc/fca individually nest two locks innocently; only the global
+  // graph sees a -> b -> c -> a. fdd re-acquires d while holding it.
+  lint::Report r = lint::run_tree(fixture("lock_order"));
+  ASSERT_EQ(r.violations.size(), 2u);
+  EXPECT_EQ(r.violations[0].rule, "lock-order");
+  EXPECT_NE(r.violations[0].message.find(
+                "net/order.cc::a -> net/order.cc::b -> net/order.cc::c -> "
+                "net/order.cc::a"),
+            std::string::npos);
+  EXPECT_EQ(r.violations[1].rule, "lock-discipline");
+  EXPECT_EQ(r.violations[1].line, 30);
+  EXPECT_NE(r.violations[1].message.find("'d' is already held"), std::string::npos);
+}
+
+TEST(LintRules, AllowFileSilencesLockOrder) {
+  lint::Report r = lint::run_tree(fixture("lock_order_suppressed"));
+  EXPECT_TRUE(r.violations.empty())
+      << (r.violations.empty() ? "" : r.violations[0].rule + ": " + r.violations[0].message);
+}
+
+TEST(LintRules, UnknownRuleInSuppressionIsAHardError) {
+  lint::Report r = lint::run_tree(fixture("unknown_suppression"));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "unknown-suppression");
+  EXPECT_NE(r.violations[0].message.find("unknown rule 'wallclok'"), std::string::npos);
+}
+
+TEST(LintRules, OptionsRestrictWhichRulesRun) {
+  // The lock_order fixture trips lock-order and lock-discipline; narrowing
+  // Options to one rule must drop the other finding.
+  lint::Options only_order;
+  only_order.rules = {"lock-order"};
+  lint::Report r = lint::run_tree(fixture("lock_order"), only_order);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "lock-order");
+}
+
+TEST(LintRules, ReportIsByteStableAcrossRuns) {
+  auto render = [](const lint::Report& r) {
+    std::string out;
+    for (const auto& v : r.violations) {
+      out += v.file + ":" + std::to_string(v.line) + " " + v.rule + " " + v.message + "\n";
+    }
+    return out;
+  };
+  std::string a = render(lint::run_tree(fixture("lock_order")));
+  std::string b = render(lint::run_tree(fixture("lock_order")));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(render(lint::run_tree(fixture("determinism_taint"))),
+            render(lint::run_tree(fixture("determinism_taint"))));
+}
+
+TEST(LintJson, EscapesAndStructuresViolations) {
+  std::vector<lint::Violation> vs;
+  vs.push_back({"net/a.h", 3, "printf", "bad \"quote\"\\slash\n\ttab"});
+  std::string j = lint::violations_to_json(vs);
+  EXPECT_NE(j.find("\"file\":\"net/a.h\""), std::string::npos);
+  EXPECT_NE(j.find("\"line\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"rule\":\"printf\""), std::string::npos);
+  EXPECT_NE(j.find("bad \\\"quote\\\"\\\\slash\\n\\ttab"), std::string::npos);
+  EXPECT_EQ(lint::violations_to_json({}).find("[]"), 0u);
+}
+
 // The acceptance gate: the real source tree passes every rule. This is the
 // same check the `pingmesh_lint` ctest performs via the binary; asserting
 // it here too means a violation points at the rule engine output in a
@@ -163,6 +272,52 @@ TEST(LintLexer, MultiLineRawString) {
   EXPECT_NE(cooked[1].find("int z = 3;"), std::string::npos);
 }
 
+TEST(LintLexer, EncodingPrefixedRawStringsAreBlanked) {
+  // u8R/uR/UR/LR are raw-string openers too; before the fix they fell into
+  // the ordinary-string path and the first embedded quote "ended" them.
+  auto cooked = lint::strip_comments_and_strings({
+      "auto a = u8R\"(one rand())\"; int keep1 = 1;",
+      "auto b = LR\"(two system_clock)\"; int keep2 = 2;",
+      "auto c = uR\"x(three \" quote)x\"; auto d = UR\"(four mt19937)\"; int keep3 = 3;",
+  });
+  EXPECT_EQ(cooked[0].find("rand"), std::string::npos);
+  EXPECT_NE(cooked[0].find("keep1"), std::string::npos);
+  EXPECT_EQ(cooked[1].find("system_clock"), std::string::npos);
+  EXPECT_NE(cooked[1].find("keep2"), std::string::npos);
+  EXPECT_EQ(cooked[2].find("quote"), std::string::npos);
+  EXPECT_EQ(cooked[2].find("mt19937"), std::string::npos);
+  EXPECT_NE(cooked[2].find("keep3"), std::string::npos);
+}
+
+TEST(LintLexer, IdentifierTailRIsNotARawStringPrefix) {
+  // `fooR"..."` — the R belongs to a longer identifier, so this is an
+  // ordinary string literal, blanked up to its closing quote.
+  auto cooked = lint::strip_comments_and_strings({
+      "auto s = fooR\"(not raw)\"; rand();",
+  });
+  EXPECT_EQ(cooked[0].find("not raw"), std::string::npos);
+  EXPECT_NE(cooked[0].find("rand()"), std::string::npos);
+}
+
+TEST(LintLexer, FakeCloseInsideRawStringDoesNotEndIt) {
+  // `)x"` inside an R"outer(...)outer" body is content, not a terminator.
+  auto cooked = lint::strip_comments_and_strings({
+      "auto q = R\"outer(body )x\" more rand())outer\"; int keep = 4;",
+  });
+  EXPECT_EQ(cooked[0].find("rand"), std::string::npos);
+  EXPECT_NE(cooked[0].find("keep"), std::string::npos);
+}
+
+TEST(LintLexer, InvalidRawDelimiterFallsBackToOrdinaryString) {
+  // A backslash cannot appear in a raw-string delimiter, so `R"\(...` is
+  // lexed as an ordinary string and ends at the next quote.
+  auto cooked = lint::strip_comments_and_strings({
+      "auto s = R\"\\(oops\"; rand();",
+  });
+  EXPECT_EQ(cooked[0].find("oops"), std::string::npos);
+  EXPECT_NE(cooked[0].find("rand()"), std::string::npos);
+}
+
 TEST(LintLayers, ModuleMapMatchesDesignDag) {
   EXPECT_EQ(lint::module_layer("common"), 0);
   EXPECT_EQ(lint::module_layer("net"), 1);
@@ -186,7 +341,9 @@ TEST(LintRules, RuleCatalogIsStable) {
                                     "wallclock",  "rng",
                                     "using-namespace-header", "printf",
                                     "header-guard", "metrics-global",
-                                    "serve-boundary"};
+                                    "serve-boundary", "determinism-taint",
+                                    "lock-discipline", "lock-order",
+                                    "unknown-suppression"};
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
 }
 

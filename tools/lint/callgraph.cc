@@ -1,0 +1,599 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pingmesh::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if", "for", "while", "switch", "do", "else", "try", "catch", "return",
+      "sizeof", "alignof", "new", "delete", "throw", "case", "default", "goto",
+      "break", "continue", "static_cast", "dynamic_cast", "reinterpret_cast",
+      "const_cast", "static_assert", "noexcept", "decltype", "typeid", "this",
+      "operator", "co_await", "co_return", "co_yield", "namespace", "class",
+      "struct", "enum", "union", "using", "typedef", "template", "typename",
+      "public", "private", "protected", "virtual", "override", "final",
+      "static", "inline", "constexpr", "consteval", "constinit", "explicit",
+      "friend", "mutable", "extern", "register", "thread_local", "volatile",
+      "const", "auto", "void", "bool", "char", "int", "short", "long", "float",
+      "double", "unsigned", "signed", "wchar_t", "char8_t", "char16_t",
+      "char32_t", "true", "false", "nullptr", "nodiscard", "maybe_unused",
+      "fallthrough", "likely", "unlikely", "requires", "concept",
+      "PM_GUARDED_BY", "PM_REQUIRES", "PM_ACQUIRE",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+bool is_guard_class(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+struct Token {
+  std::string text;
+  int line = 0;  ///< 1-based
+  bool ident = false;
+};
+
+/// Tokenize the stripped lines: identifiers, and punctuation with `::` and
+/// `->` merged. Preprocessor lines (and their backslash continuations) are
+/// skipped entirely — macro definitions are not part of the scope structure.
+std::vector<Token> tokenize(const std::vector<std::string>& code_lines) {
+  std::vector<Token> out;
+  bool continuation = false;
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    int line_no = static_cast<int>(li) + 1;
+    const std::size_t n = line.size();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (continuation) {
+      continuation = !line.empty() && line.back() == '\\';
+      continue;
+    }
+    if (first != std::string::npos && line[first] == '#') {
+      continuation = !line.empty() && line.back() == '\\';
+      continue;
+    }
+    std::size_t i = 0;
+    while (i < n) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (is_ident_char(c)) {
+        std::size_t start = i;
+        while (i < n && is_ident_char(line[i])) ++i;
+        out.push_back({line.substr(start, i - start), line_no, true});
+        continue;
+      }
+      if (c == ':' && i + 1 < n && line[i + 1] == ':') {
+        out.push_back({"::", line_no, false});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < n && line[i + 1] == '>') {
+        out.push_back({"->", line_no, false});
+        i += 2;
+        continue;
+      }
+      out.push_back({std::string(1, c), line_no, false});
+      ++i;
+    }
+  }
+  return out;
+}
+
+enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind;
+  std::string name;        ///< class name for kClass
+  int fn_index = -1;       ///< out.functions index for kFunction
+  std::size_t guard_mark;  ///< guards_ size at push (restored at pop)
+  std::vector<Token> saved_stmt;  ///< stmt at push; restored for kBlock pops
+};
+
+struct ActiveGuard {
+  std::string base;  ///< mutex base identifier
+  std::string key;   ///< qualified key; "" when unresolvable
+};
+
+class Parser {
+ public:
+  Parser(std::string rel_path, const std::vector<std::string>& code_lines,
+         const std::set<int>& sink_lines)
+      : rel_path_(std::move(rel_path)),
+        sink_lines_(sink_lines),
+        tokens_(tokenize(code_lines)) {}
+
+  FileModel run() {
+    const std::size_t n = tokens_.size();
+    for (pos_ = 0; pos_ < n; ++pos_) {
+      const Token& t = tokens_[pos_];
+      if (t.text == "{") {
+        open_brace();
+        continue;
+      }
+      if (t.text == "}") {
+        close_brace();
+        continue;
+      }
+      if (t.text == ";") {
+        end_statement();
+        continue;
+      }
+      if (in_function() && t.ident && is_guard_class(t.text) &&
+          try_consume_guard_decl()) {
+        continue;
+      }
+      if (in_function() && t.ident) scan_function_ident();
+      stmt_.push_back(t);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // --- scope helpers ---------------------------------------------------------
+
+  bool in_function() const { return current_fn_ >= 0; }
+
+  FunctionInfo& fn() { return out_.functions[static_cast<std::size_t>(current_fn_)]; }
+
+  std::string enclosing_class() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == ScopeKind::kClass) return it->name;
+    }
+    return {};
+  }
+
+  /// Qualified lock-order key for a mutex named in the current context.
+  std::string mutex_key(const std::string& base, const std::string& cls) const {
+    return cls.empty() ? rel_path_ + "::" + base : cls + "::" + base;
+  }
+
+  std::vector<std::string> held_bases() const {
+    std::vector<std::string> v;
+    for (const ActiveGuard& g : guards_) v.push_back(g.base);
+    return v;
+  }
+
+  std::vector<std::string> held_keys() const {
+    std::vector<std::string> v;
+    for (const ActiveGuard& g : guards_) {
+      if (!g.key.empty()) v.push_back(g.key);
+    }
+    return v;
+  }
+
+  bool any_sink_line_in(int from, int to) const {
+    auto it = sink_lines_.lower_bound(from);
+    return it != sink_lines_.end() && *it <= to;
+  }
+
+  // --- statement classification at '{' --------------------------------------
+
+  void open_brace() {
+    Scope s;
+    s.guard_mark = guards_.size();
+    s.saved_stmt = stmt_;
+
+    int paren_depth = 0;
+    bool top_level_assign = false;
+    for (const Token& t : stmt_) {
+      if (t.text == "(") ++paren_depth;
+      else if (t.text == ")") --paren_depth;
+      else if (t.text == "=" && paren_depth == 0) top_level_assign = true;
+    }
+
+    if (stmt_.empty() || paren_depth > 0 || top_level_assign) {
+      s.kind = ScopeKind::kBlock;  // bare block, inline lambda, initializer
+    } else if (stmt_.front().text == "namespace" ||
+               (stmt_.size() >= 2 && stmt_[0].text == "inline" &&
+                stmt_[1].text == "namespace")) {
+      s.kind = ScopeKind::kNamespace;
+    } else if (is_control_stmt()) {
+      s.kind = ScopeKind::kBlock;
+    } else if (classify_class(s)) {
+      // s.kind/name filled in
+    } else if (classify_function(s)) {
+      // s.kind/fn_index filled in
+    } else {
+      s.kind = ScopeKind::kBlock;
+    }
+
+    if (s.kind == ScopeKind::kFunction) {
+      current_fn_ = s.fn_index;
+      // PM_REQUIRES mutexes count as held throughout the body.
+      const FunctionInfo& f = out_.functions[static_cast<std::size_t>(s.fn_index)];
+      for (const std::string& m : f.requires_locks) {
+        guards_.push_back({m, mutex_key(m, f.cls)});
+      }
+    }
+    scopes_.push_back(std::move(s));
+    stmt_.clear();
+  }
+
+  bool is_control_stmt() const {
+    static const std::set<std::string> kControl = {
+        "if", "for", "while", "switch", "do", "else", "try", "catch", "return",
+    };
+    return !stmt_.empty() && kControl.count(stmt_.front().text) != 0;
+  }
+
+  /// `class NAME ... {` / `struct NAME ... {` where NAME is directly after
+  /// the keyword and the keyword is not preceded by `enum`.
+  bool classify_class(Scope& s) {
+    for (std::size_t i = 0; i < stmt_.size(); ++i) {
+      const std::string& t = stmt_[i].text;
+      if (t != "class" && t != "struct" && t != "union") continue;
+      if (i > 0 && stmt_[i - 1].text == "enum") return false;
+      if (i + 1 < stmt_.size() && stmt_[i + 1].ident &&
+          !is_keyword(stmt_[i + 1].text)) {
+        s.kind = ScopeKind::kClass;
+        s.name = stmt_[i + 1].text;
+        return true;
+      }
+      return false;  // anonymous struct/union: treat as block
+    }
+    if (!stmt_.empty() && stmt_.front().text == "enum") {
+      s.kind = ScopeKind::kBlock;
+      return true;
+    }
+    return false;
+  }
+
+  /// Function definition: an identifier immediately before the first
+  /// depth-0 '(' of the statement.
+  bool classify_function(Scope& s) {
+    int depth = 0;
+    std::size_t open = stmt_.size();
+    for (std::size_t i = 0; i < stmt_.size(); ++i) {
+      const std::string& t = stmt_[i].text;
+      if (t == "(") {
+        if (depth == 0) {
+          open = i;
+          break;
+        }
+        ++depth;
+      } else if (t == ")") {
+        --depth;
+      }
+    }
+    if (open == stmt_.size() || open == 0) {
+      // No parameter list. `operator()` and friends land here too; give
+      // them an opaque name so their bodies are still scanned.
+      return classify_operator(s);
+    }
+    const Token& name_tok = stmt_[open - 1];
+    if (!name_tok.ident || is_keyword(name_tok.text)) return classify_operator(s);
+
+    FunctionInfo f;
+    f.file = rel_path_;
+    f.name = name_tok.text;
+    std::size_t qpos = open - 1;
+    if (qpos >= 1 && stmt_[qpos - 1].text == "~") {
+      f.name = "~" + f.name;
+      --qpos;
+    }
+    if (qpos >= 2 && stmt_[qpos - 1].text == "::" && stmt_[qpos - 2].ident) {
+      f.cls = stmt_[qpos - 2].text;  // out-of-class definition
+    } else {
+      f.cls = enclosing_class();  // in-class definition (or free function)
+    }
+    f.is_ctor_dtor =
+        !f.cls.empty() && (f.name == f.cls || f.name == "~" + f.cls);
+    f.def_line = tokens_[pos_].line;
+    collect_lock_annotations(stmt_, &f.requires_locks, &f.acquires_locks);
+    f.sink = any_sink_line_in(stmt_.front().line, f.def_line);
+
+    s.kind = ScopeKind::kFunction;
+    s.fn_index = static_cast<int>(out_.functions.size());
+    out_.functions.push_back(std::move(f));
+    return true;
+  }
+
+  bool classify_operator(Scope& s) {
+    for (const Token& t : stmt_) {
+      if (t.text == "operator") {
+        FunctionInfo f;
+        f.file = rel_path_;
+        f.cls = enclosing_class();
+        f.name = "(operator)";
+        f.def_line = tokens_[pos_].line;
+        s.kind = ScopeKind::kFunction;
+        s.fn_index = static_cast<int>(out_.functions.size());
+        out_.functions.push_back(std::move(f));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void close_brace() {
+    if (scopes_.empty()) {
+      stmt_.clear();
+      return;
+    }
+    Scope s = std::move(scopes_.back());
+    scopes_.pop_back();
+    guards_.resize(s.guard_mark);
+    if (s.kind == ScopeKind::kFunction) {
+      FunctionInfo& f = out_.functions[static_cast<std::size_t>(s.fn_index)];
+      f.body_end = tokens_[pos_].line;
+      if (!f.sink) f.sink = any_sink_line_in(f.def_line, f.body_end);
+      current_fn_ = -1;
+      for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+        if (it->kind == ScopeKind::kFunction) {
+          current_fn_ = it->fn_index;
+          break;
+        }
+      }
+      stmt_.clear();
+    } else if (s.kind == ScopeKind::kBlock) {
+      // Restore the statement in flight (brace-init of a class member, the
+      // head of an if/for chain) so the decl parse at ';' still sees it.
+      stmt_ = std::move(s.saved_stmt);
+    } else {
+      stmt_.clear();
+    }
+  }
+
+  // --- declarations ending in ';' --------------------------------------------
+
+  void end_statement() {
+    if (!in_function() && !stmt_.empty()) {
+      ScopeKind ctx =
+          scopes_.empty() ? ScopeKind::kNamespace : scopes_.back().kind;
+      if (ctx == ScopeKind::kClass || ctx == ScopeKind::kNamespace) {
+        parse_guarded_field(ctx);
+        parse_method_decl_annotations();
+      }
+    }
+    stmt_.clear();
+  }
+
+  /// `TYPE name PM_GUARDED_BY(mu_);` — also `name[N] PM_GUARDED_BY(mu_)`.
+  void parse_guarded_field(ScopeKind ctx) {
+    for (std::size_t i = 0; i < stmt_.size(); ++i) {
+      if (stmt_[i].text != "PM_GUARDED_BY") continue;
+      if (i + 2 >= stmt_.size() || stmt_[i + 1].text != "(") continue;
+      if (!stmt_[i + 2].ident) continue;
+      std::size_t fpos = i;  // walk back over an array extent to the name
+      if (fpos >= 1 && stmt_[fpos - 1].text == "]") {
+        while (fpos >= 1 && stmt_[fpos - 1].text != "[") --fpos;
+        if (fpos >= 1) --fpos;  // now at '['
+      }
+      if (fpos < 1 || !stmt_[fpos - 1].ident) continue;
+      GuardedField g;
+      g.file = rel_path_;
+      g.cls = ctx == ScopeKind::kClass ? scopes_.back().name : std::string();
+      g.field = stmt_[fpos - 1].text;
+      g.mutex = stmt_[i + 2].text;
+      g.line = stmt_[i].line;
+      out_.guarded_fields.push_back(std::move(g));
+    }
+  }
+
+  /// `RET name(...) const PM_REQUIRES(mu_);` on a declaration without body:
+  /// remember the annotation for the out-of-line definition.
+  void parse_method_decl_annotations() {
+    std::set<std::string> req, acq;
+    collect_lock_annotations(stmt_, &req, &acq);
+    if (req.empty() && acq.empty()) return;
+    int depth = 0;
+    for (std::size_t i = 0; i < stmt_.size(); ++i) {
+      const std::string& t = stmt_[i].text;
+      if (t == "(") {
+        if (depth == 0 && i >= 1 && stmt_[i - 1].ident &&
+            !is_keyword(stmt_[i - 1].text)) {
+          std::string cls = scopes_.empty() || scopes_.back().kind != ScopeKind::kClass
+                                ? std::string()
+                                : scopes_.back().name;
+          auto& slot = out_.decl_locks[{cls, stmt_[i - 1].text}];
+          slot.first.insert(req.begin(), req.end());
+          slot.second.insert(acq.begin(), acq.end());
+          return;
+        }
+        ++depth;
+      } else if (t == ")") {
+        --depth;
+      }
+    }
+  }
+
+  static void collect_lock_annotations(const std::vector<Token>& stmt,
+                                       std::set<std::string>* req,
+                                       std::set<std::string>* acq) {
+    for (std::size_t i = 0; i + 2 < stmt.size(); ++i) {
+      const std::string& t = stmt[i].text;
+      if (t != "PM_REQUIRES" && t != "PM_ACQUIRE") continue;
+      if (stmt[i + 1].text != "(" || !stmt[i + 2].ident) continue;
+      (t == "PM_REQUIRES" ? req : acq)->insert(stmt[i + 2].text);
+    }
+  }
+
+  // --- guard declarations ----------------------------------------------------
+
+  /// At tokens_[pos_] == lock_guard/unique_lock/scoped_lock/shared_lock.
+  /// Consume `GuardClass<...> var(args...)` (or {args...}) and register the
+  /// acquired mutexes. Returns false (consuming nothing) when the shape
+  /// doesn't match — e.g. the name used as a type in a parameter list.
+  bool try_consume_guard_decl() {
+    std::size_t p = pos_ + 1;
+    const std::size_t n = tokens_.size();
+    if (p < n && tokens_[p].text == "<") {  // template argument list
+      int depth = 1;
+      ++p;
+      while (p < n && depth > 0) {
+        if (tokens_[p].text == "<") ++depth;
+        else if (tokens_[p].text == ">") --depth;
+        ++p;
+      }
+    }
+    if (p >= n || !tokens_[p].ident || is_keyword(tokens_[p].text)) return false;
+    ++p;  // past the variable name
+    if (p >= n || (tokens_[p].text != "(" && tokens_[p].text != "{")) return false;
+    const std::string close = tokens_[p].text == "(" ? ")" : "}";
+    const std::string open = tokens_[p].text;
+    int line = tokens_[p].line;
+    ++p;
+
+    // Split top-level comma-separated arguments.
+    std::vector<std::vector<Token>> args(1);
+    int depth = 1;
+    while (p < n && depth > 0) {
+      const std::string& t = tokens_[p].text;
+      if (t == open) ++depth;
+      else if (t == close) --depth;
+      if (depth == 0) break;
+      if (t == "," && depth == 1) args.emplace_back();
+      else args.back().push_back(tokens_[p]);
+      ++p;
+    }
+    if (p >= n) return false;  // unterminated; bail out, treat as plain code
+
+    bool deferred = false;
+    for (const auto& arg : args) {
+      for (const Token& t : arg) {
+        if (t.text == "defer_lock" || t.text == "defer_lock_t" ||
+            t.text == "adopt_lock" || t.text == "try_to_lock") {
+          deferred = true;
+        }
+      }
+    }
+
+    const std::string cls = enclosing_class();
+    for (const auto& arg : args) {
+      if (arg.empty()) continue;
+      // The mutex is the last identifier of the argument; it is another
+      // object's when an identifier other than `this` precedes a . or ->.
+      std::string base;
+      bool foreign = false;
+      for (std::size_t i = 0; i < arg.size(); ++i) {
+        if (arg[i].ident && !is_keyword(arg[i].text)) base = arg[i].text;
+        if ((arg[i].text == "." || arg[i].text == "->") && i >= 1 &&
+            arg[i - 1].ident && arg[i - 1].text != "this") {
+          foreign = true;
+        }
+      }
+      if (base.empty() || deferred) continue;
+      ActiveGuard g;
+      g.base = base;
+      g.key = foreign ? std::string() : mutex_key(base, cls);
+      if (in_function()) {
+        LockAcquire acq;
+        acq.name = base;
+        acq.key = g.key;
+        acq.line = line;
+        acq.held_keys_before = held_keys();
+        acq.held_before = held_bases();
+        fn().acquires.push_back(std::move(acq));
+      }
+      guards_.push_back(std::move(g));
+    }
+    pos_ = p;  // at the closing token; loop ++ moves past it
+    return true;
+  }
+
+  // --- in-function identifier scan -------------------------------------------
+
+  void scan_function_ident() {
+    const Token& t = tokens_[pos_];
+    if (is_keyword(t.text)) return;
+    const Token* next = pos_ + 1 < tokens_.size() ? &tokens_[pos_ + 1] : nullptr;
+    const Token* prev = pos_ >= 1 ? &tokens_[pos_ - 1] : nullptr;
+    const Token* prev2 = pos_ >= 2 ? &tokens_[pos_ - 2] : nullptr;
+
+    if (prev != nullptr && prev->text == "::") {
+      // Qualified tail: Cls::name or ns::name. A call site when followed by
+      // '('; enum values / statics are skipped as uses.
+      if (next != nullptr && next->text == "(" && prev2 != nullptr && prev2->ident) {
+        CallSite c;
+        c.name = t.text;
+        c.qualifier = prev2->text;
+        c.line = t.line;
+        c.held = held_bases();
+        c.held_keys = held_keys();
+        fn().calls.push_back(std::move(c));
+      }
+      check_taint_prim(t, next, prev);
+      return;
+    }
+
+    bool member = prev != nullptr && (prev->text == "." || prev->text == "->");
+    std::string receiver;
+    if (member && prev2 != nullptr && prev2->ident) receiver = prev2->text;
+    bool self = member && receiver == "this";
+
+    IdentUse u;
+    u.name = t.text;
+    u.line = t.line;
+    u.receiver_qualified = member && !self;
+    u.held = held_bases();
+    fn().uses.push_back(std::move(u));
+
+    if (next != nullptr && next->text == "(" && !is_guard_class(t.text)) {
+      CallSite c;
+      c.name = t.text;
+      c.member = member && !self;
+      c.receiver = self ? std::string() : receiver;
+      c.line = t.line;
+      c.held = held_bases();
+      c.held_keys = held_keys();
+      fn().calls.push_back(std::move(c));
+    }
+    check_taint_prim(t, next, prev);
+  }
+
+  void check_taint_prim(const Token& t, const Token* next, const Token* prev) {
+    for (const TaintPrimitive& p : taint_primitives()) {
+      if (t.text != p.ident) continue;
+      if (p.needs_call) {
+        if (next == nullptr || next->text != "(") return;
+        if (prev != nullptr && (prev->text == "." || prev->text == "->")) return;
+      }
+      fn().taint_prims.emplace_back(t.text, t.line);
+      return;
+    }
+  }
+
+  std::string rel_path_;
+  const std::set<int>& sink_lines_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<Token> stmt_;
+  std::vector<Scope> scopes_;
+  std::vector<ActiveGuard> guards_;
+  int current_fn_ = -1;
+  FileModel out_;
+};
+
+}  // namespace
+
+const std::vector<TaintPrimitive>& taint_primitives() {
+  static const std::vector<TaintPrimitive> kPrims = {
+      {"system_clock", false},   {"steady_clock", false},
+      {"high_resolution_clock", false},
+      {"gettimeofday", false},   {"clock_gettime", false},
+      {"time", true},            {"rand", true},
+      {"srand", true},           {"random_device", false},
+      {"mt19937", false},        {"mt19937_64", false},
+  };
+  return kPrims;
+}
+
+FileModel parse_file_model(const std::string& rel_path,
+                           const std::vector<std::string>& code_lines,
+                           const std::set<int>& sink_lines) {
+  return Parser(rel_path, code_lines, sink_lines).run();
+}
+
+}  // namespace pingmesh::lint

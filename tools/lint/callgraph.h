@@ -1,0 +1,116 @@
+// Best-effort per-TU symbol table and call-graph facts for pingmesh_lint's
+// interprocedural passes (determinism-taint, lock-discipline, lock-order).
+//
+// Built on the same lexer as the line rules: parse_file_model() walks the
+// comment/string-stripped lines of one file with a scope stack
+// (namespace / class / function / block), recording
+//  - function definitions (class-qualified where the syntax says so),
+//  - call sites with the receiver shape ("f(", "x.f(", "Cls::f("),
+//  - RAII lock-guard acquisitions and the set of mutexes held at each
+//    call/identifier site (std::lock_guard / unique_lock / scoped_lock /
+//    shared_lock; `defer_lock` guards do not count as held),
+//  - PM_GUARDED_BY / PM_REQUIRES / PM_ACQUIRE annotations
+//    (src/common/annotations.h), on fields and on function decls/defs,
+//  - uses of the wallclock/rng primitive identifiers that seed the
+//    determinism taint.
+//
+// This is a heuristic parser, not a compiler: templates, overload sets, and
+// function pointers resolve conservatively (a call site may match several
+// definitions; an unresolvable call matches none). The passes in lint.cc are
+// written so that over-approximation surfaces extra reachability, never
+// bogus "unknown symbol" errors.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pingmesh::lint {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string name;       ///< base identifier ("parallel_for", "place")
+  std::string qualifier;  ///< "Cls" for Cls::name(...) calls, else ""
+  bool member = false;    ///< receiver-qualified: x.name(...) / x->name(...)
+  std::string receiver;   ///< the receiver identifier; "" when complex
+  int line = 0;           ///< 1-based
+  std::vector<std::string> held;       ///< base mutex names held here
+  std::vector<std::string> held_keys;  ///< qualified keys ("Cls::m_") held here
+};
+
+/// One use of an identifier that may name a guarded field.
+struct IdentUse {
+  std::string name;
+  int line = 0;
+  bool receiver_qualified = false;  ///< x.name / x->name with x != this
+  std::vector<std::string> held;    ///< base mutex names held here
+};
+
+/// One RAII guard acquisition (lock-order graph edge source).
+struct LockAcquire {
+  std::string name;  ///< base mutex identifier
+  std::string key;   ///< qualified key; "" when the mutex is another object's
+  int line = 0;
+  std::vector<std::string> held_keys_before;  ///< qualified keys already held
+  std::vector<std::string> held_before;       ///< base names already held
+};
+
+struct FunctionInfo {
+  std::string file;  ///< rel_path of the defining file
+  std::string cls;   ///< enclosing class name; "" for free functions
+  std::string name;
+  int def_line = 0;  ///< line of the opening '{'
+  int body_end = 0;  ///< line of the closing '}'
+  bool is_ctor_dtor = false;
+  bool sink = false;  ///< carries the determinism-sink lint directive
+  std::set<std::string> requires_locks;  ///< PM_REQUIRES arguments
+  std::set<std::string> acquires_locks;  ///< PM_ACQUIRE arguments
+  std::vector<CallSite> calls;
+  std::vector<LockAcquire> acquires;
+  std::vector<IdentUse> uses;
+  /// Determinism primitives used directly: (primitive, line).
+  std::vector<std::pair<std::string, int>> taint_prims;
+
+  [[nodiscard]] std::string qualified() const {
+    return cls.empty() ? name : cls + "::" + name;
+  }
+};
+
+struct GuardedField {
+  std::string file;
+  std::string cls;  ///< "" for file-scope variables
+  std::string field;
+  std::string mutex;  ///< PM_GUARDED_BY argument (base identifier)
+  int line = 0;
+};
+
+/// Everything the interprocedural passes need from one file.
+struct FileModel {
+  std::vector<FunctionInfo> functions;
+  std::vector<GuardedField> guarded_fields;
+  /// Lock annotations seen on declarations without bodies, to merge into
+  /// the definition found elsewhere: (cls, name) -> (requires, acquires).
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::set<std::string>, std::set<std::string>>>
+      decl_locks;
+};
+
+/// Identifiers that seed determinism taint (superset of the wallclock/rng
+/// line rules: also the monotonic clocks, which are deterministic-looking
+/// but still timing-dependent). `needs_call` mirrors the line rules.
+struct TaintPrimitive {
+  const char* ident;
+  bool needs_call;
+};
+const std::vector<TaintPrimitive>& taint_primitives();
+
+/// Parse one file's model. `code_lines` are the stripped lines
+/// (strip_comments_and_strings); `sink_lines` are the 1-based lines carrying
+/// the determinism-sink directive (parsed from raw lines by the caller).
+FileModel parse_file_model(const std::string& rel_path,
+                           const std::vector<std::string>& code_lines,
+                           const std::set<int>& sink_lines);
+
+}  // namespace pingmesh::lint

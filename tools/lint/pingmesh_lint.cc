@@ -3,17 +3,79 @@
 // directly into ctest and CI.
 //
 // Usage:
-//   pingmesh_lint <src-root> [more-roots...]
+//   pingmesh_lint [--json] [--github] [--preset=full|support]
+//                 [--rules=a,b,c] <src-root> [more-roots...]
 //   pingmesh_lint --list-rules
+//
+// Output modes (combinable; exit status is the same in all of them):
+//   default   one `root/file:line: [rule] message` per violation on stderr,
+//             a summary line on stdout
+//   --json    a JSON array of {file, line, rule, message} on stdout (the
+//             summary moves to stderr so stdout stays machine-parseable)
+//   --github  GitHub Actions workflow commands (::error file=...,line=...)
+//             on stdout, so violations surface as PR annotations
+//
+// Rule selection:
+//   --preset=full      every rule (the default)
+//   --preset=support   the library-agnostic subset for tools/ and bench/,
+//                      where printf and ambient clocks are legitimate:
+//                      header-guard, using-namespace-header, include-cycle,
+//                      unknown-suppression
+//   --rules=a,b,c      an explicit comma-separated rule list
 #include <cstdio>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "lint.h"
 
+namespace {
+
+/// Escape a GitHub Actions workflow-command value (data portion).
+std::string gh_escape(const std::string& s, bool property) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':':
+        if (property) {
+          out += "%3A";
+        } else {
+          out += c;
+        }
+        break;
+      case ',':
+        if (property) {
+          out += "%2C";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const std::set<std::string>& support_preset() {
+  static const std::set<std::string> kSupport = {
+      "header-guard", "using-namespace-header", "include-cycle",
+      "unknown-suppression",
+  };
+  return kSupport;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  pingmesh::lint::Options options;
+  bool json = false;
+  bool github = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -23,8 +85,61 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: pingmesh_lint [--list-rules] <src-root> [more-roots...]\n");
+      std::printf(
+          "usage: pingmesh_lint [--list-rules] [--json] [--github]\n"
+          "                     [--preset=full|support] [--rules=a,b,c]\n"
+          "                     <src-root> [more-roots...]\n");
       return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--github") {
+      github = true;
+      continue;
+    }
+    if (arg.starts_with("--preset=")) {
+      std::string preset = arg.substr(9);
+      if (preset == "full") {
+        options.rules.clear();
+      } else if (preset == "support") {
+        options.rules = support_preset();
+      } else {
+        std::fprintf(stderr, "pingmesh_lint: unknown preset '%s' (full|support)\n",
+                     preset.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg.starts_with("--rules=")) {
+      std::string list = arg.substr(8);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        std::string one =
+            list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!one.empty()) {
+          bool known = false;
+          for (const std::string& name : pingmesh::lint::rule_names()) {
+            if (one == name) known = true;
+          }
+          if (!known) {
+            std::fprintf(stderr, "pingmesh_lint: unknown rule '%s' (see --list-rules)\n",
+                         one.c_str());
+            return 2;
+          }
+          options.rules.insert(one);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      continue;
+    }
+    if (arg.starts_with("--")) {
+      std::fprintf(stderr, "pingmesh_lint: unknown option '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
     }
     roots.push_back(std::move(arg));
   }
@@ -34,21 +149,39 @@ int main(int argc, char** argv) {
   }
 
   std::size_t files = 0;
-  std::size_t violations = 0;
+  std::vector<pingmesh::lint::Violation> all;
   for (const std::string& root : roots) {
     if (!std::filesystem::is_directory(root)) {
       std::fprintf(stderr, "pingmesh_lint: not a directory: %s\n", root.c_str());
       return 2;
     }
-    pingmesh::lint::Report report = pingmesh::lint::run_tree(root);
+    pingmesh::lint::Report report = pingmesh::lint::run_tree(root, options);
     files += report.files_scanned;
-    violations += report.violations.size();
-    for (const pingmesh::lint::Violation& v : report.violations) {
-      std::fprintf(stderr, "%s/%s:%d: [%s] %s\n", root.c_str(), v.file.c_str(), v.line,
-                   v.rule.c_str(), v.message.c_str());
+    for (pingmesh::lint::Violation& v : report.violations) {
+      v.file = root + "/" + v.file;
+      all.push_back(std::move(v));
     }
   }
-  std::printf("pingmesh_lint: %zu files, %zu violation%s\n", files, violations,
-              violations == 1 ? "" : "s");
-  return violations == 0 ? 0 : 1;
+
+  for (const pingmesh::lint::Violation& v : all) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                 v.message.c_str());
+  }
+  if (github) {
+    for (const pingmesh::lint::Violation& v : all) {
+      std::printf("::error file=%s,line=%d,title=%s::%s\n",
+                  gh_escape(v.file, true).c_str(), v.line,
+                  gh_escape("lint/" + v.rule, true).c_str(),
+                  gh_escape(v.message, false).c_str());
+    }
+  }
+  if (json) {
+    std::fputs(pingmesh::lint::violations_to_json(all).c_str(), stdout);
+    std::fprintf(stderr, "pingmesh_lint: %zu files, %zu violation%s\n", files, all.size(),
+                 all.size() == 1 ? "" : "s");
+  } else {
+    std::printf("pingmesh_lint: %zu files, %zu violation%s\n", files, all.size(),
+                all.size() == 1 ? "" : "s");
+  }
+  return all.empty() ? 0 : 1;
 }
