@@ -11,10 +11,16 @@
 //     come back 304 with zero additional pinglist renders.
 //  4. Cross-validation: rollup percentiles vs an exact rescan of the same
 //     record stream, which must agree within the sketch's error bound.
+//  5. Restart recovery: a PersistentRollupStore WALs + checkpoints the same
+//     stream through Cosmos during the run; afterwards a cold store is
+//     rebuilt from those streams, timed, and digest-compared against the
+//     writer — plus a cross-replica conditional GET (pre-restart ETag must
+//     revalidate as 304 on a service over the recovered store).
 //
 // The perf-smoke gate keys on: serving_query_qps (throughput floor),
-// serving_query_p99_us (latency ceiling), serving_herd_renders (== 0) and
-// serving_rollup_within_bounds (== 1).
+// serving_query_p99_us (latency ceiling), serving_herd_renders (== 0),
+// serving_rollup_within_bounds (== 1), serving_recovery_ms (ceiling), and
+// serving_recovery_digest_match / serving_recovery_cross_replica_304 (== 1).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -31,6 +37,7 @@
 #include "net/http.h"
 #include "net/reactor.h"
 #include "net/sockaddr.h"
+#include "serve/persist.h"
 #include "serve/query_service.h"
 #include "serve/rollup.h"
 
@@ -155,10 +162,14 @@ int main(int argc, char** argv) {
   rcfg.tier_width[1] = minutes(10);
   rcfg.tier_width[2] = hours(1);
   serve::RollupStore store(topo, &sim.services(), rcfg);
+  // The durable twin: same batches, but WAL-appended and checkpointed
+  // through the sim's Cosmos store before every apply (section 5).
+  serve::PersistentRollupStore durable(topo, &sim.services(), rcfg, sim.cosmos());
   ExactTap exact(topo);
   serve::RecordTapFanout fanout;
   if (sim.streaming() != nullptr) fanout.add(sim.streaming());
   fanout.add(&store);
+  fanout.add(&durable);
   fanout.add(&exact);
   sim.uploader_for_test().set_tap(&fanout);
 
@@ -311,8 +322,52 @@ int main(int argc, char** argv) {
   bench::json_metric("serving_rollup_pairs_checked", static_cast<double>(checked));
   bench::json_metric("serving_rollup_within_bounds", within_frac >= 1.0 ? 1 : 0);
 
+  // ---- 5. restart recovery -------------------------------------------------
+  bench::heading("restart recovery: cold rebuild from checkpoint + WAL");
+  serve::RollupStore recovered(topo, &sim.services(), rcfg);
+  auto t_rec0 = steady_clock::now();
+  serve::RollupRecoveryStats rst = serve::recover_rollup_store(recovered, sim.cosmos());
+  double recovery_ms =
+      std::chrono::duration<double, std::milli>(steady_clock::now() - t_rec0).count();
+  bool digest_match = recovered.digest() == durable.store().digest();
+  bench::compare_row("recovered digest", "writer-identical",
+                     digest_match ? "writer-identical" : "MISMATCH");
+  bench::note("replayed " + std::to_string(rst.wal_frames_replayed) + " WAL frames (" +
+              std::to_string(rst.replayed_records) + " records) over " +
+              (rst.from_checkpoint
+                   ? "checkpoint seq " + std::to_string(rst.checkpoint_seq)
+                   : std::string("no checkpoint")) +
+              " in " + std::to_string(recovery_ms) + " ms");
+  bench::json_metric("serving_recovery_ms", recovery_ms, "ms");
+  bench::json_metric("serving_recovery_digest_match", digest_match ? 1 : 0);
+  bench::json_metric("serving_recovery_wal_frames",
+                     static_cast<double>(rst.wal_frames_replayed));
+  bench::json_metric("serving_wal_mb",
+                     static_cast<double>(durable.wal_bytes()) / (1024.0 * 1024.0), "MB");
+  bench::json_metric("serving_segments_written",
+                     static_cast<double>(durable.segments_written()));
+
+  // Cross-replica revalidation: the ETag a live replica minted before the
+  // restart must come back 304 from a service over the recovered store —
+  // the validator is derived from (store version, path) only, and recovery
+  // restores the version.
+  serve::QueryService pre(topo, store, &sim.services());
+  serve::QueryService post(topo, recovered, &sim.services());
+  net::HttpRequest hm{"GET", "/query/heatmap?minutes=10", {}, ""};
+  net::HttpResponse warm200 = pre.handle(hm);
+  int cross_304 = 0;
+  if (warm200.status == 200) {
+    net::HttpRequest cond = hm;
+    cond.headers["if-none-match"] = warm200.headers.at("etag");
+    cross_304 = post.handle(cond).status == 304 ? 1 : 0;
+  }
+  bench::compare_row("pre-restart ETag on recovered replica", "304",
+                     cross_304 != 0 ? "304" : "MISS");
+  bench::json_metric("serving_recovery_cross_replica_304", cross_304);
+
   bool ok = herd_renders == 0 && herd_304_rate >= 1.0 && within_frac >= 1.0 &&
-            checked > 0 && store.check_conservation() && warm_hit_rate > 0.9;
+            checked > 0 && store.check_conservation() && warm_hit_rate > 0.9 &&
+            digest_match && cross_304 == 1 && durable.segments_written() > 0;
   bench::note(ok ? "serving tier OK" : "serving tier FAILED");
   return ok ? 0 : 1;
 }

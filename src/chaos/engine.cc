@@ -1,13 +1,31 @@
 #include "chaos/engine.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "agent/record.h"
 #include "chaos/injector.h"
 #include "common/rng.h"
 #include "core/scenarios.h"
+#include "serve/replica.h"
 
 namespace pingmesh::chaos {
+
+namespace {
+
+/// Rollup geometry for chaos runs: tiers shrunk (1 min → 10 min → 1 h,
+/// 5 s grace) so plenty of seals — and therefore WAL seal records and
+/// tier-1 checkpoint segments — happen inside a 30–40 minute plan.
+serve::RollupConfig chaos_rollup_config() {
+  serve::RollupConfig cfg;
+  cfg.tier_width[0] = minutes(1);
+  cfg.tier_width[1] = minutes(10);
+  cfg.tier_width[2] = hours(1);
+  cfg.seal_grace = seconds(5);
+  return cfg;
+}
+
+}  // namespace
 
 ChaosRunResult run_plan(const ChaosPlan& plan, const ChaosRunOptions& options) {
   core::SimulationConfig cfg = options.base_config != nullptr
@@ -21,13 +39,72 @@ ChaosRunResult run_plan(const ChaosPlan& plan, const ChaosRunOptions& options) {
 
   core::PingmeshSimulation sim(cfg);
   ChaosInjector injector(sim);
+
+  // Attach the replicated serving tier only when the plan exercises it, so
+  // plans without serve-restart events keep their exact pre-existing
+  // byte-for-byte behavior (the harness writes WAL/segment streams into
+  // the same CosmosStore).
+  const bool wants_serve =
+      std::any_of(plan.events.begin(), plan.events.end(), [](const ChaosEvent& e) {
+        return e.kind == ChaosEventKind::kServeRestart;
+      });
+  ChaosRunResult result;
+  std::unique_ptr<serve::ServeReplicaSet> replicas;
+  if (wants_serve) {
+    result.serve.ran = true;
+    replicas = std::make_unique<serve::ServeReplicaSet>(
+        sim.topology(), &sim.services(), chaos_rollup_config(), sim.cosmos());
+    sim.add_record_tap(replicas.get());
+
+    ChaosInjector::ServeHooks hooks;
+    hooks.replica_count = replicas->replica_count();
+    hooks.kill = [rs = replicas.get()](std::size_t i) { rs->kill(i); };
+    hooks.restart = [rs = replicas.get(), out = &result.serve](std::size_t i) {
+      rs->restart(i);
+      ++out->restarts;
+      // The WAL is write-ahead and complete, so the recovered store must be
+      // digest-identical to the durable writer at this instant.
+      if (rs->replica_store(i)->digest() == rs->writer().store().digest()) {
+        ++out->digest_matches;
+      } else {
+        ++out->digest_mismatches;
+      }
+    };
+    injector.set_serve_hooks(std::move(hooks));
+
+    // Periodic front-door probe: a 503 is only acceptable while every
+    // replica is dead (graceful degradation, never a blackhole).
+    sim.scheduler().schedule_every(minutes(1), [rs = replicas.get(),
+                                                out = &result.serve](SimTime) {
+      net::HttpRequest req;
+      req.method = "GET";
+      req.path = "/query/heatmap?minutes=10";
+      const std::size_t alive = rs->alive_count();
+      serve::ReplicaQueryResult r = rs->query(req);
+      ++out->queries;
+      if (r.response.status == 503 && alive > 0) ++out->failed_with_replicas;
+      return true;
+    });
+  }
+
   injector.arm(plan);
   sim.run_for(plan.duration + plan.settle);
 
-  ChaosRunResult result;
+  if (replicas) {
+    const std::uint64_t want = replicas->writer().store().digest();
+    result.serve.final_digests_equal = true;
+    result.serve.conservation_ok = replicas->writer().store().check_conservation();
+    for (std::size_t i = 0; i < replicas->replica_count(); ++i) {
+      const serve::RollupStore* store = replicas->replica_store(i);
+      if (store == nullptr) continue;  // event window still open at run end
+      if (store->digest() != want) result.serve.final_digests_equal = false;
+      if (!store->check_conservation()) result.serve.conservation_ok = false;
+    }
+  }
+
   result.total_probes = sim.total_probes();
   result.records = agent::encode_batch(sim.records_between(0, sim.now() + 1));
-  result.report = check_invariants(sim, plan);
+  result.report = check_invariants(sim, plan, wants_serve ? &result.serve : nullptr);
   result.totals = collect_totals(sim);
   return result;
 }

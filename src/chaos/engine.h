@@ -36,6 +36,9 @@ struct ChaosRunResult {
   std::string records;
   InvariantReport report;
   FleetTotals totals;
+  /// Serving-tier harness outcome; ran only when the plan holds
+  /// serve-restart events (otherwise default-initialized, ran == false).
+  ServeChaosOutcome serve;
 
   [[nodiscard]] bool ok() const { return report.all_ok(); }
 };

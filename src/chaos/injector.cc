@@ -123,6 +123,14 @@ void ChaosInjector::arm_event(const ChaosEvent& event, const ChaosPlan& plan,
       });
       break;
     }
+    case ChaosEventKind::kServeRestart: {
+      if (serve_.replica_count == 0) break;  // no serving harness attached
+      std::size_t r = event.entity % serve_.replica_count;
+      sched.schedule_at(event.start, [kill = serve_.kill, r](SimTime) { kill(r); });
+      sched.schedule_at(event.end,
+                        [restart = serve_.restart, r](SimTime) { restart(r); });
+      break;
+    }
   }
 }
 

@@ -13,6 +13,10 @@
 // applicable to any topology.
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <utility>
+
 #include "chaos/plan.h"
 #include "core/simulation.h"
 
@@ -20,12 +24,24 @@ namespace pingmesh::chaos {
 
 class ChaosInjector {
  public:
+  /// Serving-tier fault surface (serve-restart events). The simulation has
+  /// no built-in query replicas — the chaos engine owns a ServeReplicaSet
+  /// and exposes its kill/restart here; without hooks the event is a no-op.
+  struct ServeHooks {
+    std::function<void(std::size_t)> kill;
+    std::function<void(std::size_t)> restart;
+    std::size_t replica_count = 0;
+  };
+
   explicit ChaosInjector(core::PingmeshSimulation& sim) : sim_(&sim) {}
 
   /// Schedule every event of `plan` onto the simulation. Must be called
   /// before the events' start times (normally at sim time 0). The plan must
   /// validate; throws std::invalid_argument otherwise.
   void arm(const ChaosPlan& plan);
+
+  /// Install the serving-tier hooks; call before arm().
+  void set_serve_hooks(ServeHooks hooks) { serve_ = std::move(hooks); }
 
   /// Events actually armed (after entity clamping; for introspection).
   [[nodiscard]] std::size_t armed_events() const { return armed_; }
@@ -35,6 +51,7 @@ class ChaosInjector {
                  std::size_t event_index);
 
   core::PingmeshSimulation* sim_;
+  ServeHooks serve_;
   std::size_t armed_ = 0;
 };
 

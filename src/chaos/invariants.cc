@@ -232,6 +232,22 @@ InvariantFinding check_decode_integrity(const core::PingmeshSimulation& sim,
                   " malformed rows (must be 0 without deliberate corruption)");
 }
 
+InvariantFinding check_rollup_recovery(const ServeChaosOutcome* serve) {
+  if (serve == nullptr || !serve->ran) {
+    return not_applicable("rollup-recovery", "plan has no serve-restart events");
+  }
+  bool ok = serve->digest_mismatches == 0 && serve->final_digests_equal &&
+            serve->conservation_ok && serve->failed_with_replicas == 0;
+  return make("rollup-recovery", ok,
+              "restarts=" + std::to_string(serve->restarts) + " digest-matches=" +
+                  std::to_string(serve->digest_matches) + " mismatches=" +
+                  std::to_string(serve->digest_mismatches) + " final-equal=" +
+                  (serve->final_digests_equal ? "yes" : "no") + " conservation=" +
+                  (serve->conservation_ok ? "ok" : "VIOLATED") + " queries=" +
+                  std::to_string(serve->queries) + " 503-with-replicas=" +
+                  std::to_string(serve->failed_with_replicas));
+}
+
 InvariantFinding check_bounded_buffer(const core::PingmeshSimulation& sim) {
   std::size_t cap = sim.config().agent.max_buffered_records;
   std::size_t n = sim.topology().server_count();
@@ -302,7 +318,7 @@ FleetTotals collect_totals(const core::PingmeshSimulation& sim) {
 }
 
 InvariantReport check_invariants(const core::PingmeshSimulation& sim,
-                                 const ChaosPlan& plan) {
+                                 const ChaosPlan& plan, const ServeChaosOutcome* serve) {
   InvariantReport report;
   report.findings.push_back(check_record_conservation(sim));
   report.findings.push_back(check_cosmos_ledger(sim));
@@ -311,6 +327,7 @@ InvariantReport check_invariants(const core::PingmeshSimulation& sim,
   report.findings.push_back(check_blame_localization(sim, plan));
   report.findings.push_back(check_decode_integrity(sim, plan));
   report.findings.push_back(check_bounded_buffer(sim));
+  report.findings.push_back(check_rollup_recovery(serve));
   return report;
 }
 

@@ -18,7 +18,12 @@
 //   decode-integrity      the extent scan path decoded every uploaded row;
 //                         zero rows dropped unless the plan corrupts
 //                         extents deliberately (then not applicable);
-//   bounded-buffer        no agent's buffer exceeded its configured cap.
+//   bounded-buffer        no agent's buffer exceeded its configured cap;
+//   rollup-recovery       every restarted query replica rebuilt from the
+//                         persisted rollup segments + WAL digest-identical
+//                         to the durable writer — at each restart and at
+//                         run end — with the rollup conservation ledger
+//                         intact and no 503 while a replica was alive.
 //
 // Checks that don't apply to a given plan (e.g. blame-localization for a
 // plan without a lone network fault) report applicable=false rather than a
@@ -73,9 +78,29 @@ struct FleetTotals {
 
 [[nodiscard]] FleetTotals collect_totals(const core::PingmeshSimulation& sim);
 
+/// Outcome of the serving-tier harness a chaos run attaches when the plan
+/// holds serve-restart events (engine.cc): every restart's recovered
+/// digest compared against the durable writer's, final cross-replica
+/// digest agreement, the rollup conservation ledger, and front-door
+/// availability while at least one replica was alive. Feeds the
+/// "rollup-recovery" invariant.
+struct ServeChaosOutcome {
+  bool ran = false;
+  std::size_t restarts = 0;
+  std::size_t digest_matches = 0;     ///< restart recovered digest == writer's
+  std::size_t digest_mismatches = 0;
+  bool final_digests_equal = false;   ///< every live replica == writer at end
+  bool conservation_ok = false;       ///< writer + replicas ledger identities
+  std::uint64_t queries = 0;          ///< periodic front-door probes issued
+  std::uint64_t failed_with_replicas = 0;  ///< 503s while a replica was alive
+};
+
 /// Run every invariant against the post-run simulation state. `plan` gates
-/// plan-dependent checks (blame localization needs a lone network fault).
+/// plan-dependent checks (blame localization needs a lone network fault);
+/// `serve` (optional) feeds the rollup-recovery check — when null or not
+/// ran, that finding reports not-applicable.
 [[nodiscard]] InvariantReport check_invariants(const core::PingmeshSimulation& sim,
-                                               const ChaosPlan& plan);
+                                               const ChaosPlan& plan,
+                                               const ServeChaosOutcome* serve = nullptr);
 
 }  // namespace pingmesh::chaos

@@ -26,6 +26,7 @@ constexpr KindName kKindNames[] = {
     {ChaosEventKind::kUploadDelay, "upload-delay"},
     {ChaosEventKind::kExtentCorruption, "corrupt-extent"},
     {ChaosEventKind::kClockSkew, "clock-skew"},
+    {ChaosEventKind::kServeRestart, "serve-restart"},
 };
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) == kChaosEventKindCount);
 
@@ -133,6 +134,7 @@ std::optional<std::string> validate_event(const ChaosEvent& e, SimTime duration)
     case ChaosEventKind::kServerCrash:
     case ChaosEventKind::kControllerOutage:
     case ChaosEventKind::kExtentCorruption:
+    case ChaosEventKind::kServeRestart:
       break;
   }
   if (e.entity == kEntityAll && e.kind != ChaosEventKind::kControllerOutage &&
@@ -153,6 +155,7 @@ const char* entity_key(ChaosEventKind k) {
       return "server";
     case ChaosEventKind::kControllerOutage:
     case ChaosEventKind::kSlbFlap:
+    case ChaosEventKind::kServeRestart:
       return "replica";
     default:
       return nullptr;  // no entity in the text form

@@ -42,10 +42,11 @@ enum class ChaosEventKind : std::uint8_t {
   kUploadDelay,       ///< accepted uploads land with appended_at += param
   kExtentCorruption,  ///< newest extent's payload bit-flipped at start
   kClockSkew,         ///< one agent stamps records at now + param (signed)
+  kServeRestart,      ///< query replica killed at start, recovered at end
 };
 
 /// Number of distinct event kinds (generator/shrinker iteration).
-constexpr int kChaosEventKindCount = 9;
+constexpr int kChaosEventKindCount = 10;
 
 const char* chaos_event_kind_name(ChaosEventKind kind);
 std::optional<ChaosEventKind> parse_chaos_event_kind(std::string_view name);

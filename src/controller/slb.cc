@@ -37,7 +37,27 @@ std::optional<std::size_t> SlbVip::pick(std::uint64_t flow_hash) {
   }
 
   std::size_t healthy = healthy_count();
-  if (healthy == 0) return std::nullopt;
+  if (healthy == 0) {
+    // Every backend is out of rotation (e.g. they all restarted at once).
+    // Returning nullopt here would blackhole the VIP permanently: with no
+    // picks succeeding, report(success) is never called and no backend can
+    // rejoin. Instead grant an immediate half-open trial to the backend
+    // that has waited longest (ties to the lowest index); re-arming it
+    // rotates the probe across backends on subsequent picks.
+    if (backends_.empty()) return std::nullopt;
+    std::size_t probe = 0;
+    for (std::size_t i = 1; i < backends_.size(); ++i) {
+      if (backends_[i].unhealthy_since_pick < backends_[probe].unhealthy_since_pick) {
+        probe = i;
+      }
+    }
+    Backend& b = backends_[probe];
+    b.unhealthy_since_pick = total_picks_;
+    ++b.picks;
+    ++half_open_trials_;
+    if (hooks_.trials != nullptr) hooks_.trials->inc();
+    return probe;
+  }
   std::size_t target = static_cast<std::size_t>(mix64(flow_hash) % healthy);
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     if (!backends_[i].healthy) continue;

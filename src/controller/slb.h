@@ -59,8 +59,10 @@ class SlbVip {
 
   /// Choose a backend for a flow; flows hash-spread over healthy backends,
   /// except that an unhealthy backend due for a half-open trial takes
-  /// priority (it gets this one flow as its probe). nullopt when no backend
-  /// is healthy and none is due for a trial.
+  /// priority (it gets this one flow as its probe). When the healthy set
+  /// is fully empty (all backends restarted at once), the longest-waiting
+  /// unhealthy backend gets an immediate trial instead of the VIP
+  /// blackholing — nullopt only when there are no backends at all.
   std::optional<std::size_t> pick(std::uint64_t flow_hash);
 
   /// Report the outcome of a request to backend `idx`; failures accumulate

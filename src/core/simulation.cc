@@ -52,7 +52,7 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
     // driver-thread-only regardless of worker_threads (DESIGN.md §7).
     streaming_ = std::make_unique<streaming::StreamingPipeline>(topo_, db_,
                                                                 config_.streaming);
-    uploader_.set_tap(streaming_.get());
+    add_record_tap(streaming_.get());
     scheduler_.schedule_every(config_.streaming.detector.eval_period,
                               [this](SimTime now) {
                                 streaming_->tick(now);
@@ -193,6 +193,11 @@ void PingmeshSimulation::wire_observability() {
 void PingmeshSimulation::set_controller_replica_up(std::size_t replica, bool up) {
   std::lock_guard<std::mutex> lock(vip_mutex_);
   replica_up_.at(replica) = up ? 1 : 0;
+}
+
+void PingmeshSimulation::add_record_tap(dsa::RecordTap* tap) {
+  tap_fanout_.taps.push_back(tap);
+  uploader_.set_tap(&tap_fanout_);
 }
 
 controller::FetchResult PingmeshSimulation::fetch_pinglist(IpAddr server_ip, SimTime now) {

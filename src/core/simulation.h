@@ -118,6 +118,14 @@ class PingmeshSimulation {
   /// Failure injection on the upload path (Cosmos front-end outages).
   dsa::CosmosUploader& uploader_for_test() { return uploader_; }
 
+  /// Attach an additional record tap to the upload-drain phase. The
+  /// uploader has a single tap slot; the sim multiplexes the streaming
+  /// pipeline and externally attached consumers (serving harnesses, chaos)
+  /// through an internal fanout, in attach order. Driver thread only, and
+  /// before run_for; `tap` must outlive the simulation. (Tests that call
+  /// uploader_for_test().set_tap() directly still replace the whole slot.)
+  void add_record_tap(dsa::RecordTap* tap);
+
   /// Observability layer; null unless config().observability.enabled.
   [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
   [[nodiscard]] const obs::Observability* observability() const { return obs_.get(); }
@@ -170,7 +178,16 @@ class PingmeshSimulation {
                                    SimTime now);
   controller::FetchResult fetch_pinglist(IpAddr server_ip, SimTime now);
 
+  /// The uploader's one tap slot, multiplexed (see add_record_tap).
+  struct TapFanout final : dsa::RecordTap {
+    std::vector<dsa::RecordTap*> taps;
+    void on_records(const agent::RecordColumns& batch, SimTime now) override {
+      for (dsa::RecordTap* t : taps) t->on_records(batch, now);
+    }
+  };
+
   SimulationConfig config_;
+  TapFanout tap_fanout_;
   std::unique_ptr<obs::Observability> obs_;  // null when observability off
   topo::Topology topo_;
   netsim::SimNetwork net_;

@@ -170,19 +170,48 @@ HttpResponse HttpResponse::not_modified(std::string etag) {
 }
 
 bool etag_match(std::string_view header, std::string_view etag) {
+  // RFC 9110 §8.8.3 / §13.1.2: If-None-Match uses the *weak* comparison
+  // (ignore W/ on either side, compare opaque parts byte-wise) and the
+  // list is parsed quote-aware — a comma is a list separator only OUTSIDE
+  // a quoted entity-tag, since etagc allows ',' inside the quotes. The
+  // naive split-on-comma this replaces truncated such tags and then
+  // matched the fragments against the wrong resource.
   auto opaque = [](std::string_view tag) {
     if (tag.starts_with("W/")) tag.remove_prefix(2);
     return tag;
   };
+  const std::string_view target = opaque(trim(etag));
   std::size_t pos = 0;
-  while (pos <= header.size()) {
-    auto comma = header.find(',', pos);
-    std::string_view one = trim(header.substr(
-        pos, comma == std::string_view::npos ? header.size() - pos : comma - pos));
-    if (one == "*") return true;
-    if (!one.empty() && opaque(one) == opaque(etag)) return true;
-    if (comma == std::string_view::npos) break;
-    pos = comma + 1;
+  while (pos < header.size()) {
+    // Skip OWS and empty list members.
+    while (pos < header.size() &&
+           (header[pos] == ' ' || header[pos] == '\t' || header[pos] == ',')) {
+      ++pos;
+    }
+    if (pos >= header.size()) break;
+    std::size_t start = pos;
+    if (header[pos] == '*' ) {
+      // `*` matches any current representation (only valid alone, but a
+      // lenient reader honors it wherever it appears).
+      return true;
+    }
+    if (header.compare(pos, 2, "W/") == 0) pos += 2;
+    if (pos < header.size() && header[pos] == '"') {
+      // Quoted entity-tag: consume through the closing quote; commas in
+      // the opaque part belong to the tag, not the list.
+      std::size_t close = header.find('"', pos + 1);
+      if (close == std::string_view::npos) {
+        pos = header.size();  // unterminated: take the rest as one tag
+      } else {
+        pos = close + 1;
+      }
+    } else {
+      // Legacy unquoted token (seen from lax clients): up to next comma.
+      std::size_t comma = header.find(',', pos);
+      pos = comma == std::string_view::npos ? header.size() : comma;
+    }
+    std::string_view one = trim(header.substr(start, pos - start));
+    if (!one.empty() && opaque(one) == target) return true;
   }
   return false;
 }

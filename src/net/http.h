@@ -61,8 +61,10 @@ struct HttpResponse {
 
 /// If-None-Match comparison: `header` is the raw If-None-Match value (a
 /// single validator, a comma-separated list, or `*`); `etag` is the
-/// resource's current entity tag including quotes. Weak validators (W/
-/// prefix) compare by their opaque part, as conditional GET requires.
+/// resource's current entity tag including quotes. Uses RFC 9110's weak
+/// comparison — W/ prefixes strip on both sides — and parses the list
+/// quote-aware, so commas inside a quoted entity-tag are part of the tag,
+/// not separators. Safe on arbitrary header bytes (fuzzed).
 [[nodiscard]] bool etag_match(std::string_view header, std::string_view etag);
 
 /// Serialize a response (adds Content-Length and Connection: close). With

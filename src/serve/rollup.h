@@ -52,6 +52,8 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "agent/record_columns.h"
@@ -138,6 +140,24 @@ class RollupStore final : public dsa::RecordTap {
   [[nodiscard]] std::uint64_t digest() const;
   /// The ingest/coverage ledger described in the header comment.
   [[nodiscard]] bool check_conservation() const;
+
+  // -- persistence (implemented in serve/persist.cc) -------------------------
+  /// Serialize the COMPLETE store state — every cell in every tier (live
+  /// tier-0 cells and unsealed tier-1/2 accumulators included), the counter
+  /// ledger, the watermarks, and the version — as one binary payload.
+  /// digest() covers all of that state, so a restore_state() round-trip is
+  /// digest-identical by construction. The payload embeds the RollupConfig
+  /// for validation; sketches serialize as sparse (index, count) pairs.
+  [[nodiscard]] std::string encode_state() const;
+  /// Rebuild from encode_state() bytes. The input is untrusted (segments
+  /// cross a process/disk boundary through Cosmos): every length is bounds-
+  /// checked before allocation, the embedded config must equal this store's
+  /// config, keys must be strictly increasing and width-aligned, and cell
+  /// counters must be internally consistent. Returns false and leaves the
+  /// store untouched on any violation — the caller quarantines the segment
+  /// and falls back to an older one. Intended for freshly constructed
+  /// stores (recovery); on success it REPLACES all state.
+  [[nodiscard]] bool restore_state(std::string_view data);
 
   // -- counters --------------------------------------------------------------
   [[nodiscard]] std::uint64_t ingested() const {

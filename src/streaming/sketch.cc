@@ -87,6 +87,33 @@ std::int64_t LatencySketch::quantile(double q) const {
   return observed_max_;
 }
 
+bool LatencySketch::restore_state(const std::vector<std::uint64_t>& counts,
+                                  std::uint64_t total, double sum,
+                                  std::int64_t observed_min, std::int64_t observed_max) {
+  if (counts.size() != counts_.size()) return false;
+  std::uint64_t check = 0;
+  for (std::uint64_t c : counts) {
+    if (c > total - check) return false;  // overflow-safe: sum stays <= total
+    check += c;
+  }
+  if (check != total) return false;
+  if (total == 0) {
+    if (observed_min != std::numeric_limits<std::int64_t>::max() ||
+        observed_max != std::numeric_limits<std::int64_t>::min()) {
+      return false;
+    }
+  } else if (observed_min < 1 || observed_max < observed_min) {
+    return false;  // record() clamps values to >= 1
+  }
+  if (!(sum >= 0.0) || (total == 0 && sum != 0.0)) return false;  // rejects NaN too
+  counts_ = counts;
+  total_ = total;
+  sum_ = sum;
+  observed_min_ = observed_min;
+  observed_max_ = observed_max;
+  return true;
+}
+
 void LatencySketch::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;

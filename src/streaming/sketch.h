@@ -79,6 +79,27 @@ class LatencySketch {
   /// Reset to empty without touching the bucket layout (no allocation).
   void clear();
 
+  // -- state round-trips (serve rollup persistence) --------------------------
+  /// Raw bucket counts, for serialization. The layout is fully determined
+  /// by Config, so counts alone (plus the scalars below) round-trip the
+  /// sketch exactly — quantiles, mean, and merges are all preserved.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// Raw running sum (serialization counterpart of mean()).
+  [[nodiscard]] double sum() const { return sum_; }
+  /// observed min/max as stored — sentinel extremes when empty, unlike the
+  /// public min()/max() which report 0. Serialization must keep sentinels.
+  [[nodiscard]] std::int64_t observed_min_raw() const { return observed_min_; }
+  [[nodiscard]] std::int64_t observed_max_raw() const { return observed_max_; }
+  /// Restore state previously captured through the accessors above. The
+  /// input is validated as untrusted (persisted segments cross a disk
+  /// boundary): bucket count must match this sketch's geometry, the counts
+  /// must sum to `total` without overflow, and min/max must be a plausible
+  /// observed range (exact sentinels when total == 0). Returns false and
+  /// leaves the sketch unchanged on any mismatch.
+  [[nodiscard]] bool restore_state(const std::vector<std::uint64_t>& counts,
+                                   std::uint64_t total, double sum,
+                                   std::int64_t observed_min, std::int64_t observed_max);
+
   [[nodiscard]] const Config& config() const { return cfg_; }
   /// The documented worst-case relative error, sqrt(gamma) - 1 (~alpha).
   [[nodiscard]] double relative_error_bound() const { return rel_error_bound_; }

@@ -35,19 +35,21 @@ TEST(ChaosPlan, FullTaxonomyRoundTrips) {
       "event upload-fail prob=0.5 start=10m end=14m\n"
       "event upload-delay delay=45s start=8m end=11m\n"
       "event corrupt-extent start=13m\n"
-      "event clock-skew server=9 skew=-2s start=7m end=18m\n";
+      "event clock-skew server=9 skew=-2s start=7m end=18m\n"
+      "event serve-restart replica=0 start=9m end=17m\n";
   auto plan = parse_plan(text);
   ASSERT_TRUE(plan.has_value());
   EXPECT_EQ(plan->seed, 99u);
   EXPECT_EQ(plan->duration, minutes(30));
   EXPECT_EQ(plan->settle, minutes(10));
-  ASSERT_EQ(plan->events.size(), 9u);
+  ASSERT_EQ(plan->events.size(), 10u);
   EXPECT_EQ(plan->events[0].kind, ChaosEventKind::kLinkLoss);
   EXPECT_DOUBLE_EQ(plan->events[0].magnitude, 0.01);
   EXPECT_EQ(plan->events[1].magnitude, 1.0);  // partition forces 100%
   EXPECT_EQ(plan->events[3].entity, kEntityAll);
   EXPECT_EQ(plan->events[4].param, seconds(90));
   EXPECT_EQ(plan->events[8].param, -seconds(2));
+  EXPECT_EQ(plan->events[9].kind, ChaosEventKind::kServeRestart);
 
   // Canonical serialization is lossless.
   auto replayed = parse_plan(to_text(*plan));
@@ -77,6 +79,9 @@ TEST(ChaosPlan, MalformedInputsAreRejectedWithDiagnostics) {
       "# pingmesh chaos plan v1\nevent slb-flap replica=0 period=1ms start=0s end=1m\n",
       "# pingmesh chaos plan v1\nevent clock-skew server=0 skew=2h start=0s end=1m\n",
       "# pingmesh chaos plan v1\nevent link-loss prob=0.1 start=5m end=2m\n",
+      // serve-restart names one replica; killing "all" at once is the
+      // all-dead 503 path, exercised directly in serve_test instead.
+      "# pingmesh chaos plan v1\nevent serve-restart replica=all start=0s end=1m\n",
       "# pingmesh chaos plan v1\nfrobnicate 12\n",             // unknown directive
   };
   for (const char* text : bad) {
@@ -221,6 +226,48 @@ TEST(ChaosEngine, ServerCrashAndRestartKeepsLedger) {
   ChaosRunResult r = run_plan(plan);
   EXPECT_TRUE(r.ok()) << r.report.to_text();
   EXPECT_GT(r.total_probes, 0u);
+}
+
+TEST(ChaosEngine, ServeRestartRecoversReplicasDigestIdentical) {
+  // The tentpole invariant: chaos-kill each query replica in turn; every
+  // restart must rebuild its rollup from the persisted checkpoint + WAL
+  // byte-identical to the durable writer, the front door must keep
+  // answering while any replica lives, and the conservation ledger must
+  // survive the whole schedule.
+  ChaosPlan plan;
+  plan.seed = 29;
+  plan.duration = minutes(30);
+  plan.settle = minutes(10);
+  plan.events.push_back({ChaosEventKind::kServeRestart, minutes(5), minutes(12), 0});
+  plan.events.push_back({ChaosEventKind::kServeRestart, minutes(14), minutes(21), 1});
+  ChaosRunResult r = run_plan(plan);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  ASSERT_TRUE(r.serve.ran);
+  EXPECT_EQ(r.serve.restarts, 2u);
+  EXPECT_EQ(r.serve.digest_matches, 2u);
+  EXPECT_EQ(r.serve.digest_mismatches, 0u);
+  EXPECT_TRUE(r.serve.final_digests_equal);
+  EXPECT_TRUE(r.serve.conservation_ok);
+  EXPECT_GT(r.serve.queries, 0u);
+  EXPECT_EQ(r.serve.failed_with_replicas, 0u);
+  const InvariantFinding* f = r.report.find("rollup-recovery");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->applicable);
+  EXPECT_TRUE(f->ok) << f->detail;
+}
+
+TEST(ChaosEngine, PlansWithoutServeEventsReportRecoveryNotApplicable) {
+  ChaosPlan plan;
+  plan.seed = 31;
+  plan.duration = minutes(12);
+  plan.settle = minutes(4);
+  plan.events.push_back({ChaosEventKind::kServerCrash, minutes(2), minutes(6), 3});
+  ChaosRunResult r = run_plan(plan);
+  EXPECT_TRUE(r.ok()) << r.report.to_text();
+  EXPECT_FALSE(r.serve.ran);
+  const InvariantFinding* f = r.report.find("rollup-recovery");
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->applicable);
 }
 
 TEST(ChaosEngine, ClockSkewKeepsStreamingAndBatchConsistent) {

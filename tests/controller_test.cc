@@ -359,11 +359,65 @@ TEST(Slb, HalfOpenTrialEmitsMetrics) {
   EXPECT_GE(vip.half_open_trials(), 1u);
 }
 
-TEST(Slb, NoHealthyBackends) {
+TEST(Slb, NoBackendsAtAll) {
   SlbVip vip(1);
+  EXPECT_FALSE(vip.pick(1).has_value());
+}
+
+TEST(Slb, EmptyHealthySetProbesInsteadOfBlackholing) {
+  // Regression: with every backend unhealthy, pick() used to return nullopt
+  // forever — no pick meant no report(success), so a VIP whose backends all
+  // restarted at once was permanently blackholed. Now the longest-waiting
+  // unhealthy backend gets an immediate half-open trial.
+  SlbVip vip(/*failure_threshold=*/1, /*recovery_after=*/1000);
   std::size_t a = vip.add_backend("a");
   vip.report(a, false);
-  EXPECT_FALSE(vip.pick(1).has_value());
+  EXPECT_EQ(vip.healthy_count(), 0u);
+
+  auto probe = vip.pick(1);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(*probe, a);
+  EXPECT_EQ(vip.half_open_trials(), 1u);
+
+  // Trial succeeded: the backend is back in rotation, VIP recovered.
+  vip.report(a, true);
+  EXPECT_EQ(vip.healthy_count(), 1u);
+  EXPECT_EQ(vip.pick(2), std::optional<std::size_t>{a});
+}
+
+TEST(Slb, AllBackendsRestartSimultaneouslyThenRecover) {
+  // The outage scenario itself: three backends all fail, probes rotate
+  // across them (longest-waiting first), and a single success during the
+  // outage is enough to restore service.
+  SlbVip vip(/*failure_threshold=*/1, /*recovery_after=*/1000);
+  std::size_t a = vip.add_backend("a");
+  std::size_t b = vip.add_backend("b");
+  std::size_t c = vip.add_backend("c");
+  vip.report(a, false);
+  vip.report(b, false);
+  vip.report(c, false);
+  EXPECT_EQ(vip.healthy_count(), 0u);
+
+  // All went down at pick 0, so ties resolve to the lowest index; each
+  // failed probe re-arms that backend, rotating the next probe onward.
+  std::optional<std::size_t> p1 = vip.pick(10);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(*p1, a);
+  vip.report(*p1, false);
+  std::optional<std::size_t> p2 = vip.pick(11);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(*p2, b);
+  vip.report(*p2, false);
+  std::optional<std::size_t> p3 = vip.pick(12);
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(*p3, c);
+  vip.report(*p3, true);  // "c" came back up first
+
+  EXPECT_EQ(vip.healthy_count(), 1u);
+  EXPECT_EQ(vip.half_open_trials(), 3u);
+  for (std::uint64_t flow = 0; flow < 20; ++flow) {
+    EXPECT_EQ(vip.pick(flow), std::optional<std::size_t>{c});
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -251,7 +251,44 @@ TEST(HttpParse, EtagMatch) {
   // Weak validators compare equal for If-None-Match (weak comparison).
   EXPECT_TRUE(etag_match("W/\"abc\"", "\"abc\""));
   EXPECT_TRUE(etag_match("\"abc\"", "W/\"abc\""));
+  EXPECT_TRUE(etag_match("W/\"abc\"", "W/\"abc\""));
   EXPECT_FALSE(etag_match("", "\"abc\""));
+}
+
+// RFC 9110 §8.8.3 / §13.1.2: weak validators inside LISTS, commas inside
+// quoted tags, and hostile inputs — the cases the pre-fix parser got wrong
+// (it split on commas before quotes and only stripped a leading W/).
+TEST(HttpParse, EtagMatchRfc9110EdgeCases) {
+  // A weak member mid-list must still match (weak comparison per member).
+  EXPECT_TRUE(etag_match("\"a\", W/\"b\", \"c\"", "\"b\""));
+  EXPECT_TRUE(etag_match("W/\"a\", W/\"b\"", "W/\"b\""));
+  // A comma INSIDE a quoted tag is tag content, not a list separator.
+  EXPECT_TRUE(etag_match("\"a,b\"", "\"a,b\""));
+  EXPECT_FALSE(etag_match("\"a\", \"b\"", "\"a, b\""));
+  EXPECT_FALSE(etag_match("\"a,b\"", "\"a\""));
+  EXPECT_TRUE(etag_match("\"x\", \"a,b\", \"y\"", "\"a,b\""));
+  // Whitespace variants around members.
+  EXPECT_TRUE(etag_match("  \"a\" ,\"b\"  ", "\"b\""));
+  EXPECT_TRUE(etag_match("W/ is not special here, \"q-1\"", "\"q-1\""));
+  // W/ prefix is only a weakness marker when attached to a quoted tag;
+  // "W/" alone or weak-of-nothing never equals a real tag.
+  EXPECT_FALSE(etag_match("W/", "\"abc\""));
+  EXPECT_FALSE(etag_match("W/\"\"", "\"abc\""));
+  EXPECT_TRUE(etag_match("W/\"\"", "\"\""));
+  // Unterminated quote: the rest of the header is one (non-matching) tag,
+  // never an infinite loop or a false positive.
+  EXPECT_FALSE(etag_match("\"abc", "\"abc\""));
+  EXPECT_FALSE(etag_match("\"a\", \"unterminated", "\"b\""));
+  EXPECT_TRUE(etag_match("\"b\", \"unterminated", "\"b\""));
+  // `*` only counts as the wildcard when it is the whole member.
+  EXPECT_FALSE(etag_match("\"*\"", "\"abc\""));
+  // Empty list members (stray commas) are skipped, not matched.
+  EXPECT_FALSE(etag_match(",,,", "\"a\""));
+  EXPECT_TRUE(etag_match(", ,\"a\",", "\"a\""));
+  // Legacy unquoted tokens (seen from non-conforming clients) compare as
+  // opaque strings.
+  EXPECT_TRUE(etag_match("abc", "abc"));
+  EXPECT_FALSE(etag_match("abc", "\"abc\""));
 }
 
 class HttpTest : public ::testing::Test {

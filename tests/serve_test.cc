@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,10 +19,13 @@
 #include "agent/record_columns.h"
 #include "core/scenarios.h"
 #include "core/simulation.h"
+#include "dsa/cosmos.h"
 #include "net/http.h"
 #include "net/reactor.h"
 #include "net/sockaddr.h"
+#include "serve/persist.h"
 #include "serve/query_service.h"
+#include "serve/replica.h"
 #include "serve/rollup.h"
 #include "topology/topology.h"
 
@@ -217,6 +221,40 @@ TEST_F(RollupTest, LateRecordsIntoSealedWindowsAreDroppedNotMerged) {
   ASSERT_TRUE(after.has_value());
   EXPECT_EQ(after->probes, before->probes);
   EXPECT_EQ(after->p99_ns, before->p99_ns);  // history is immutable
+  EXPECT_TRUE(store.check_conservation());
+}
+
+// Seal-boundary regression (the off-by-one audit): a record stamped EXACTLY
+// at sealed_until(0) belongs to the first unsealed window — sealing is a
+// strict `start < sealed_until` comparison — so it must be placed, not
+// late-dropped, and must land in exactly one cell.
+TEST_F(RollupTest, RecordStampedAtSealBoundaryLandsInUnsealedWindow) {
+  RollupStore store(topo_, nullptr, test_config());
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{1}).servers[0]};
+  PodId src_pod = topo_.server(a).pod;
+
+  feed(store, {record(a, b, seconds(1), 500'000)}, seconds(2));
+  store.advance(seconds(21));  // watermark 20 s: windows [0,10) and [10,20) seal
+  ASSERT_EQ(store.sealed_until(0), seconds(20));
+
+  // Exactly on the boundary: first timestamp of the unsealed [20,30) window.
+  feed(store, {record(a, b, seconds(20), 600'000)}, seconds(21));
+  EXPECT_EQ(store.placed(), 2u);
+  EXPECT_EQ(store.late_dropped(), 0u);
+
+  // One tick before the boundary: inside the sealed [10,20) window.
+  feed(store, {record(a, b, seconds(20) - 1, 600'000)}, seconds(21));
+  EXPECT_EQ(store.placed(), 2u);
+  EXPECT_EQ(store.late_dropped(), 1u);
+
+  // The boundary record is queryable in its window and counted once.
+  auto window = store.query_pair(src_pod, PodId{1}, seconds(20), seconds(30));
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->probes, 1u);
+  auto all = store.query_pair(src_pod, PodId{1}, 0, seconds(30));
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->probes, 2u);
   EXPECT_TRUE(store.check_conservation());
 }
 
@@ -507,6 +545,239 @@ TEST_F(QueryServiceTest, HttpLoopbackServesGetHeadAndConditional) {
   ASSERT_TRUE(got_cond.ok);
   EXPECT_EQ(got_cond.response.status, 304);
   EXPECT_TRUE(got_cond.response.body.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Crash consistency: WAL + checkpoint persistence and restart recovery
+// ---------------------------------------------------------------------------
+
+class PersistTest : public RollupTest {
+ protected:
+  void feed(serve::PersistentRollupStore& store,
+            const std::vector<agent::LatencyRecord>& recs, SimTime now) {
+    agent::RecordColumns batch;
+    for (const auto& r : recs) batch.push_back(r);
+    store.on_records(batch, now);
+  }
+  void feed(serve::ServeReplicaSet& rs, const std::vector<agent::LatencyRecord>& recs,
+            SimTime now) {
+    agent::RecordColumns batch;
+    for (const auto& r : recs) batch.push_back(r);
+    rs.on_records(batch, now);
+  }
+
+  dsa::CosmosStore cosmos_;
+};
+
+TEST_F(PersistTest, WalReplayRebuildsDigestByteIdentically) {
+  serve::PersistentRollupStore durable(topo_, nullptr, test_config(), cosmos_);
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{1}).servers[0]};
+  for (int i = 0; i < 30; ++i) {
+    feed(durable, {record(a, b, seconds(i), 400'000 + i * 1'000)}, seconds(i + 1));
+  }
+  durable.advance(seconds(45));  // durable seal record
+  ASSERT_GT(durable.wal_frames(), 0u);
+  ASSERT_TRUE(durable.store().check_conservation());
+
+  RollupStore recovered(topo_, nullptr, test_config());
+  serve::RollupRecoveryStats st = serve::recover_rollup_store(recovered, cosmos_);
+  EXPECT_GT(st.wal_frames_replayed, 0u);
+  EXPECT_EQ(st.wal_bytes_dropped, 0u);
+  EXPECT_EQ(recovered.digest(), durable.store().digest());
+  EXPECT_EQ(recovered.version(), durable.store().version());
+  EXPECT_EQ(recovered.sealed_until(0), durable.store().sealed_until(0));
+  EXPECT_TRUE(recovered.check_conservation());
+}
+
+TEST_F(PersistTest, CheckpointPlusWalTailRecoversAndResumesSequence) {
+  std::uint64_t final_digest = 0;
+  std::uint64_t final_seq = 0;
+  {
+    serve::PersistentRollupStore durable(topo_, nullptr, test_config(), cosmos_);
+    ServerId a{0};
+    ServerId b{topo_.pod(PodId{2}).servers[0]};
+    // Cross the tier-1 seal (60 s + 1 s grace) so a checkpoint segment fires
+    // mid-ingest, then keep writing so a WAL tail rides past it.
+    for (int i = 0; i < 15; ++i) {
+      feed(durable, {record(a, b, seconds(10) * i + seconds(1), 500'000)},
+           seconds(10) * i + seconds(2));
+    }
+    EXPECT_GT(durable.segments_written(), 0u);
+    EXPECT_GT(durable.store().sealed_until(1), 0);
+    final_digest = durable.store().digest();
+    final_seq = durable.next_seq();
+  }  // process "crash": only Cosmos survives
+
+  serve::PersistentRollupStore reborn(topo_, nullptr, test_config(), cosmos_);
+  EXPECT_TRUE(reborn.recovery().from_checkpoint);
+  EXPECT_GT(reborn.recovery().wal_frames_replayed, 0u);  // the post-checkpoint tail
+  EXPECT_EQ(reborn.store().digest(), final_digest);
+  EXPECT_EQ(reborn.next_seq(), final_seq);  // WAL sequence resumes, never reuses
+  EXPECT_TRUE(reborn.store().check_conservation());
+
+  // The reborn store keeps ingesting durably from where it left off.
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{2}).servers[0]};
+  feed(reborn, {record(a, b, seconds(151), 700'000)}, seconds(152));
+  EXPECT_NE(reborn.store().digest(), final_digest);
+  EXPECT_TRUE(reborn.store().check_conservation());
+}
+
+TEST_F(PersistTest, TornWalTailDropsOnlyTheTail) {
+  serve::PersistentRollupStore durable(topo_, nullptr, test_config(), cosmos_);
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{1}).servers[0]};
+  feed(durable, {record(a, b, seconds(1), 500'000), record(a, b, seconds(2), 600'000)},
+       seconds(3));
+  const std::uint64_t clean_digest = durable.store().digest();
+
+  // A crash mid-append leaves a truncated frame at the end of the extent.
+  std::string torn =
+      serve::encode_wal_frame(durable.next_seq() + 1, seconds(9), "half-written");
+  torn.resize(torn.size() / 2);
+  const std::uint64_t seq = durable.next_seq() + 1;
+  cosmos_.stream(serve::kRollupWalStream)
+      .append(torn, 1, static_cast<SimTime>(seq), static_cast<SimTime>(seq), seconds(9),
+              dsa::ExtentEncoding::kColumnar);
+
+  RollupStore recovered(topo_, nullptr, test_config());
+  serve::RollupRecoveryStats st = serve::recover_rollup_store(recovered, cosmos_);
+  EXPECT_GT(st.wal_bytes_dropped, 0u);  // the torn tail is counted, not trusted
+  EXPECT_EQ(recovered.digest(), clean_digest);  // ...and the clean prefix survives
+  EXPECT_TRUE(recovered.check_conservation());
+}
+
+TEST_F(PersistTest, CorruptNewestSegmentFallsBackToOlderCheckpoint) {
+  // A tiny extent limit seals every frame into its own extent, so corruption
+  // and retention act per checkpoint — the at-scale geometry.
+  dsa::CosmosStore small(64);
+  serve::PersistentRollupStore durable(topo_, nullptr, test_config(), small);
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{1}).servers[0]};
+  feed(durable, {record(a, b, seconds(1), 500'000)}, seconds(2));
+  durable.checkpoint();
+  feed(durable, {record(a, b, seconds(11), 600'000)}, seconds(12));
+  durable.checkpoint();
+  EXPECT_EQ(durable.segments_written(), 2u);
+
+  ASSERT_TRUE(small.stream(serve::kRollupSegmentStream).corrupt_newest_extent());
+
+  RollupStore recovered(topo_, nullptr, test_config());
+  serve::RollupRecoveryStats st = serve::recover_rollup_store(recovered, small);
+  EXPECT_GE(st.segments_quarantined, 1u);
+  EXPECT_TRUE(st.from_checkpoint);  // the older checkpoint restored
+  // The WAL retained frames back to the OLDEST live checkpoint, so rolling
+  // forward from the fallback still converges on the pre-crash state.
+  EXPECT_GT(st.wal_frames_replayed, 0u);
+  EXPECT_EQ(recovered.digest(), durable.store().digest());
+  EXPECT_TRUE(recovered.check_conservation());
+}
+
+TEST_F(PersistTest, GarbageSegmentStreamIsQuarantinedNotFatal) {
+  cosmos_.stream(serve::kRollupSegmentStream)
+      .append("PMRSEG1\nnot a real checkpoint", 1, 1, 1, seconds(1),
+              dsa::ExtentEncoding::kColumnar);
+  RollupStore recovered(topo_, nullptr, test_config());
+  serve::RollupRecoveryStats st = serve::recover_rollup_store(recovered, cosmos_);
+  EXPECT_FALSE(st.from_checkpoint);
+  EXPECT_GE(st.segments_quarantined, 1u);
+  EXPECT_EQ(recovered.ingested(), 0u);  // empty store, not a crash
+  EXPECT_TRUE(recovered.check_conservation());
+}
+
+// ---------------------------------------------------------------------------
+// ServeReplicaSet: replica-consistent ETags and restart recovery
+// ---------------------------------------------------------------------------
+
+TEST_F(PersistTest, EtagFromOneReplicaRevalidatesOnAnother) {
+  serve::ServeReplicaSet rs(topo_, nullptr, test_config(), cosmos_);
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{1}).servers[0]};
+  feed(rs, {record(a, b, seconds(1), 500'000), record(a, b, seconds(2), 700'000)},
+       seconds(3));
+
+  net::HttpRequest req{"GET", "/query/heatmap?minutes=60", {}, ""};
+  serve::ReplicaQueryResult first = rs.query(req);
+  ASSERT_EQ(first.response.status, 200);
+  const std::string etag = first.response.headers.at("etag");
+
+  // Kill the replica that answered: the conditional retry lands on the OTHER
+  // replica, which must honor the first one's validator with a 304.
+  rs.kill(first.replica);
+  net::HttpRequest cond{
+      "GET", "/query/heatmap?minutes=60", {{"if-none-match", etag}}, ""};
+  serve::ReplicaQueryResult second = rs.query(cond);
+  EXPECT_EQ(second.response.status, 304);
+  EXPECT_TRUE(second.response.body.empty());
+  EXPECT_NE(second.replica, first.replica);
+  EXPECT_GE(second.dead_picks, 1u);  // the VIP routed around the corpse
+}
+
+TEST_F(PersistTest, KilledReplicaRecoversDigestIdenticalAndMissesNothing) {
+  serve::ServeReplicaSet rs(topo_, nullptr, test_config(), cosmos_);
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{2}).servers[1]};
+  feed(rs, {record(a, b, seconds(1), 500'000)}, seconds(2));
+
+  rs.kill(0);
+  EXPECT_FALSE(rs.alive(0));
+  EXPECT_EQ(rs.alive_count(), rs.replica_count() - 1);
+
+  // Batches that arrive while replica 0 is dead reach it anyway via the WAL.
+  feed(rs, {record(a, b, seconds(11), 600'000), record(a, b, seconds(12), 650'000)},
+       seconds(13));
+  rs.advance(seconds(30));
+
+  rs.restart(0);
+  ASSERT_TRUE(rs.alive(0));
+  EXPECT_GT(rs.last_recovery(0).wal_frames_replayed, 0u);
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) {
+    ASSERT_NE(rs.replica_store(i), nullptr);
+    EXPECT_EQ(rs.replica_store(i)->digest(), rs.writer().store().digest()) << i;
+    EXPECT_TRUE(rs.replica_store(i)->check_conservation()) << i;
+  }
+}
+
+TEST_F(PersistTest, AllReplicasDeadIs503ThenRecoveryServesAgain) {
+  serve::ServeReplicaSet rs(topo_, nullptr, test_config(), cosmos_);
+  ServerId a{0};
+  ServerId b{topo_.pod(PodId{1}).servers[0]};
+  feed(rs, {record(a, b, seconds(1), 500'000)}, seconds(2));
+
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) rs.kill(i);
+  net::HttpRequest req{"GET", "/query/heatmap?minutes=60", {}, ""};
+  serve::ReplicaQueryResult down = rs.query(req);
+  EXPECT_EQ(down.response.status, 503);  // degraded, not wedged
+
+  rs.restart(1);
+  serve::ReplicaQueryResult up = rs.query(req);
+  EXPECT_EQ(up.response.status, 200);  // the VIP probed its way back
+  EXPECT_EQ(up.replica, 1u);
+  EXPECT_EQ(rs.replica_store(1)->digest(), rs.writer().store().digest());
+}
+
+TEST_F(PersistTest, ColdStartOfWholeSetResumesFromCosmos) {
+  std::uint64_t digest = 0;
+  {
+    serve::ServeReplicaSet rs(topo_, nullptr, test_config(), cosmos_);
+    ServerId a{0};
+    ServerId b{topo_.pod(PodId{1}).servers[0]};
+    for (int i = 0; i < 8; ++i) {
+      feed(rs, {record(a, b, seconds(10) * i + seconds(1), 500'000)},
+           seconds(10) * i + seconds(2));
+    }
+    digest = rs.writer().store().digest();
+    ASSERT_NE(digest, RollupStore(topo_, nullptr, test_config()).digest());
+  }  // whole serving tier restarts
+
+  serve::ServeReplicaSet reborn(topo_, nullptr, test_config(), cosmos_);
+  EXPECT_EQ(reborn.writer().store().digest(), digest);
+  for (std::size_t i = 0; i < reborn.replica_count(); ++i) {
+    EXPECT_EQ(reborn.replica_store(i)->digest(), digest) << i;
+  }
+  net::HttpRequest req{"GET", "/query/heatmap?minutes=60", {}, ""};
+  EXPECT_EQ(reborn.query(req).response.status, 200);
 }
 
 }  // namespace

@@ -3,6 +3,11 @@
 // pinglist endpoint, parse_response sees whatever an HTTP-ping target sends
 // back. Contract: both return nullopt on malformed input — they never
 // throw and never crash.
+//
+// etag_match is fuzzed on the same bytes: an If-None-Match header is
+// client-controlled, and the quote-aware list scan must terminate on any
+// input (the first newline, if present, splits the input into a header
+// value and a server-side tag so both arguments see hostile bytes).
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -18,5 +23,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
   if (auto resp = pingmesh::net::parse_response(bytes)) {
     (void)pingmesh::net::parse_response(pingmesh::net::serialize(*resp));
   }
+  std::size_t nl = bytes.find('\n');
+  std::string_view header = nl == std::string_view::npos ? bytes : bytes.substr(0, nl);
+  std::string_view tag = nl == std::string_view::npos ? std::string_view("\"q-1-abc\"")
+                                                      : bytes.substr(nl + 1);
+  (void)pingmesh::net::etag_match(header, tag);
+  (void)pingmesh::net::etag_match(header, "W/\"q-2\"");
   return 0;
 }

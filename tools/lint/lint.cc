@@ -35,11 +35,14 @@ constexpr struct {
     {"serve", 3},     {"chaos", 4},
 };
 
-// The serving tier is a leaf: it may read the measurement substrate but no
-// src/ module may build on it (tools and bench live outside src/ and may).
-// Enforced by the serve-boundary rule on top of the layer numbers above.
+// The serving tier is a near-leaf: it may read the measurement substrate
+// (plus controller, for the SLB VIP its replica front door reuses), but in
+// src/ only chaos may build on it (the chaos engine owns the serve-restart
+// harness; tools and bench live outside src/ and may too). Enforced by the
+// serve-boundary rule on top of the layer numbers above.
 constexpr const char* kServeAllowedDeps[] = {
-    "common", "net", "topology", "agent", "dsa", "streaming", "obs", "serve",
+    "common", "net", "topology", "agent", "controller", "dsa", "streaming",
+    "obs", "serve",
 };
 
 bool is_ident_char(char c) {
@@ -495,15 +498,15 @@ class Checker {
         }
         if (!allowed) {
           emit(f, inc.line, "serve-boundary",
-               "serve may only depend on common/net/topology/agent/dsa/"
-               "streaming/obs; '" +
+               "serve may only depend on common/net/topology/agent/controller/"
+               "dsa/streaming/obs; '" +
                    inc.path + "' is off-limits");
         }
-      } else if (target == "serve") {
+      } else if (target == "serve" && f.module != "chaos") {
         emit(f, inc.line, "serve-boundary",
              "module '" + f.module +
                  "' must not include '" + inc.path +
-                 "'; only tools and bench may consume the serving tier");
+                 "'; only chaos, tools, and bench may consume the serving tier");
       }
     }
   }
