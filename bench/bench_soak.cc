@@ -1,0 +1,72 @@
+// bench_soak — the closed-loop self-healing soak gate (DESIGN.md §14).
+//
+// Runs the seeded soak (heal/soak.h) on the fixed CI seed at 1 and 4 worker
+// threads, pins the two reports byte-identical, and emits the loop metrics
+// check_perf.py gates:
+//
+//   soak_mttd_blackhole_s      mean inject -> first streaming trigger
+//   soak_mttr_blackhole_s      mean inject -> all alerts closed post-repair
+//   soak_false_reloads         reloads on never-black-holed switches (== 0)
+//   soak_unrepaired_blackholes injected black-holes missed by the loop (== 0)
+//   soak_report_identical      1-vs-4-worker soak report byte equality (== 1)
+//
+// Flags: --seed N --episodes N --minutes N --json PATH
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "heal/soak.h"
+
+int main(int argc, char** argv) {
+  using namespace pingmesh;
+  bench::parse_args(argc, argv);
+
+  heal::SoakConfig cfg;
+  cfg.seed = 7;
+  cfg.episodes = 3;
+  cfg.episode_duration = minutes(30);
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--seed" && i + 1 < argc) cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (a == "--episodes" && i + 1 < argc) cfg.episodes = std::atoi(argv[++i]);
+    else if (a == "--minutes" && i + 1 < argc) cfg.episode_duration = minutes(std::atoi(argv[++i]));
+  }
+
+  bench::heading("Self-healing soak: detection -> blame -> repair (paper §5.1)");
+
+  cfg.worker_threads = 1;
+  heal::SoakReport serial = heal::run_soak(cfg);
+  cfg.worker_threads = 4;
+  heal::SoakReport sharded = heal::run_soak(cfg);
+
+  const bool identical = serial.to_json() == sharded.to_json();
+  std::printf("%s", serial.to_text().c_str());
+  bench::note(std::string("1-vs-4-worker soak report: ") +
+              (identical ? "byte-identical" : "MISMATCH"));
+  if (!identical) {
+    std::printf("--- serial ---\n%s--- sharded ---\n%s", serial.to_json().c_str(),
+                sharded.to_json().c_str());
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fs", serial.mttd_seconds());
+  bench::compare_row("MTTD (blackhole)", "< 2 sim-min", buf);
+  std::snprintf(buf, sizeof(buf), "%.1fs", serial.mttr_seconds());
+  bench::compare_row("MTTR (blackhole)", "minutes", buf);
+  bench::compare_row("false reloads vs daily budget", "0",
+                     std::to_string(serial.false_reloads));
+
+  bench::json_metric("soak_mttd_blackhole_s", serial.mttd_seconds(), "s");
+  bench::json_metric("soak_mttr_blackhole_s", serial.mttr_seconds(), "s");
+  bench::json_metric("soak_false_reloads", serial.false_reloads, "count");
+  bench::json_metric("soak_unrepaired_blackholes", serial.unrepaired_blackholes, "count");
+  bench::json_metric("soak_report_identical", identical ? 1 : 0, "bool");
+  bench::json_metric("soak_incidents", serial.incidents, "count");
+  bench::json_metric("soak_recovered", serial.recovered, "count");
+  bench::json_metric("soak_invariants_ok", serial.invariants_ok ? 1 : 0, "bool");
+
+  const bool ok = identical && serial.invariants_ok && serial.false_reloads == 0 &&
+                  serial.unrepaired_blackholes == 0;
+  return ok ? 0 : 1;
+}

@@ -13,12 +13,43 @@ BlackholeReport BlackholeDetector::detect(const std::vector<agent::LatencyRecord
 
   // 2. Responsive servers: had at least one successful probe as source or
   //    destination. Pairs involving unresponsive servers are dead-server
-  //    symptoms (e.g. podset power-down), not black-holes.
+  //    symptoms (e.g. podset power-down), not black-holes. Under
+  //    reporting_liveness, "responsive" instead means the server uploaded
+  //    records at all (uploads ride the management plane, so a pod that
+  //    keeps reporting pure failures is alive behind a black-holing ToR;
+  //    a crashed server reports nothing and stays excluded).
   std::unordered_set<std::uint32_t> responsive;
-  for (const auto& [key, stats] : pairs) {
-    if (stats.successes == 0) continue;
-    if (auto s = topo.find_server_by_ip(key.src)) responsive.insert(s->value);
-    if (auto d = topo.find_server_by_ip(key.dst)) responsive.insert(d->value);
+  if (config_.reporting_liveness) {
+    // "Reported" must mean *continuously*: a lookback window that spans a
+    // server crash (or the recovery from one) still holds the victim's
+    // uploads from its healthy stretch, and counting its failed pairs would
+    // blame the ToR for a dead host. Alive iff the server's records-as-
+    // source cover the window with no gap — edges included — wider than
+    // liveness_max_gap; failures around an upload gap are unattributable.
+    std::unordered_map<std::uint32_t, std::vector<SimTime>> seen;
+    SimTime window_min = 0;
+    SimTime window_max = 0;
+    bool first = true;
+    for (const auto& r : window) {
+      if (first || r.timestamp < window_min) window_min = r.timestamp;
+      if (first || r.timestamp > window_max) window_max = r.timestamp;
+      first = false;
+      if (auto s = topo.find_server_by_ip(r.src_ip)) seen[s->value].push_back(r.timestamp);
+    }
+    for (auto& [server, times] : seen) {
+      std::sort(times.begin(), times.end());
+      SimTime max_gap = std::max(times.front() - window_min, window_max - times.back());
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        max_gap = std::max(max_gap, times[i] - times[i - 1]);
+      }
+      if (max_gap <= config_.liveness_max_gap) responsive.insert(server);
+    }
+  } else {
+    for (const auto& [key, stats] : pairs) {
+      if (stats.successes == 0) continue;
+      if (auto s = topo.find_server_by_ip(key.src)) responsive.insert(s->value);
+      if (auto d = topo.find_server_by_ip(key.dst)) responsive.insert(d->value);
+    }
   }
 
   // 3. Collect black pairs and per-ToR measurable totals.

@@ -42,6 +42,25 @@ struct BlackholeConfig {
   double pair_failure_threshold = 0.15;   ///< failure rate making a pair "black"
   int min_black_pairs = 3;                ///< greedy-cover noise floor per ToR
   double podset_escalation_fraction = 0.99;  ///< all ToRs affected -> Leaf/Spine
+  /// Liveness test for the dead-server exclusion. false (default): a server
+  /// is alive iff it had >= 1 successful probe — a fully black-holed pod
+  /// looks dead and is never blamed on its ToR (the paper's conservative
+  /// stance: passively indistinguishable from a pod power-down). true: a
+  /// server is alive iff it *reported* (appears as the source of any
+  /// record) — agents upload over the management plane, so a pod whose
+  /// servers keep reporting failures is alive behind a black-holing ToR,
+  /// while a crashed server uploads nothing. The healing loop uses this
+  /// mode so a full ToR black-hole is still attributable.
+  bool reporting_liveness = false;
+  /// Under reporting_liveness, a server only counts as alive if it reported
+  /// *continuously*: its records-as-source cover the window with no gap
+  /// (including the window edges) wider than this. A window spanning a
+  /// server crash — or the recovery from one — still holds the victim's
+  /// uploads from its healthy stretch, and counting its failed pairs blames
+  /// the ToR for a dead host; an upload gap marks those failures as
+  /// unattributable instead. Must exceed the upload period (10s in the
+  /// streaming configs).
+  SimTime liveness_max_gap = seconds(45);
 };
 
 struct TorScore {

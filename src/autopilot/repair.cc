@@ -1,17 +1,44 @@
 #include "autopilot/repair.h"
 
+#include <algorithm>
+
 namespace pingmesh::autopilot {
 
-bool RepairService::request_reload(SwitchId sw, std::string reason, SimTime now) {
+void RepairService::execute_reload(SwitchId sw, std::string reason, SimTime now) {
   RepairRecord rec;
   rec.time = now;
   rec.sw = sw;
   rec.action = RepairAction::kReload;
   rec.reason = std::move(reason);
-  rec.executed = reloads_executed_today(now) < config_.max_reloads_per_day;
-  if (rec.executed && reload_fn_) reload_fn_(sw);
+  rec.executed = true;
+  if (reload_fn_) reload_fn_(sw);
   history_.push_back(std::move(rec));
-  return history_.back().executed;
+}
+
+void RepairService::drop_deferred(SwitchId sw) {
+  deferred_.erase(std::remove_if(deferred_.begin(), deferred_.end(),
+                                 [sw](const DeferredReload& d) { return d.sw == sw; }),
+                  deferred_.end());
+}
+
+bool RepairService::request_reload(SwitchId sw, std::string reason, SimTime now) {
+  if (reloads_executed_today(now) < config_.max_reloads_per_day) {
+    // A reload moots any parked request for the same switch.
+    drop_deferred(sw);
+    execute_reload(sw, std::move(reason), now);
+    return true;
+  }
+  RepairRecord rec;
+  rec.time = now;
+  rec.sw = sw;
+  rec.action = RepairAction::kReload;
+  rec.reason = reason;
+  rec.executed = false;
+  history_.push_back(std::move(rec));
+  bool already_parked = std::any_of(deferred_.begin(), deferred_.end(),
+                                    [sw](const DeferredReload& d) { return d.sw == sw; });
+  if (!already_parked) deferred_.push_back(DeferredReload{sw, std::move(reason), now});
+  return false;
 }
 
 void RepairService::isolate_and_rma(SwitchId sw, std::string reason, SimTime now) {
@@ -22,8 +49,26 @@ void RepairService::isolate_and_rma(SwitchId sw, std::string reason, SimTime now
   rec.reason = std::move(reason);
   rec.executed = true;
   if (isolate_fn_) isolate_fn_(sw);
+  // RMA replaces the switch outright; a parked reload would reboot the
+  // fresh hardware for nothing.
+  drop_deferred(sw);
   rma_queue_.push_back(sw);
   history_.push_back(std::move(rec));
+}
+
+std::vector<SwitchId> RepairService::retry_deferred(SimTime now) {
+  std::vector<SwitchId> executed;
+  while (!deferred_.empty() &&
+         reloads_executed_today(now) < config_.max_reloads_per_day) {
+    DeferredReload d = deferred_.front();
+    deferred_.erase(deferred_.begin());
+    execute_reload(d.sw, d.reason + " [deferred since " +
+                             std::to_string(d.requested / kNanosPerSecond) + "s]",
+                   now);
+    ++deferred_executed_;
+    executed.push_back(d.sw);
+  }
+  return executed;
 }
 
 int RepairService::reloads_executed_today(SimTime now) const {

@@ -12,6 +12,12 @@
 //    the switch is isolated from live traffic immediately and queued for
 //    replacement.
 //
+// Budget-deferred reloads are queued, not dropped: retry_deferred()
+// executes them the moment the day rolls over and budget frees up, so a
+// black-hole flagged at 23:59 is reloaded at 00:00 instead of waiting for
+// the detector to re-flag it from scratch (the healing loop calls
+// retry_deferred on every tick).
+//
 // The actual effect on the network is delegated to callbacks so the service
 // works identically against the simulator and (hypothetically) real gear.
 #pragma once
@@ -37,6 +43,17 @@ struct RepairRecord {
 
 struct RepairConfig {
   int max_reloads_per_day = 20;
+  /// Budget accounting period. A real deployment uses calendar days; tests
+  /// and soaks shrink it so budget rollover happens inside a short run.
+  SimTime day_length = kNanosPerDay;
+};
+
+/// A reload request parked by an exhausted daily budget, waiting for the
+/// day to roll over.
+struct DeferredReload {
+  SwitchId sw;
+  std::string reason;
+  SimTime requested = 0;
 };
 
 class RepairService {
@@ -48,27 +65,40 @@ class RepairService {
       : config_(config), reload_fn_(std::move(reload_fn)), isolate_fn_(std::move(isolate_fn)) {}
 
   /// Request a reload. Returns true if executed now, false if the daily
-  /// budget is exhausted (the request is recorded but NOT queued — the
-  /// detector will re-flag the switch tomorrow if it still black-holes).
+  /// budget is exhausted — then the request is recorded AND queued, and
+  /// retry_deferred() executes it as soon as budget frees up.
   bool request_reload(SwitchId sw, std::string reason, SimTime now);
 
   /// Isolate a switch from live traffic and queue it for RMA. Not budgeted:
   /// a spine dropping packets silently is a live-site emergency.
   void isolate_and_rma(SwitchId sw, std::string reason, SimTime now);
 
+  /// Execute queued deferred reloads, oldest first, while today's budget
+  /// allows. Returns the switches reloaded by this call (in order).
+  std::vector<SwitchId> retry_deferred(SimTime now);
+
   [[nodiscard]] int reloads_executed_today(SimTime now) const;
   [[nodiscard]] int reloads_remaining_today(SimTime now) const;
   [[nodiscard]] const std::vector<RepairRecord>& history() const { return history_; }
   [[nodiscard]] const std::vector<SwitchId>& rma_queue() const { return rma_queue_; }
+  /// Reloads still parked behind the budget (surfaced by soak reports).
+  [[nodiscard]] const std::vector<DeferredReload>& deferred() const { return deferred_; }
+  /// Deferred requests that were eventually executed by retry_deferred().
+  [[nodiscard]] std::uint64_t deferred_executed_total() const { return deferred_executed_; }
+  [[nodiscard]] const RepairConfig& config() const { return config_; }
 
  private:
-  [[nodiscard]] std::int64_t day_of(SimTime t) const { return t / kNanosPerDay; }
+  [[nodiscard]] std::int64_t day_of(SimTime t) const { return t / config_.day_length; }
+  void execute_reload(SwitchId sw, std::string reason, SimTime now);
+  void drop_deferred(SwitchId sw);
 
   RepairConfig config_;
   std::function<void(SwitchId)> reload_fn_;
   std::function<void(SwitchId)> isolate_fn_;
   std::vector<RepairRecord> history_;
   std::vector<SwitchId> rma_queue_;
+  std::vector<DeferredReload> deferred_;
+  std::uint64_t deferred_executed_ = 0;
 };
 
 }  // namespace pingmesh::autopilot

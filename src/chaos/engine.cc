@@ -7,6 +7,7 @@
 #include "chaos/injector.h"
 #include "common/rng.h"
 #include "core/scenarios.h"
+#include "heal/loop.h"
 #include "serve/replica.h"
 
 namespace pingmesh::chaos {
@@ -87,8 +88,45 @@ ChaosRunResult run_plan(const ChaosPlan& plan, const ChaosRunOptions& options) {
     });
   }
 
+  // Attach the self-healing loop only when the plan opts in, so non-healing
+  // plans keep their exact pre-existing byte-for-byte behavior (the loop's
+  // repairs mutate fault state mid-run).
+  std::unique_ptr<heal::HealingLoop> healer;
+  if (plan.heal) {
+    result.heal.ran = true;
+    healer = std::make_unique<heal::HealingLoop>(sim);
+    healer->attach();
+  }
+
   injector.arm(plan);
   sim.run_for(plan.duration + plan.settle);
+
+  if (healer) {
+    result.heal.triggers_seen = healer->triggers_seen();
+    for (const autopilot::RepairRecord& r : sim.repair().history()) {
+      if (!r.executed) continue;
+      if (r.action == autopilot::RepairAction::kReload) ++result.heal.reloads_executed;
+      else ++result.heal.rmas_executed;
+    }
+    result.heal.deferred_executed = sim.repair().deferred_executed_total();
+    result.heal.deferred_pending = sim.repair().deferred().size();
+    for (const heal::Incident& inc : healer->incidents()) {
+      HealIncidentSummary s;
+      s.sw = inc.sw;
+      s.state = heal::incident_state_name(inc.state);
+      s.action = heal::incident_action_name(inc.action);
+      s.detect = inc.detect;
+      s.corroborate = inc.corroborate;
+      s.repair = inc.repair;
+      s.recover = inc.recover;
+      s.deferred = inc.deferred;
+      s.escalated_rma = inc.escalated_rma;
+      s.triggers = inc.triggers.size();
+      s.sla_before = inc.sla_before;
+      s.sla_after = inc.sla_after;
+      result.heal.incidents.push_back(std::move(s));
+    }
+  }
 
   if (replicas) {
     const std::uint64_t want = replicas->writer().store().digest();
@@ -104,7 +142,8 @@ ChaosRunResult run_plan(const ChaosPlan& plan, const ChaosRunOptions& options) {
 
   result.total_probes = sim.total_probes();
   result.records = agent::encode_batch(sim.records_between(0, sim.now() + 1));
-  result.report = check_invariants(sim, plan, wants_serve ? &result.serve : nullptr);
+  result.report = check_invariants(sim, plan, wants_serve ? &result.serve : nullptr,
+                                   plan.heal ? &result.heal : nullptr);
   result.totals = collect_totals(sim);
   return result;
 }
@@ -127,6 +166,7 @@ ChaosPlan generate_random_plan(std::uint64_t seed, SimTime duration) {
   };
 
   int n = 1 + static_cast<int>(rng.uniform_u32(5));
+  bool has_heal_kind = false;
   for (int i = 0; i < n; ++i) {
     ChaosEvent e;
     std::uint32_t draw = rng.uniform_u32(100);
@@ -139,33 +179,33 @@ ChaosPlan generate_random_plan(std::uint64_t seed, SimTime duration) {
       e.start = minutes(2) + seconds(rng.uniform_u32(8 * 60));
       e.end = std::min<SimTime>(e.start + minutes(10) + seconds(rng.uniform_u32(4 * 60)),
                                 duration);
-    } else if (draw < 50) {
+    } else if (draw < 45) {
       e.kind = ChaosEventKind::kLinkLoss;
       e.entity = rng.uniform_u32(4096);
       e.magnitude = rng.uniform(0.005, 0.05);
       auto [s, t] = rand_window(minutes(5), minutes(15));
       e.start = s;
       e.end = t;
-    } else if (draw < 60) {
+    } else if (draw < 55) {
       e.kind = ChaosEventKind::kServerCrash;
       e.entity = rng.uniform_u32(4096);
       auto [s, t] = rand_window(minutes(3), minutes(12));
       e.start = s;
       e.end = t;
-    } else if (draw < 70) {
+    } else if (draw < 63) {
       e.kind = ChaosEventKind::kUploadFailure;
       e.magnitude = rng.uniform(0.1, 0.9);
       auto [s, t] = rand_window(minutes(3), minutes(10));
       e.start = s;
       e.end = t;
-    } else if (draw < 78) {
+    } else if (draw < 70) {
       e.kind = ChaosEventKind::kSlbFlap;
       e.entity = rng.chance(0.5) ? kEntityAll : rng.uniform_u32(3);
       e.param = seconds(30 + rng.uniform_u32(180));
       auto [s, t] = rand_window(minutes(4), minutes(12));
       e.start = s;
       e.end = t;
-    } else if (draw < 86) {
+    } else if (draw < 76) {
       e.kind = ChaosEventKind::kClockSkew;
       e.entity = rng.uniform_u32(4096);
       e.param = seconds(1 + rng.uniform_u32(120));
@@ -173,26 +213,55 @@ ChaosPlan generate_random_plan(std::uint64_t seed, SimTime duration) {
       auto [s, t] = rand_window(minutes(3), minutes(12));
       e.start = s;
       e.end = t;
-    } else if (draw < 92) {
+    } else if (draw < 81) {
       e.kind = ChaosEventKind::kUploadDelay;
       e.param = seconds(30 + rng.uniform_u32(600));
       auto [s, t] = rand_window(minutes(3), minutes(10));
       e.start = s;
       e.end = t;
-    } else if (draw < 97) {
+    } else if (draw < 85) {
       e.kind = ChaosEventKind::kPartition;
       e.entity = rng.uniform_u32(4096);
       e.magnitude = 1.0;
       auto [s, t] = rand_window(minutes(3), minutes(10));
       e.start = s;
       e.end = t;
-    } else {
+    } else if (draw < 88) {
       e.kind = ChaosEventKind::kExtentCorruption;
       e.start = minutes(5) + seconds(rng.uniform_u32(15 * 60));
       e.end = e.start;
+    } else if (draw < 94) {
+      // Partial ToR black-hole, strong and long enough that the healing
+      // loop must catch and repair it within the deadline invariant.
+      e.kind = ChaosEventKind::kTorBlackhole;
+      e.entity = rng.uniform_u32(4096);
+      e.magnitude = rng.uniform(0.25, 0.7);
+      auto [s, t] = rand_window(minutes(8), minutes(18));
+      e.start = s;
+      e.end = t;
+      has_heal_kind = true;
+    } else if (draw < 97) {
+      e.kind = ChaosEventKind::kSpineDrop;
+      e.entity = rng.uniform_u32(4096);
+      e.magnitude = rng.uniform(0.05, 0.15);
+      auto [s, t] = rand_window(minutes(8), minutes(16));
+      e.start = s;
+      e.end = t;
+      has_heal_kind = true;
+    } else {
+      e.kind = ChaosEventKind::kCongestion;
+      e.entity = rng.uniform_u32(4096);
+      e.magnitude = rng.uniform(0.05, 0.3);
+      auto [s, t] = rand_window(minutes(3), minutes(8));
+      e.start = s;
+      e.end = t;
+      has_heal_kind = true;
     }
     plan.events.push_back(e);
   }
+  // Heal-kind plans always run the loop; a slice of the rest does too, so
+  // the hunt exercises healing against faults the loop must NOT touch.
+  plan.heal = has_heal_kind || rng.chance(0.35);
   return plan;
 }
 

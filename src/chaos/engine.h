@@ -39,6 +39,9 @@ struct ChaosRunResult {
   /// Serving-tier harness outcome; ran only when the plan holds
   /// serve-restart events (otherwise default-initialized, ran == false).
   ServeChaosOutcome serve;
+  /// Closed-loop healing outcome; ran only when the plan sets `heal on`
+  /// (otherwise default-initialized, ran == false).
+  HealChaosOutcome heal;
 
   [[nodiscard]] bool ok() const { return report.all_ok(); }
 };

@@ -13,6 +13,9 @@ namespace {
 /// Salt for deriving per-event uploader chaos seeds from the plan seed.
 constexpr std::uint64_t kUploadChaosSalt = 0xC4A05u;
 
+/// Salt for deriving per-event black-hole TCAM patterns from the plan seed.
+constexpr std::uint64_t kBlackholeSalt = 0xB1AC0u;
+
 std::vector<std::size_t> resolve_replicas(std::uint32_t entity, std::size_t count) {
   std::vector<std::size_t> out;
   if (entity == kEntityAll) {
@@ -24,6 +27,29 @@ std::vector<std::size_t> resolve_replicas(std::uint32_t entity, std::size_t coun
 }
 
 }  // namespace
+
+SwitchId resolve_event_switch(const topo::Topology& topo, const ChaosEvent& event) {
+  switch (event.kind) {
+    case ChaosEventKind::kTorBlackhole: {
+      const auto& pods = topo.pods();
+      return pods[event.entity % pods.size()].tor;
+    }
+    case ChaosEventKind::kSpineDrop: {
+      // Spines in topology order; fall back to the whole switch table on a
+      // (degenerate) spineless topology so the event is still applicable.
+      std::vector<SwitchId> spines;
+      for (const topo::Switch& sw : topo.switches()) {
+        if (sw.kind == topo::SwitchKind::kSpine) spines.push_back(sw.id);
+      }
+      if (spines.empty()) {
+        return SwitchId{static_cast<std::uint32_t>(event.entity % topo.switch_count())};
+      }
+      return spines[event.entity % spines.size()];
+    }
+    default:
+      return SwitchId{static_cast<std::uint32_t>(event.entity % topo.switch_count())};
+  }
+}
 
 void ChaosInjector::arm(const ChaosPlan& plan) {
   if (auto err = validate_plan(plan)) {
@@ -121,6 +147,24 @@ void ChaosInjector::arm_event(const ChaosEvent& event, const ChaosPlan& plan,
       sched.schedule_at(event.end, [&sim, server](SimTime) {
         sim.agent(server).set_clock_skew(0);
       });
+      break;
+    }
+    case ChaosEventKind::kTorBlackhole: {
+      SwitchId sw = resolve_event_switch(topo, event);
+      std::uint64_t salt = mix_key(plan.seed, kBlackholeSalt,
+                                   static_cast<std::uint64_t>(event_index));
+      sim.faults().add_blackhole(sw, netsim::BlackholeMode::kSrcDstPair,
+                                 event.magnitude, event.start, event.end, salt);
+      break;
+    }
+    case ChaosEventKind::kSpineDrop: {
+      SwitchId sw = resolve_event_switch(topo, event);
+      sim.faults().add_silent_random_drop(sw, event.magnitude, event.start, event.end);
+      break;
+    }
+    case ChaosEventKind::kCongestion: {
+      SwitchId sw = resolve_event_switch(topo, event);
+      sim.faults().add_congestion(sw, 4.0, event.magnitude, event.start, event.end);
       break;
     }
     case ChaosEventKind::kServeRestart: {

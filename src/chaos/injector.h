@@ -22,6 +22,13 @@
 
 namespace pingmesh::chaos {
 
+/// The switch a switch-targeting event resolves to on `topo` (the same
+/// modulo clamping the injector applies when arming). Shared with the
+/// invariant checker and the healing-loop soak so "which switch did the
+/// plan fault?" has exactly one answer. Only meaningful for kLinkLoss,
+/// kPartition, kTorBlackhole, kSpineDrop and kCongestion.
+SwitchId resolve_event_switch(const topo::Topology& topo, const ChaosEvent& event);
+
 class ChaosInjector {
  public:
   /// Serving-tier fault surface (serve-restart events). The simulation has

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "agent/counters.h"
+#include "chaos/injector.h"
 #include "dsa/cosmos.h"
 
 namespace pingmesh::chaos {
@@ -179,6 +180,21 @@ InvariantFinding check_blame_localization(const core::PingmeshSimulation& sim,
   };
   std::map<std::pair<std::uint32_t, std::uint32_t>, PairAcc> pairs;
   SimTime to = std::min(fault->end, plan.duration);
+  if (plan.heal) {
+    // The healing loop may clear the fault mid-window (a reload/RMA removes
+    // the injected fault records); records after the first executed repair
+    // on the faulted switch carry no blame signal.
+    for (const autopilot::RepairRecord& r : sim.repair().history()) {
+      if (r.executed && r.sw.value == fault->entity) {
+        to = std::min(to, r.time);
+        break;
+      }
+    }
+    if (to <= fault->start) {
+      return not_applicable("blame-localization",
+                            "fault repaired before any record window accrued");
+    }
+  }
   for (const auto& r : sim.records_between(fault->start, to)) {
     auto src = topo.find_server_by_ip(r.src_ip);
     auto dst = topo.find_server_by_ip(r.dst_ip);
@@ -246,6 +262,92 @@ InvariantFinding check_rollup_recovery(const ServeChaosOutcome* serve) {
                   (serve->conservation_ok ? "ok" : "VIOLATED") + " queries=" +
                   std::to_string(serve->queries) + " 503-with-replicas=" +
                   std::to_string(serve->failed_with_replicas));
+}
+
+/// Event kinds that can mask black-hole detection end-to-end: fail-closed
+/// stops probing during a controller outage / SLB flap, and upload chaos
+/// starves or delays the record stream both detection paths read. A plan
+/// containing any of these is not a fair test of the repair deadline.
+bool masks_heal_detection(ChaosEventKind k) {
+  return k == ChaosEventKind::kControllerOutage || k == ChaosEventKind::kSlbFlap ||
+         k == ChaosEventKind::kUploadFailure || k == ChaosEventKind::kUploadDelay;
+}
+
+InvariantFinding check_blackhole_repaired(const core::PingmeshSimulation& sim,
+                                          const ChaosPlan& plan,
+                                          const HealChaosOutcome* heal) {
+  if (heal == nullptr || !heal->ran) {
+    return not_applicable("blackhole-repaired", "healing loop not attached");
+  }
+  for (const ChaosEvent& e : plan.events) {
+    if (masks_heal_detection(e.kind)) {
+      return not_applicable("blackhole-repaired",
+                            "plan masks detection (controller/upload chaos)");
+    }
+  }
+  const auto& topo = sim.topology();
+  const auto& history = sim.repair().history();
+  int checked = 0;
+  for (const ChaosEvent& e : plan.events) {
+    if (e.kind != ChaosEventKind::kTorBlackhole) continue;
+    // Only black-holes the loop can plausibly catch: strong enough for the
+    // fail-rate rule, active for at least the repair deadline, and with the
+    // deadline inside the simulated run.
+    if (e.magnitude < 0.15) continue;
+    if (e.end - e.start < kHealRepairDeadline) continue;
+    if (e.start + kHealRepairDeadline > plan.duration + plan.settle) continue;
+    ++checked;
+    SwitchId sw = resolve_event_switch(topo, e);
+    bool repaired = false;
+    for (const autopilot::RepairRecord& r : history) {
+      if (r.executed && r.sw == sw && r.time <= e.start + kHealRepairDeadline) {
+        repaired = true;
+        break;
+      }
+    }
+    if (!repaired) {
+      return make("blackhole-repaired", false,
+                  "black-hole on switch " + std::to_string(sw.value) + " injected at " +
+                      std::to_string(e.start) + "ns had no executed repair by " +
+                      std::to_string(e.start + kHealRepairDeadline) + "ns");
+    }
+  }
+  if (checked == 0) {
+    return not_applicable("blackhole-repaired",
+                          "no catchable black-hole event in the plan");
+  }
+  return make("blackhole-repaired", true,
+              std::to_string(checked) + " injected black-hole(s) repaired within " +
+                  std::to_string(kHealRepairDeadline / kNanosPerMinute) + "min");
+}
+
+InvariantFinding check_corroborated_repair(const core::PingmeshSimulation& sim,
+                                           const HealChaosOutcome* heal) {
+  if (heal == nullptr || !heal->ran) {
+    return not_applicable("corroborated-repair", "healing loop not attached");
+  }
+  std::size_t executed = 0;
+  for (const autopilot::RepairRecord& r : sim.repair().history()) {
+    if (!r.executed) continue;
+    ++executed;
+    bool corroborated = false;
+    for (const HealIncidentSummary& inc : heal->incidents) {
+      if (inc.sw == r.sw && inc.corroborate > 0 && inc.corroborate <= r.time) {
+        corroborated = true;
+        break;
+      }
+    }
+    if (!corroborated) {
+      return make("corroborated-repair", false,
+                  "repair on switch " + std::to_string(r.sw.value) + " at " +
+                      std::to_string(r.time) +
+                      "ns has no prior corroborated blame (reason: " + r.reason + ")");
+    }
+  }
+  return make("corroborated-repair", true,
+              std::to_string(executed) + " executed repair(s), all corroborated; " +
+                  std::to_string(heal->incidents.size()) + " incident(s), " +
+                  std::to_string(heal->triggers_seen) + " trigger(s)");
 }
 
 InvariantFinding check_bounded_buffer(const core::PingmeshSimulation& sim) {
@@ -318,7 +420,8 @@ FleetTotals collect_totals(const core::PingmeshSimulation& sim) {
 }
 
 InvariantReport check_invariants(const core::PingmeshSimulation& sim,
-                                 const ChaosPlan& plan, const ServeChaosOutcome* serve) {
+                                 const ChaosPlan& plan, const ServeChaosOutcome* serve,
+                                 const HealChaosOutcome* heal) {
   InvariantReport report;
   report.findings.push_back(check_record_conservation(sim));
   report.findings.push_back(check_cosmos_ledger(sim));
@@ -328,6 +431,8 @@ InvariantReport check_invariants(const core::PingmeshSimulation& sim,
   report.findings.push_back(check_decode_integrity(sim, plan));
   report.findings.push_back(check_bounded_buffer(sim));
   report.findings.push_back(check_rollup_recovery(serve));
+  report.findings.push_back(check_blackhole_repaired(sim, plan, heal));
+  report.findings.push_back(check_corroborated_repair(sim, heal));
   return report;
 }
 

@@ -23,7 +23,15 @@
 //                         persisted rollup segments + WAL digest-identical
 //                         to the durable writer — at each restart and at
 //                         run end — with the rollup conservation ledger
-//                         intact and no 503 while a replica was alive.
+//                         intact and no 503 while a replica was alive;
+//   blackhole-repaired    under healing, every injected ToR black-hole that
+//                         the loop could plausibly catch (strong enough,
+//                         window long enough, detection not masked by an
+//                         upload/controller outage) saw a repair executed
+//                         on its switch within the repair deadline;
+//   corroborated-repair   under healing, no repair ever executed without a
+//                         prior batch-corroborated blame on that switch —
+//                         streaming alerts alone must never reboot gear.
 //
 // Checks that don't apply to a given plan (e.g. blame-localization for a
 // plan without a lone network fault) report applicable=false rather than a
@@ -95,12 +103,52 @@ struct ServeChaosOutcome {
   std::uint64_t failed_with_replicas = 0;  ///< 503s while a replica was alive
 };
 
+/// Summary of one closed-loop healing incident, mirrored out of
+/// heal::Incident by the engine so the invariant checker (and the soak
+/// report) consume a plain value type instead of including the heal module.
+struct HealIncidentSummary {
+  SwitchId sw;          ///< blamed switch; invalid for escalate/expire
+  std::string state;    ///< incident_state_name()
+  std::string action;   ///< incident_action_name()
+  SimTime detect = 0;
+  SimTime corroborate = 0;
+  SimTime repair = 0;
+  SimTime recover = 0;
+  bool deferred = false;
+  bool escalated_rma = false;
+  std::size_t triggers = 0;
+  double sla_before = -1.0;
+  double sla_after = -1.0;
+};
+
+/// Outcome of the healing loop a chaos run attaches when the plan sets
+/// `heal on` (engine.cc). Feeds the blackhole-repaired and
+/// corroborated-repair invariants and the soak report.
+struct HealChaosOutcome {
+  bool ran = false;
+  std::uint64_t triggers_seen = 0;
+  std::vector<HealIncidentSummary> incidents;
+  // Mirrored from the RepairService before the simulation is torn down.
+  std::uint64_t reloads_executed = 0;
+  std::uint64_t rmas_executed = 0;
+  std::uint64_t deferred_executed = 0;  ///< budget-parked, later executed
+  std::uint64_t deferred_pending = 0;   ///< still parked at run end
+};
+
+/// Repair deadline the blackhole-repaired invariant holds the loop to:
+/// inject -> detect -> corroborate -> executed repair within this much sim
+/// time. Detection lands within ~2 simulated minutes (the perf gate);
+/// corroboration adds a batch lookback plus loop ticks.
+constexpr SimTime kHealRepairDeadline = minutes(6);
+
 /// Run every invariant against the post-run simulation state. `plan` gates
 /// plan-dependent checks (blame localization needs a lone network fault);
-/// `serve` (optional) feeds the rollup-recovery check — when null or not
-/// ran, that finding reports not-applicable.
+/// `serve` (optional) feeds the rollup-recovery check, `heal` (optional)
+/// the closed-loop repair checks — when null or not ran, those findings
+/// report not-applicable.
 [[nodiscard]] InvariantReport check_invariants(const core::PingmeshSimulation& sim,
                                                const ChaosPlan& plan,
-                                               const ServeChaosOutcome* serve = nullptr);
+                                               const ServeChaosOutcome* serve = nullptr,
+                                               const HealChaosOutcome* heal = nullptr);
 
 }  // namespace pingmesh::chaos

@@ -27,6 +27,9 @@ constexpr KindName kKindNames[] = {
     {ChaosEventKind::kExtentCorruption, "corrupt-extent"},
     {ChaosEventKind::kClockSkew, "clock-skew"},
     {ChaosEventKind::kServeRestart, "serve-restart"},
+    {ChaosEventKind::kTorBlackhole, "blackhole"},
+    {ChaosEventKind::kSpineDrop, "spine-drop"},
+    {ChaosEventKind::kCongestion, "congestion"},
 };
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) == kChaosEventKindCount);
 
@@ -130,6 +133,15 @@ std::optional<std::string> validate_event(const ChaosEvent& e, SimTime duration)
     case ChaosEventKind::kClockSkew:
       if (e.param < -hours(1) || e.param > hours(1)) return "clock-skew not in [-1h, 1h]";
       break;
+    case ChaosEventKind::kTorBlackhole:
+      if (!(e.magnitude > 0.0) || e.magnitude > 1.0) return "blackhole prob not in (0, 1]";
+      break;
+    case ChaosEventKind::kSpineDrop:
+      if (!(e.magnitude > 0.0) || e.magnitude > 1.0) return "spine-drop prob not in (0, 1]";
+      break;
+    case ChaosEventKind::kCongestion:
+      if (!(e.magnitude > 0.0) || e.magnitude > 0.5) return "congestion prob not in (0, 0.5]";
+      break;
     case ChaosEventKind::kPartition:
     case ChaosEventKind::kServerCrash:
     case ChaosEventKind::kControllerOutage:
@@ -149,7 +161,11 @@ const char* entity_key(ChaosEventKind k) {
   switch (k) {
     case ChaosEventKind::kLinkLoss:
     case ChaosEventKind::kPartition:
+    case ChaosEventKind::kSpineDrop:
+    case ChaosEventKind::kCongestion:
       return "switch";
+    case ChaosEventKind::kTorBlackhole:
+      return "pod";
     case ChaosEventKind::kServerCrash:
     case ChaosEventKind::kClockSkew:
       return "server";
@@ -173,7 +189,9 @@ const char* param_key(ChaosEventKind k) {
 }
 
 bool kind_has_prob(ChaosEventKind k) {
-  return k == ChaosEventKind::kLinkLoss || k == ChaosEventKind::kUploadFailure;
+  return k == ChaosEventKind::kLinkLoss || k == ChaosEventKind::kUploadFailure ||
+         k == ChaosEventKind::kTorBlackhole || k == ChaosEventKind::kSpineDrop ||
+         k == ChaosEventKind::kCongestion;
 }
 
 }  // namespace
@@ -244,6 +262,10 @@ std::optional<ChaosPlan> parse_plan(std::string_view text, std::string* error) {
       if (!parse_time(rest, plan.duration)) return fail(line_no, "bad duration");
     } else if (word == "settle") {
       if (!parse_time(rest, plan.settle)) return fail(line_no, "bad settle");
+    } else if (word == "heal") {
+      if (rest == "on") plan.heal = true;
+      else if (rest == "off") plan.heal = false;
+      else return fail(line_no, "heal takes 'on' or 'off'");
     } else if (word == "event") {
       if (plan.events.size() >= kMaxPlanEvents) return fail(line_no, "too many events");
       std::size_t ksp = rest.find(' ');
@@ -303,6 +325,7 @@ std::string to_text(const ChaosPlan& plan) {
   out += "seed " + std::to_string(plan.seed) + '\n';
   out += "duration " + format_time(plan.duration) + '\n';
   out += "settle " + format_time(plan.settle) + '\n';
+  if (plan.heal) out += "heal on\n";
   for (const ChaosEvent& e : plan.events) {
     out += "event ";
     out += chaos_event_kind_name(e.kind);

@@ -17,6 +17,13 @@
 //   settle 10m
 //   event link-loss switch=12 prob=0.01 start=5m end=15m
 //   event controller-outage replica=all start=4m end=16m
+//   heal on
+//   event blackhole pod=3 prob=0.5 start=5m
+//
+// `heal on` attaches the self-healing loop to the run; `blackhole`
+// (entity = pod index, prob = corrupted entry fraction), `spine-drop`
+// (silent random drops on a spine) and `congestion` are the fault kinds
+// the loop repairs or deliberately ignores.
 //
 // Times take an integer plus a unit suffix (ns/us/ms/s/m/h/d); the
 // serializer always emits exact nanoseconds so round-trips are lossless.
@@ -43,10 +50,13 @@ enum class ChaosEventKind : std::uint8_t {
   kExtentCorruption,  ///< newest extent's payload bit-flipped at start
   kClockSkew,         ///< one agent stamps records at now + param (signed)
   kServeRestart,      ///< query replica killed at start, recovered at end
+  kTorBlackhole,      ///< ToR black-holes a fraction of src/dst patterns
+  kSpineDrop,         ///< silent random drop on a spine (RMA-class fault)
+  kCongestion,        ///< queue inflation + overflow drops on one switch
 };
 
 /// Number of distinct event kinds (generator/shrinker iteration).
-constexpr int kChaosEventKindCount = 10;
+constexpr int kChaosEventKindCount = 13;
 
 const char* chaos_event_kind_name(ChaosEventKind kind);
 std::optional<ChaosEventKind> parse_chaos_event_kind(std::string_view name);
@@ -69,6 +79,12 @@ struct ChaosPlan {
   std::uint64_t seed = 42;
   SimTime duration = minutes(30);  ///< chaos window the events live in
   SimTime settle = minutes(10);    ///< fault-free tail before invariants run
+  /// Attach the self-healing loop (heal::HealingLoop) to the run: streaming
+  /// alerts are corroborated against the batch localizers and confirmed
+  /// blame drives the repair service, which actually clears the injected
+  /// fault. Serialized as a `heal on` directive so a plan file remains a
+  /// complete reproducer; the repair invariants only apply when set.
+  bool heal = false;
   std::vector<ChaosEvent> events;
 
   bool operator==(const ChaosPlan&) const = default;

@@ -18,7 +18,7 @@ PingmeshSimulation::PingmeshSimulation(SimulationConfig config)
       uploader_(cosmos_, dsa::kLatencyStream, scheduler_.clock()),
       jobs_(config_.ingestion_delay),
       pa_(topo_, db_),
-      repair_(autopilot::RepairConfig{},
+      repair_(config_.repair,
               [this](SwitchId sw) { net_.faults().clear_blackholes_on(sw); },
               [this](SwitchId sw) { net_.faults().clear_all_on(sw); }),
       watchdogs_() {

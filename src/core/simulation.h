@@ -65,6 +65,10 @@ struct SimulationConfig {
   /// plus the sampled data-path tracer (DESIGN.md §10). Zero overhead when
   /// disabled — no registry is constructed and every hook stays null.
   obs::ObservabilityConfig observability;
+  /// Autopilot repair service knobs: the §5.1 daily reload budget and the
+  /// budget accounting period (tests/soaks shrink the day so rollover
+  /// happens inside a short run).
+  autopilot::RepairConfig repair;
   /// Controller replicas behind the pinglist VIP (§3.3.2). Every replica
   /// serves the identical generator output; the SLB spreads fetches and
   /// removes/readmits replicas as they fail/recover.
@@ -107,6 +111,7 @@ class PingmeshSimulation {
     return streaming_.get();
   }
   autopilot::RepairService& repair() { return repair_; }
+  [[nodiscard]] const autopilot::RepairService& repair() const { return repair_; }
   autopilot::WatchdogService& watchdogs() { return watchdogs_; }
   topo::ServiceMap& services() { return services_; }
   EventScheduler& scheduler() { return scheduler_; }

@@ -1,0 +1,430 @@
+#include "heal/loop.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+#include "obs/observability.h"
+
+namespace pingmesh::heal {
+
+namespace {
+
+constexpr const char* kSilentPairRule = "stream:silent_pair";
+constexpr const char* kFailRateRule = "stream:fail_rate";
+constexpr const char* kDropSpikeRule = "stream:drop_spike";
+
+bool blackhole_shaped(const std::string& rule) {
+  return rule == kSilentPairRule || rule == kFailRateRule;
+}
+
+std::string format_rate2(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", r);
+  return buf;
+}
+
+}  // namespace
+
+const char* incident_state_name(IncidentState s) {
+  switch (s) {
+    case IncidentState::kCorroborated: return "corroborated";
+    case IncidentState::kRepaired: return "repaired";
+    case IncidentState::kRecovered: return "recovered";
+    case IncidentState::kEscalated: return "escalated";
+    case IncidentState::kExpired: return "expired";
+  }
+  return "?";
+}
+
+const char* incident_action_name(IncidentAction a) {
+  switch (a) {
+    case IncidentAction::kNone: return "none";
+    case IncidentAction::kReload: return "reload";
+    case IncidentAction::kIsolateRma: return "isolate-rma";
+    case IncidentAction::kEscalate: return "escalate";
+  }
+  return "?";
+}
+
+std::string Incident::to_line() const {
+  std::string out = "incident " + std::to_string(id);
+  out += " state=" + std::string(incident_state_name(state));
+  out += " action=" + std::string(incident_action_name(action));
+  out += " switch=" + (sw.valid() ? std::to_string(sw.value) : std::string("-"));
+  out += " detect=" + std::to_string(detect) + "ns";
+  out += " corroborate=" + std::to_string(corroborate) + "ns";
+  out += " repair=" + std::to_string(repair) + "ns";
+  out += " recover=" + std::to_string(recover) + "ns";
+  if (deferred) out += " deferred";
+  if (escalated_rma) out += " escalated-rma";
+  out += " triggers=" + std::to_string(triggers.size());
+  if (sla_before >= 0.0) out += " sla_before=" + format_rate2(sla_before);
+  if (sla_after >= 0.0) out += " sla_after=" + format_rate2(sla_after);
+  if (!note.empty()) out += " note=" + note;
+  return out;
+}
+
+HealingLoop::HealingLoop(core::PingmeshSimulation& sim, HealConfig config)
+    : sim_(&sim), config_(config) {
+  // Full black-holes must stay attributable: victims never succeed but keep
+  // uploading failure records over the management plane.
+  config_.blackhole.reporting_liveness = true;
+  const topo::Topology& topo = sim.topology();
+  for (const topo::Pod& pod : topo.pods()) {
+    pod_by_tor_name_[topo.sw(pod.tor).name] = pod.id;
+  }
+  for (const topo::Server& s : topo.servers()) pod_by_ip_[s.ip] = s.pod;
+}
+
+void HealingLoop::attach() {
+  sim_->scheduler().schedule_every(config_.poll_period, [this](SimTime now) {
+    tick(now);
+    return true;
+  });
+}
+
+void HealingLoop::tick(SimTime now) {
+  drain_alerts(now);
+  stamp_deferred_repairs(sim_->repair().retry_deferred(now), now);
+  corroborate(now);
+  expire_pending(now);
+  check_recovery(now);
+  finish_sla(now);
+}
+
+std::optional<std::pair<PodId, PodId>> HealingLoop::parse_pair_scope(
+    const std::string& scope) const {
+  // OnlineDetector scopes pair alerts as "pair <src-tor-name>-><dst-tor-name>".
+  constexpr std::string_view kPrefix = "pair ";
+  if (scope.rfind(kPrefix, 0) != 0) return std::nullopt;
+  std::string_view rest = std::string_view(scope).substr(kPrefix.size());
+  std::size_t arrow = rest.find("->");
+  if (arrow == std::string_view::npos) return std::nullopt;
+  auto src = pod_by_tor_name_.find(std::string(rest.substr(0, arrow)));
+  auto dst = pod_by_tor_name_.find(std::string(rest.substr(arrow + 2)));
+  if (src == pod_by_tor_name_.end() || dst == pod_by_tor_name_.end()) return std::nullopt;
+  return std::make_pair(src->second, dst->second);
+}
+
+bool HealingLoop::trigger_absorbed(const std::string& scope, const std::string& rule) const {
+  for (const PendingTrigger& p : pending_) {
+    if (p.scope == scope && p.rule == rule) return true;
+  }
+  // An alert row re-opened for a scope already folded into a live incident
+  // is the same episode still unfolding, not a new trigger.
+  for (const Incident& inc : incidents_) {
+    if (inc.state == IncidentState::kRecovered || inc.state == IncidentState::kExpired) {
+      continue;
+    }
+    for (const auto& [s, r] : inc.triggers) {
+      if (s == scope && r == rule) return true;
+    }
+  }
+  return false;
+}
+
+void HealingLoop::drain_alerts(SimTime now) {
+  (void)now;
+  const auto& alerts = sim_->db().alerts;
+  obs::Observability* obs = sim_->observability();
+  for (; alert_hw_ < alerts.size(); ++alert_hw_) {
+    const dsa::AlertRow& row = alerts[alert_hw_];
+    if (!blackhole_shaped(row.rule) && row.rule != kDropSpikeRule) continue;
+    if (trigger_absorbed(row.scope, row.rule)) continue;
+    PendingTrigger t;
+    t.scope = row.scope;
+    t.rule = row.rule;
+    t.first_seen = row.time;
+    if (auto pods = parse_pair_scope(row.scope)) {
+      t.src = pods->first;
+      t.dst = pods->second;
+    }
+    pending_.push_back(std::move(t));
+    ++triggers_seen_;
+    if (obs != nullptr) obs->metrics().counter("heal.triggers_total").inc();
+  }
+}
+
+void HealingLoop::stamp_deferred_repairs(const std::vector<SwitchId>& reloaded, SimTime now) {
+  obs::Observability* obs = sim_->observability();
+  for (SwitchId sw : reloaded) {
+    for (Incident& inc : incidents_) {
+      if (inc.sw == sw && inc.state == IncidentState::kCorroborated && inc.repair == 0) {
+        inc.repair = now;
+        inc.state = IncidentState::kRepaired;
+        inc.note += inc.note.empty() ? "deferred reload executed" : "; deferred reload executed";
+        if (obs != nullptr) obs->metrics().counter("heal.reloads_total").inc();
+        break;
+      }
+    }
+  }
+}
+
+double HealingLoop::pair_success_rate(const Incident& inc, SimTime from, SimTime to) const {
+  std::set<std::uint32_t> pods;
+  for (const auto& [scope, rule] : inc.triggers) {
+    (void)rule;
+    if (auto pp = parse_pair_scope(scope)) {
+      pods.insert(pp->first.value);
+      pods.insert(pp->second.value);
+    }
+  }
+  if (pods.empty()) return -1.0;
+  std::uint64_t total = 0;
+  std::uint64_t ok = 0;
+  for (const agent::LatencyRecord& r : sim_->records_between(from, to)) {
+    auto src = pod_by_ip_.find(r.src_ip);
+    auto dst = pod_by_ip_.find(r.dst_ip);
+    bool involved = (src != pod_by_ip_.end() && pods.contains(src->second.value)) ||
+                    (dst != pod_by_ip_.end() && pods.contains(dst->second.value));
+    if (!involved) continue;
+    ++total;
+    if (r.success) ++ok;
+  }
+  if (total == 0) return -1.0;
+  return static_cast<double>(ok) / static_cast<double>(total);
+}
+
+bool HealingLoop::symptom_current(PodId pod,
+                                  const std::vector<agent::LatencyRecord>& records,
+                                  SimTime now) const {
+  SimTime from = now > config_.symptom_recency ? now - config_.symptom_recency : 0;
+  int failures = 0;
+  for (const agent::LatencyRecord& r : records) {
+    if (r.timestamp < from || r.success) continue;
+    auto src = pod_by_ip_.find(r.src_ip);
+    auto dst = pod_by_ip_.find(r.dst_ip);
+    bool involved = (src != pod_by_ip_.end() && src->second == pod) ||
+                    (dst != pod_by_ip_.end() && dst->second == pod);
+    if (involved && ++failures >= config_.min_recent_failures) return true;
+  }
+  return false;
+}
+
+Incident& HealingLoop::open_incident(IncidentState state, IncidentAction action,
+                                                  std::vector<PendingTrigger> matched,
+                                                  SimTime now) {
+  Incident inc;
+  inc.id = incidents_.size() + 1;
+  inc.state = state;
+  inc.action = action;
+  inc.corroborate = now;
+  inc.detect = now;
+  for (const PendingTrigger& t : matched) {
+    inc.detect = std::min(inc.detect, t.first_seen);
+    inc.triggers.emplace_back(t.scope, t.rule);
+  }
+  incidents_.push_back(std::move(inc));
+  obs::Observability* obs = sim_->observability();
+  if (obs != nullptr) obs->metrics().counter("heal.incidents_total").inc();
+  return incidents_.back();
+}
+
+void HealingLoop::corroborate(SimTime now) {
+  if (pending_.empty()) return;
+  const topo::Topology& topo = sim_->topology();
+  obs::Observability* obs = sim_->observability();
+  SimTime from = now > config_.corroborate_lookback ? now - config_.corroborate_lookback : 0;
+  std::vector<agent::LatencyRecord> records = sim_->records_between(from, now);
+
+  bool any_blackhole = false;
+  bool any_dropspike = false;
+  for (const PendingTrigger& t : pending_) {
+    if (blackhole_shaped(t.rule)) any_blackhole = true;
+    if (t.rule == kDropSpikeRule) any_dropspike = true;
+  }
+
+  // Consume matched pending triggers; survivors stay for the next tick.
+  auto take_matching = [this](auto&& pred) {
+    std::vector<PendingTrigger> matched;
+    std::vector<PendingTrigger> rest;
+    for (PendingTrigger& t : pending_) {
+      if (pred(t)) matched.push_back(std::move(t));
+      else rest.push_back(std::move(t));
+    }
+    pending_ = std::move(rest);
+    return matched;
+  };
+
+  if (any_blackhole) {
+    analysis::BlackholeDetector detector(config_.blackhole);
+    analysis::BlackholeReport report = detector.detect(records, topo);
+
+    for (const analysis::TorScore& cand : report.candidates) {
+      // The lookback can span a fault that already cleared (a crashed
+      // server that came back fills the window with stale failures). Only
+      // act while the symptom is current; stale triggers stay pending and
+      // expire at the deadline.
+      if (!symptom_current(cand.pod, records, now)) continue;
+      auto matched = take_matching([&](const PendingTrigger& t) {
+        return blackhole_shaped(t.rule) && (t.src == cand.pod || t.dst == cand.pod);
+      });
+      if (matched.empty()) continue;  // batch candidate without a streaming trigger
+
+      // A switch already reloaded that re-corroborates after the cooldown:
+      // the reload did not fix it; escalate to isolate + RMA (§5.1). A
+      // recovered incident also stays authoritative while the batch
+      // lookback still spans its pre-repair failures — re-blame from those
+      // stale records must not open a duplicate incident (and burn a second
+      // reload); genuine recurrence re-corroborates once they age out.
+      Incident* live = nullptr;
+      for (Incident& inc : incidents_) {
+        if (inc.sw != cand.tor) continue;
+        if (inc.state == IncidentState::kCorroborated ||
+            inc.state == IncidentState::kRepaired ||
+            (inc.state == IncidentState::kRecovered &&
+             now - inc.recover < config_.corroborate_lookback)) {
+          live = &inc;
+          break;
+        }
+      }
+      if (live != nullptr) {
+        for (const PendingTrigger& t : matched) live->triggers.emplace_back(t.scope, t.rule);
+        if (live->state == IncidentState::kRepaired && live->action == IncidentAction::kReload &&
+            !live->escalated_rma && now - live->repair >= config_.reload_cooldown) {
+          sim_->repair().isolate_and_rma(
+              cand.tor, "heal: black-hole persists after reload on " + topo.sw(cand.tor).name,
+              now);
+          live->escalated_rma = true;
+          live->action = IncidentAction::kIsolateRma;
+          live->repair = now;
+          live->note += live->note.empty() ? "reload ineffective, RMA"
+                                           : "; reload ineffective, RMA";
+          if (obs != nullptr) obs->metrics().counter("heal.rma_total").inc();
+        }
+        continue;
+      }
+
+      Incident& inc = open_incident(IncidentState::kCorroborated, IncidentAction::kReload,
+                                    std::move(matched), now);
+      inc.sw = cand.tor;
+      inc.sla_before = pair_success_rate(inc, from, now);
+      bool executed = sim_->repair().request_reload(
+          cand.tor, "heal: black-hole corroborated on " + topo.sw(cand.tor).name, now);
+      if (executed) {
+        inc.repair = now;
+        inc.state = IncidentState::kRepaired;
+        if (obs != nullptr) obs->metrics().counter("heal.reloads_total").inc();
+      } else {
+        inc.deferred = true;
+        if (obs != nullptr) obs->metrics().counter("heal.deferred_total").inc();
+      }
+    }
+
+    // Podset-wide symptom: the fault sits above the ToR layer — notify,
+    // never auto-reload. Sorted for a deterministic incident order.
+    std::vector<std::uint32_t> escalations;
+    for (PodsetId ps : report.escalations) escalations.push_back(ps.value);
+    std::sort(escalations.begin(), escalations.end());
+    for (std::uint32_t ps : escalations) {
+      auto matched = take_matching([&](const PendingTrigger& t) {
+        if (!blackhole_shaped(t.rule)) return false;
+        bool src_in = t.src.valid() && topo.pod(t.src).podset.value == ps;
+        bool dst_in = t.dst.valid() && topo.pod(t.dst).podset.value == ps;
+        return src_in || dst_in;
+      });
+      if (matched.empty()) continue;
+      Incident& inc = open_incident(IncidentState::kEscalated, IncidentAction::kEscalate,
+                                    std::move(matched), now);
+      inc.note = "podset " + std::to_string(ps) + " wide: Leaf/Spine suspected, engineers notified";
+      if (obs != nullptr) obs->metrics().counter("heal.escalations_total").inc();
+    }
+  }
+
+  if (any_dropspike) {
+    analysis::SilentDropLocalizer localizer(config_.silent_drop);
+    analysis::SilentDropReport report = localizer.localize(records, topo, sim_->net(), now);
+    if (report.culprit.valid() && report.culprit_loss >= config_.silent_drop.culprit_min_loss) {
+      auto matched = take_matching(
+          [&](const PendingTrigger& t) { return t.rule == kDropSpikeRule; });
+      Incident* live = nullptr;
+      for (Incident& inc : incidents_) {
+        if (inc.sw == report.culprit && inc.action == IncidentAction::kIsolateRma &&
+            inc.state != IncidentState::kRecovered) {
+          live = &inc;
+          break;
+        }
+      }
+      if (live != nullptr) {
+        for (const PendingTrigger& t : matched) live->triggers.emplace_back(t.scope, t.rule);
+      } else if (!matched.empty()) {
+        Incident& inc = open_incident(IncidentState::kCorroborated, IncidentAction::kIsolateRma,
+                                      std::move(matched), now);
+        inc.sw = report.culprit;
+        inc.sla_before = pair_success_rate(inc, from, now);
+        sim_->repair().isolate_and_rma(
+            report.culprit,
+            "heal: silent drops pinpointed on " + topo.sw(report.culprit).name +
+                " (loss " + format_rate2(report.culprit_loss) + ")",
+            now);
+        inc.repair = now;
+        inc.state = IncidentState::kRepaired;
+        if (obs != nullptr) obs->metrics().counter("heal.rma_total").inc();
+      }
+    }
+  }
+}
+
+void HealingLoop::expire_pending(SimTime now) {
+  std::vector<PendingTrigger> expired;
+  std::vector<PendingTrigger> rest;
+  for (PendingTrigger& t : pending_) {
+    if (now - t.first_seen >= config_.corroborate_deadline) expired.push_back(std::move(t));
+    else rest.push_back(std::move(t));
+  }
+  pending_ = std::move(rest);
+  if (expired.empty()) return;
+  Incident& inc = open_incident(IncidentState::kExpired, IncidentAction::kNone,
+                                std::move(expired), now);
+  inc.corroborate = 0;
+  inc.note = "never corroborated by the batch path: transient, no action";
+  obs::Observability* obs = sim_->observability();
+  if (obs != nullptr) obs->metrics().counter("heal.expired_total").inc();
+}
+
+void HealingLoop::check_recovery(SimTime now) {
+  const dsa::Database& db = sim_->db();
+  obs::Observability* obs = sim_->observability();
+  for (Incident& inc : incidents_) {
+    if (inc.state != IncidentState::kRepaired) continue;
+    bool all_closed = true;
+    for (const auto& [scope, rule] : inc.triggers) {
+      if (db.alert_open(scope, rule)) {
+        all_closed = false;
+        break;
+      }
+    }
+    if (!all_closed) continue;
+    inc.recover = now;
+    inc.state = IncidentState::kRecovered;
+    if (obs != nullptr) obs->metrics().counter("heal.recovered_total").inc();
+    record_timeline(inc);
+  }
+}
+
+void HealingLoop::finish_sla(SimTime now) {
+  for (Incident& inc : incidents_) {
+    if (inc.state != IncidentState::kRecovered || inc.sla_after >= 0.0) continue;
+    if (now < inc.recover + config_.sla_post_window) continue;
+    inc.sla_after = pair_success_rate(inc, inc.recover, inc.recover + config_.sla_post_window);
+  }
+}
+
+void HealingLoop::record_timeline(const Incident& inc) {
+  obs::Observability* obs = sim_->observability();
+  if (obs == nullptr || !obs->tracer().enabled()) return;
+  std::string note = std::string(incident_action_name(inc.action)) +
+                     (inc.sw.valid() ? " sw " + std::to_string(inc.sw.value) : "");
+  SimTime corroborate = inc.corroborate > 0 ? inc.corroborate : inc.detect;
+  obs->tracer().span(inc.id, "heal.detect", inc.detect, corroborate, note);
+  if (inc.repair > 0) {
+    obs->tracer().span(inc.id, "heal.repair", corroborate, inc.repair, note);
+    if (inc.recover > 0) {
+      obs->tracer().span(inc.id, "heal.recover", inc.repair, inc.recover, note);
+    }
+  }
+}
+
+}  // namespace pingmesh::heal

@@ -1,0 +1,164 @@
+// HealingLoop — the closed loop of paper §5.1, wired end to end:
+//
+//   streaming detection -> batch corroboration -> blame -> repair -> verify
+//
+// The OnlineDetector (streaming fast path) opens `stream:*` alerts within
+// tens of seconds of a fault; the loop treats each as a *trigger*, never as
+// blame. Before any repair fires, the trigger must be corroborated by the
+// batch-path localizer over raw records — the BlackholeDetector's greedy
+// set-cover for black-hole-shaped triggers (silent_pair / fail_rate), the
+// SilentDropLocalizer's traceroute pinpointing for drop-rate spikes. Only a
+// corroborated, switch-attributed blame reaches the RepairService:
+//
+//   - ToR black-hole candidate  -> budgeted reload (clears TCAM/ECMP);
+//   - spine silent-drop culprit -> isolate + RMA (reload cannot fix it);
+//   - podset-wide escalation    -> humans notified, NO automatic repair;
+//   - trigger never corroborated within the deadline (transient congestion,
+//     noise) -> expires with no action.
+//
+// A reload that does not stick — the same switch re-corroborates after a
+// cooldown — escalates to isolate + RMA, matching the paper's observation
+// that some faults "cannot be fixed by switch reload".
+//
+// Every incident carries a timeline (detect -> corroborate -> repair ->
+// recover) recorded against virtual time; recovery is declared when every
+// triggering streaming alert has closed again. The soak harness
+// (heal/soak.h) joins these timelines against the injected chaos plan to
+// compute MTTD/MTTR and false-repair counts.
+//
+// Threading/determinism: the loop runs entirely on the driver thread as a
+// recurring scheduler event, reads only committed state (database alert
+// rows, scannable records), and iterates vectors in insertion order — its
+// incident log is byte-stable at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/blackhole.h"
+#include "analysis/silentdrop.h"
+#include "common/types.h"
+#include "core/simulation.h"
+
+namespace pingmesh::heal {
+
+struct HealConfig {
+  /// Loop cadence (alert drain + corroboration + recovery checks).
+  SimTime poll_period = seconds(30);
+  /// Record window handed to the batch localizers at corroboration time.
+  SimTime corroborate_lookback = minutes(5);
+  /// A trigger not corroborated within this window expires with no action
+  /// (the transient-congestion path).
+  SimTime corroborate_deadline = minutes(10);
+  /// A repaired switch re-corroborating after this cooldown escalates from
+  /// reload to isolate+RMA (the reload did not fix it).
+  SimTime reload_cooldown = minutes(4);
+  /// A black-hole candidate is only actionable while its pod's pairs are
+  /// still failing within this much of "now": the corroboration lookback
+  /// can span a fault that already cleared (e.g. a crashed server that came
+  /// back), and acting on stale evidence reloads healthy gear.
+  SimTime symptom_recency = seconds(60);
+  /// Minimum failed probes in the recency window to call a symptom current.
+  int min_recent_failures = 2;
+  /// Post-recovery SLA window: success rate over the incident's pairs in
+  /// [recover, recover + window), compared against the pre-repair rate.
+  SimTime sla_post_window = minutes(4);
+  /// Batch corroborators. `blackhole.reporting_liveness` is forced on: the
+  /// loop must attribute *full* black-holes, whose victims never succeed
+  /// but keep uploading failures over the management plane.
+  analysis::BlackholeConfig blackhole;
+  analysis::SilentDropConfig silent_drop;
+};
+
+enum class IncidentState : std::uint8_t {
+  kCorroborated,  ///< blame confirmed; repair requested (may be deferred)
+  kRepaired,      ///< repair executed, waiting for alerts to close
+  kRecovered,     ///< every triggering alert closed after repair
+  kEscalated,     ///< podset-wide symptom: humans notified, no auto repair
+  kExpired,       ///< trigger never corroborated: deliberate no-action
+};
+
+enum class IncidentAction : std::uint8_t { kNone, kReload, kIsolateRma, kEscalate };
+
+const char* incident_state_name(IncidentState s);
+const char* incident_action_name(IncidentAction a);
+
+/// One closed-loop episode: from first streaming trigger to recovery (or to
+/// a deliberate non-action). Times are 0 when the stage was not reached.
+struct Incident {
+  std::uint64_t id = 0;  ///< 1-based, in creation order
+  SwitchId sw;           ///< blamed switch; invalid for escalate/expire
+  IncidentState state = IncidentState::kCorroborated;
+  IncidentAction action = IncidentAction::kNone;
+  SimTime detect = 0;       ///< earliest triggering alert open time
+  SimTime corroborate = 0;  ///< batch localizer confirmed the blame
+  SimTime repair = 0;       ///< repair executed (not merely requested)
+  SimTime recover = 0;      ///< all triggering alerts closed
+  bool deferred = false;    ///< repair waited on the daily reload budget
+  bool escalated_rma = false;  ///< reload did not stick; escalated to RMA
+  /// (scope, rule) of every streaming alert folded into this incident.
+  std::vector<std::pair<std::string, std::string>> triggers;
+  std::string note;
+  double sla_before = -1.0;  ///< pair success rate in the corroboration window
+  double sla_after = -1.0;   ///< pair success rate in the post-recovery window
+
+  [[nodiscard]] std::string to_line() const;  ///< deterministic one-line form
+};
+
+class HealingLoop {
+ public:
+  /// Binds to `sim` (which must outlive the loop). Call attach() before
+  /// run_for to install the recurring tick, or drive tick() manually.
+  HealingLoop(core::PingmeshSimulation& sim, HealConfig config = {});
+
+  void attach();
+  void tick(SimTime now);
+
+  [[nodiscard]] const std::vector<Incident>& incidents() const { return incidents_; }
+  [[nodiscard]] std::uint64_t triggers_seen() const { return triggers_seen_; }
+  [[nodiscard]] std::size_t pending_triggers() const { return pending_.size(); }
+  [[nodiscard]] const HealConfig& config() const { return config_; }
+
+ private:
+  struct PendingTrigger {
+    std::string scope;
+    std::string rule;
+    SimTime first_seen = 0;
+    PodId src;  ///< parsed from the pair scope; invalid when unparseable
+    PodId dst;
+  };
+
+  void drain_alerts(SimTime now);
+  void stamp_deferred_repairs(const std::vector<SwitchId>& reloaded, SimTime now);
+  void corroborate(SimTime now);
+  void expire_pending(SimTime now);
+  void check_recovery(SimTime now);
+  void finish_sla(SimTime now);
+
+  [[nodiscard]] bool trigger_absorbed(const std::string& scope, const std::string& rule) const;
+  [[nodiscard]] std::optional<std::pair<PodId, PodId>> parse_pair_scope(
+      const std::string& scope) const;
+  [[nodiscard]] double pair_success_rate(const Incident& inc, SimTime from, SimTime to) const;
+  [[nodiscard]] bool symptom_current(PodId pod,
+                                     const std::vector<agent::LatencyRecord>& records,
+                                     SimTime now) const;
+  Incident& open_incident(IncidentState state, IncidentAction action,
+                          std::vector<PendingTrigger> matched, SimTime now);
+  void record_timeline(const Incident& inc);
+
+  core::PingmeshSimulation* sim_;
+  HealConfig config_;
+  std::unordered_map<std::string, PodId> pod_by_tor_name_;
+  std::unordered_map<IpAddr, PodId> pod_by_ip_;
+  std::size_t alert_hw_ = 0;  ///< high-water mark into db().alerts
+  std::size_t repair_hw_ = 0; ///< high-water mark into repair().history()
+  std::vector<PendingTrigger> pending_;
+  std::vector<Incident> incidents_;
+  std::uint64_t triggers_seen_ = 0;
+};
+
+}  // namespace pingmesh::heal

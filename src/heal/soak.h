@@ -1,0 +1,114 @@
+// SoakRunner — hours of simulated closed-loop self-healing under a seeded
+// stream of random chaos plans (the paper's §5.1 loop, run continuously).
+//
+// Each episode generates a heal-focused chaos plan (always at least one
+// partial ToR black-hole; spine drops, congestion and server crashes mixed
+// in), runs it through the chaos engine with the HealingLoop attached, and
+// joins the loop's incident timelines against the injected events to
+// measure the loop itself:
+//
+//   MTTD   mean(first streaming trigger - injection) over matched
+//          black-holes;
+//   MTTR   mean(recovery - injection) over incidents whose triggering
+//          alerts closed after repair;
+//   false reloads      executed reloads on switches the plan never
+//                      black-holed (must be zero — reloads cost budget and
+//                      reboot production gear);
+//   missed repairs     injected black-holes with no executed repair within
+//                      the deadline (must be zero);
+//   deferred repairs   budget-parked reloads, surfaced rather than lost;
+//   SLA before/after   pair success rate in the corroboration window vs.
+//                      the post-recovery window.
+//
+// The report is a pure function of (seed, config): every count derives from
+// integer event joins and rates print with fixed precision, so to_json() is
+// byte-identical at any worker count — bench_soak pins that, and
+// check_perf.py gates the MTTD/MTTR/false-reload/missed-repair ceilings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/engine.h"
+#include "chaos/plan.h"
+#include "common/types.h"
+
+namespace pingmesh::heal {
+
+struct SoakConfig {
+  std::uint64_t seed = 1;
+  int episodes = 4;                       ///< sequential chaos plans
+  SimTime episode_duration = minutes(30); ///< chaos window per episode
+  int worker_threads = 1;
+  /// Base SimulationConfig for every episode; null = chaos_test_config.
+  const core::SimulationConfig* base_config = nullptr;
+};
+
+/// Heal-focused random plan: `heal on`, one guaranteed catchable partial
+/// ToR black-hole, plus a seeded mix of spine drops, congestion, server
+/// crashes and benign noise. Pure function of (seed, duration).
+chaos::ChaosPlan generate_soak_plan(std::uint64_t seed, SimTime duration = minutes(30));
+
+struct SoakEpisode {
+  std::uint64_t plan_seed = 0;
+  std::size_t events = 0;
+  int injected_blackholes = 0;
+  int repaired_blackholes = 0;
+  bool invariants_ok = true;
+};
+
+struct SoakReport {
+  std::uint64_t seed = 0;
+  int episodes = 0;
+  SimTime sim_time = 0;  ///< total simulated time across episodes
+  std::uint64_t total_probes = 0;
+
+  // Loop activity.
+  std::uint64_t triggers = 0;
+  int incidents = 0;
+  int reloads = 0;
+  int rmas = 0;
+  int escalations = 0;
+  int expired = 0;   ///< triggers that deliberately got no action
+  int recovered = 0;
+
+  // The gates.
+  int injected_blackholes = 0;
+  int unrepaired_blackholes = 0;  ///< missed repairs; CI gate: 0
+  int false_reloads = 0;          ///< reloads on never-black-holed switches; CI gate: 0
+  int deferred_executed = 0;      ///< budget-parked reloads later executed
+  int deferred_pending = 0;       ///< still parked at episode end (surfaced, not lost)
+  int reload_budget_per_day = 0;
+
+  // Timeliness (ns sums over integer joins; seconds derived at print time).
+  SimTime mttd_sum = 0;
+  int mttd_n = 0;
+  SimTime mttr_sum = 0;
+  int mttr_n = 0;
+
+  // SLA conformance around repair.
+  double sla_before_sum = 0.0;
+  double sla_after_sum = 0.0;
+  int sla_n = 0;
+
+  bool invariants_ok = true;
+  std::vector<SoakEpisode> episode_details;
+
+  [[nodiscard]] double mttd_seconds() const {
+    return mttd_n ? to_seconds(mttd_sum) / mttd_n : 0.0;
+  }
+  [[nodiscard]] double mttr_seconds() const {
+    return mttr_n ? to_seconds(mttr_sum) / mttr_n : 0.0;
+  }
+
+  /// Deterministic renderings: byte-identical at any worker count.
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Run `config.episodes` sequential generated plans and aggregate the
+/// closed-loop metrics. Deterministic function of (config).
+SoakReport run_soak(const SoakConfig& config);
+
+}  // namespace pingmesh::heal

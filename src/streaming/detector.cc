@@ -15,6 +15,7 @@ const char* OnlineDetector::rule_name(Rule r) {
     case kLatencyBoost: return "stream:latency_boost";
     case kDropSpike: return "stream:drop_spike";
     case kSilentPair: return "stream:silent_pair";
+    case kFailRate: return "stream:fail_rate";
     default: return "stream:?";
   }
 }
@@ -74,6 +75,23 @@ int OnlineDetector::evaluate(const WindowedAggregator& windows, SimTime now) {
                        "no successful probe since " +
                            (last_ok ? std::to_string(to_seconds(*last_ok)) + "s" : "boot") +
                            " (" + std::to_string(s.probes) + " probes in live window)",
+                       now);
+
+    // Failure rate: the partial-blackhole shape. A corrupted entry fraction
+    // below 1 kills a subset of the pod pair's server pairs deterministically
+    // while the rest keep succeeding, so the pair is neither silent nor
+    // spiking retransmit signatures — but its windowed connect-failure
+    // fraction sits at the corrupted fraction. The absolute failure floor
+    // keeps a single crashed server in a small pod below the rule; the
+    // silent guard keeps total loss owned by silent_pair alone instead of
+    // double-alerting the same fault under two rules.
+    bool fail_rate = !silent && s.failures >= cfg_.min_failures &&
+                     s.failure_rate() >= cfg_.fail_rate_threshold;
+    fired += step_rule(track, kFailRate, fail_rate, scope, dsa::AlertSeverity::kCritical,
+                       s.failure_rate(),
+                       "connect failure rate " + format_rate(s.failure_rate()) + " (" +
+                           std::to_string(s.failures) + "/" + std::to_string(s.probes) +
+                           " probes) over live window",
                        now);
 
     // Drop-signature spike (§4.2 estimator, PA-style signature floor).

@@ -4,7 +4,7 @@
 // into the same Database::alerts surface the PA and SCOPE paths use, one to
 // two orders of magnitude sooner than the 10-min batch job (whose end-to-end
 // freshness is ~20 minutes, paper §3.5) and well under the PA path's 5-min
-// cadence. Three rules, matching the failure classes of §4–§5:
+// cadence. Four rules, matching the failure classes of §4–§5:
 //
 //  - latency boost: windowed *median* RTT above a multiplicative EWMA
 //    baseline (baseline frozen while breaching, so an incident cannot
@@ -21,7 +21,13 @@
 //    — the blackhole shape (deterministic SYN loss produces failures, not
 //    retransmit signatures). Judged against the pair's lifetime
 //    last-success time, not the windowed success count, so detection does
-//    not wait for pre-fault successes to age out of the ring.
+//    not wait for pre-fault successes to age out of the ring;
+//  - failure rate: a sustained fraction of connects failing outright —
+//    the *partial* blackhole shape (a corrupted-TCAM fraction < 1 kills a
+//    subset of server pairs 100% while the rest of the pod pair stays
+//    healthy, so neither silent-pair nor drop-spike fires). The threshold
+//    mirrors the batch localizer's per-pair blackness bar, and a failure
+//    floor keeps one crashed server in a large pod below the rule.
 //
 // Hysteresis + dedup: a rule must breach `open_after` consecutive
 // evaluations to open, and an open (scope, rule) suppresses further rows
@@ -57,6 +63,10 @@ struct DetectorConfig {
   std::uint64_t silent_min_probes = 6;  ///< window probes before "silent" is trusted
   SimTime silent_after = seconds(30);   ///< open when now - last success exceeds this
 
+  // Failure-rate rule (partial-blackhole shape).
+  double fail_rate_threshold = 0.15;     ///< windowed connect-failure fraction
+  std::uint64_t min_failures = 8;        ///< absolute failure floor per window
+
   std::uint64_t min_probes = 6;  ///< window probes before any metric is trusted
   int open_after = 2;   ///< consecutive breaching evaluations to open
   int close_after = 3;  ///< consecutive clean evaluations to close
@@ -76,13 +86,19 @@ class OnlineDetector {
   [[nodiscard]] const DetectorConfig& config() const { return cfg_; }
 
  private:
-  enum Rule : std::size_t { kLatencyBoost = 0, kDropSpike = 1, kSilentPair = 2, kRuleCount };
+  enum Rule : std::size_t {
+    kLatencyBoost = 0,
+    kDropSpike = 1,
+    kSilentPair = 2,
+    kFailRate = 3,
+    kRuleCount
+  };
 
   struct PairTrack {
     double p50_baseline = 0.0;
     bool baseline_init = false;
-    int breach_streak[kRuleCount] = {0, 0, 0};
-    int clean_streak[kRuleCount] = {0, 0, 0};
+    int breach_streak[kRuleCount] = {};
+    int clean_streak[kRuleCount] = {};
   };
 
   static const char* rule_name(Rule r);

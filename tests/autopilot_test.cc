@@ -75,6 +75,35 @@ TEST(Repair, BudgetResetsNextDay) {
   EXPECT_EQ(rs.reloads_remaining_today(days(1) + hours(1)), 1);
 }
 
+TEST(Repair, DeferredReloadQueuedAndExecutedOnRollover) {
+  // A budget-refused reload is parked, not dropped: retry_deferred is a
+  // no-op while the day's budget is spent, then executes the queue oldest-
+  // first the moment the day rolls over (day_of uses the configured
+  // day_length, so a soak can shrink the day to cross the boundary mid-run).
+  std::vector<std::uint32_t> reloaded;
+  RepairService rs(RepairConfig{.max_reloads_per_day = 1, .day_length = minutes(10)},
+                   [&](SwitchId sw) { reloaded.push_back(sw.value); }, nullptr);
+  EXPECT_TRUE(rs.request_reload(SwitchId{1}, "bh A", minutes(1)));
+  EXPECT_FALSE(rs.request_reload(SwitchId{2}, "bh B", minutes(2)));
+  ASSERT_EQ(rs.deferred().size(), 1u);
+  EXPECT_EQ(rs.deferred()[0].sw, SwitchId{2});
+  // Still day 0: nothing executes.
+  EXPECT_TRUE(rs.retry_deferred(minutes(5)).empty());
+  EXPECT_EQ(rs.deferred().size(), 1u);
+  // Day 1: the parked reload executes and leaves the queue.
+  auto executed = rs.retry_deferred(minutes(11));
+  ASSERT_EQ(executed.size(), 1u);
+  EXPECT_EQ(executed[0], SwitchId{2});
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded[1], 2u);
+  EXPECT_TRUE(rs.deferred().empty());
+  EXPECT_EQ(rs.deferred_executed_total(), 1u);
+  // The execution is a second history record carrying the deferral age.
+  const auto& last = rs.history().back();
+  EXPECT_TRUE(last.executed);
+  EXPECT_NE(last.reason.find("deferred since"), std::string::npos);
+}
+
 TEST(Repair, RmaIsolatesImmediatelyAndUnbudgeted) {
   std::vector<std::uint32_t> isolated;
   RepairService rs(RepairConfig{.max_reloads_per_day = 0}, nullptr,

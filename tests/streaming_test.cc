@@ -387,7 +387,8 @@ class DetectorTest : public ::testing::Test {
 
   /// Fill sub-window w with 12 records for (src, dst). Mode: 'c' clean,
   /// 'b' breach (4 of 12 carry a 3s SYN-drop signature), 'f' all failed,
-  /// 's' slow (5 ms clean RTT).
+  /// 's' slow (5 ms clean RTT), 'p' partial black-hole (4 of 12 fail, the
+  /// rest clean — the ECMP-subset loss shape).
   void fill(std::uint32_t src, std::uint32_t dst, int w, char mode) {
     for (int i = 0; i < 12; ++i) {
       SimTime ts = seconds(10 * w) + i * millis(700);
@@ -399,6 +400,10 @@ class DetectorTest : public ::testing::Test {
           break;
         case 'f': agg_.ingest(rec(src, dst, ts, false, 0, i)); break;
         case 's': agg_.ingest(rec(src, dst, ts, true, millis(5) + i, i)); break;
+        case 'p':
+          agg_.ingest(i < 4 ? rec(src, dst, ts, false, 0, i)
+                            : rec(src, dst, ts, true, micros(200) + i, i));
+          break;
         default: FAIL() << "bad mode";
       }
     }
@@ -465,6 +470,35 @@ TEST_F(DetectorTest, SilentPairFromBootIsCriticalAfterHysteresis) {
   EXPECT_EQ(silent[0].severity, dsa::AlertSeverity::kCritical);
   EXPECT_NE(silent[0].scope.find("->"), std::string::npos);
   EXPECT_EQ(db_.alerts.size(), 1u);  // no drop-spike (failures carry no signature)
+}
+
+TEST_F(DetectorTest, FailRateCatchesPartialBlackholeWithoutSilencingPair) {
+  // A partial ToR black-hole fails a fraction of a pair's probes while the
+  // rest connect fine — the shape the healing loop's trigger must catch.
+  // 4/12 failures per window clears the 0.15 rate threshold once the live
+  // horizon holds >= min_failures (8), i.e. from the second window; the
+  // open_after=2 hysteresis then opens one critical fail_rate alert.
+  for (int w = 0; w <= 3; ++w) {
+    fill(0, 1, w, 'p');
+    det_.evaluate(agg_, seconds(10 * (w + 1)));
+  }
+  auto fail_rate = alerts_for("stream:fail_rate");
+  ASSERT_EQ(fail_rate.size(), 1u);
+  EXPECT_EQ(fail_rate[0].time, seconds(30));
+  EXPECT_EQ(fail_rate[0].severity, dsa::AlertSeverity::kCritical);
+  EXPECT_TRUE(db_.alert_open(fail_rate[0].scope, "stream:fail_rate"));
+  // Successes keep flowing, so the pair is not silent; the failures carry
+  // no SYN-drop latency signature, so no drop-spike either.
+  EXPECT_EQ(alerts_for("stream:silent_pair").size(), 0u);
+  EXPECT_EQ(alerts_for("stream:drop_spike").size(), 0u);
+
+  // Fault clears: after close_after clean evaluations the alert closes.
+  for (int w = 4; w <= 12; ++w) {
+    fill(0, 1, w, 'c');
+    det_.evaluate(agg_, seconds(10 * (w + 1)));
+  }
+  EXPECT_FALSE(db_.alert_open(fail_rate[0].scope, "stream:fail_rate"));
+  EXPECT_EQ(alerts_for("stream:fail_rate").size(), 1u);  // no duplicate row
 }
 
 TEST_F(DetectorTest, SilentPairWaitsForGracePeriodAfterLastSuccess) {

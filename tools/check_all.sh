@@ -9,7 +9,9 @@
 #   2. tier-1      — default build + full ctest suite (includes the corpus
 #                    replay tests and the lint fixture tests), then an
 #                    observability smoke (pingmeshctl metrics/trace must
-#                    show the wired subsystems; DESIGN.md §10)
+#                    show the wired subsystems; DESIGN.md §10), a chaos
+#                    replay smoke, and the self-healing soak smoke
+#                    (pingmeshctl soak on the fixed CI seed; DESIGN.md §14)
 #   3. asan        — tools/asan_check.sh (ASan+UBSan, full suite), then the
 #                    chaos smoke on the sanitized build: replay a scripted
 #                    plan from the corpus, and one random-plan hunt round
@@ -72,6 +74,15 @@ banner "stage 2c: chaos replay smoke"
   --plan tests/corpus/chaos_plan/valid_open_ended.plan 2>/dev/null \
   | grep -q 'record-conservation: OK' \
   || { echo "chaos replay violated an invariant"; exit 1; }
+
+# --- 2d. self-healing soak smoke ---------------------------------------------
+# Closed-loop detection -> blame -> repair on the fixed CI seed (~2 sim-
+# hours): exit 1 on any false reload, unrepaired black-hole, or invariant
+# violation (DESIGN.md §14). The perf ceilings (MTTD/MTTR) and 1-vs-4-worker
+# report identity are gated by bench_soak in CI's perf-smoke job.
+banner "stage 2d: self-healing soak smoke"
+./build/tools/pingmeshctl soak --seed 7 --episodes 4 --minutes 30 >/dev/null 2>&1 \
+  || { echo "self-healing soak gate failed (rerun: pingmeshctl soak --seed 7)"; exit 1; }
 
 if [[ "$FAST" == "1" ]]; then
   banner "--fast: skipping sanitizers, fuzz smoke, clang-tidy"

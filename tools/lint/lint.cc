@@ -32,7 +32,7 @@ constexpr struct {
     {"common", 0},    {"net", 1},       {"topology", 1}, {"netsim", 1},
     {"agent", 2},     {"controller", 2}, {"dsa", 2},      {"streaming", 2},
     {"analysis", 2},  {"obs", 2},       {"autopilot", 3}, {"core", 3},
-    {"serve", 3},     {"chaos", 4},
+    {"serve", 3},     {"chaos", 4},     {"heal", 4},
 };
 
 // The serving tier is a near-leaf: it may read the measurement substrate

@@ -44,6 +44,12 @@
 //                          [--break fail-closed]
 //       run random plans until one violates an invariant, then shrink it
 //       and print the minimal reproducer (exit 3 if all plans pass)
+//   pingmeshctl soak [--seed S] [--episodes N] [--minutes M] [--workers W]
+//                    [--json]
+//       run the closed-loop self-healing soak: seeded chaos episodes with
+//       the HealingLoop attached, reporting MTTD/MTTR, false reloads,
+//       missed repairs and SLA before/after repair (exit 1 when a gate
+//       fails); --json prints the machine-readable report
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -63,6 +69,7 @@
 #include "dsa/report.h"
 #include "dsa/scope.h"
 #include "dsa/scopeql.h"
+#include "heal/soak.h"
 #include "netsim/simnet.h"
 #include "serve/query_service.h"
 #include "serve/rollup.h"
@@ -579,11 +586,29 @@ int cmd_chaos(const Args& args) {
   return 2;
 }
 
+int cmd_soak(const Args& args) {
+  heal::SoakConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.flag_int("seed", 7));
+  cfg.episodes = static_cast<int>(args.flag_int("episodes", 4));
+  cfg.episode_duration = minutes(args.flag_int("minutes", 30));
+  cfg.worker_threads = static_cast<int>(args.flag_int("workers", 1));
+  std::fprintf(stderr, "soaking: %d episode(s) x %ld sim-minute(s), seed %llu (workers=%d)...\n",
+               cfg.episodes, args.flag_int("minutes", 30),
+               static_cast<unsigned long long>(cfg.seed), cfg.worker_threads);
+  heal::SoakReport report = heal::run_soak(cfg);
+  std::fputs(args.flag("json", "") == "true" ? report.to_json().c_str()
+                                             : report.to_text().c_str(),
+             stdout);
+  bool ok = report.invariants_ok && report.false_reloads == 0 &&
+            report.unrepaired_blackholes == 0;
+  return ok ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "pingmeshctl <command> [args]\n"
                "commands: pinglist simulate report heatmap traceroute drops query"
-               " metrics trace chaos\n"
+               " metrics trace chaos soak\n"
                "see the header of tools/pingmeshctl.cc for details\n");
 }
 
@@ -606,6 +631,7 @@ int main(int argc, char** argv) {
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "chaos") return cmd_chaos(args);
+  if (cmd == "soak") return cmd_soak(args);
   usage();
   return 2;
 }
